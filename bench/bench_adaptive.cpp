@@ -1,0 +1,110 @@
+// Ablation — routing adaptivity under congestion.
+//
+// The paper's design space runs from ODR (one path, lowest table cost,
+// deadlock-free with datelines) through UDR (s! paths, fault tolerance) to
+// fully adaptive minimal routing.  This bench quantifies the congestion
+// side: simulated complete-exchange makespans for source-routed ODR/UDR
+// versus hop-by-hop minimal-adaptive forwarding (random and queue-aware),
+// plus the routing-table footprint each design needs.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+std::vector<Demand> demands_of(const Placement& p) {
+  std::vector<Demand> demands;
+  for (NodeId src : p.nodes())
+    for (NodeId dst : p.nodes())
+      if (src != dst) demands.push_back(Demand{src, dst, 0});
+  return demands;
+}
+
+void print_tables() {
+  bench_banner("Ablation: adaptivity vs congestion (complete exchange)",
+               "makespan of source-routed ODR/UDR vs hop-by-hop minimal "
+               "adaptive (random / least-queue)");
+  Table table({"d", "k", "t", "|P|", "ODR", "UDR", "adaptive rnd",
+               "adaptive least-q"});
+  OdrRouter odr;
+  UdrRouter udr;
+  for (const auto& [d, k, t] :
+       std::vector<std::tuple<i32, i32, i32>>{{2, 6, 1},
+                                              {2, 8, 2},
+                                              {2, 10, 2},
+                                              {3, 4, 2}}) {
+    Torus torus(d, k);
+    const Placement p = multiple_linear_placement(torus, t);
+    const auto demands = demands_of(p);
+    const SimMetrics odr_m = NetworkSim(torus).run(
+        complete_exchange_traffic(torus, p, odr, 5).messages);
+    const SimMetrics udr_m = NetworkSim(torus).run(
+        complete_exchange_traffic(torus, p, udr, 5).messages);
+    const SimMetrics rnd_m =
+        AdaptiveNetworkSim(torus, AdaptivePolicy::RandomMinimal)
+            .run(demands, 5);
+    const SimMetrics lq_m =
+        AdaptiveNetworkSim(torus, AdaptivePolicy::LeastQueue)
+            .run(demands, 5);
+    table.add_row({fmt(static_cast<long long>(d)),
+                   fmt(static_cast<long long>(k)),
+                   fmt(static_cast<long long>(t)),
+                   fmt(static_cast<long long>(p.size())),
+                   fmt(static_cast<long long>(odr_m.cycles)),
+                   fmt(static_cast<long long>(udr_m.cycles)),
+                   fmt(static_cast<long long>(rnd_m.cycles)),
+                   fmt(static_cast<long long>(lq_m.cycles))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nRouting-table footprint (T_6^2, linear placement):\n\n";
+  {
+    Torus torus(2, 6);
+    const Placement p = linear_placement(torus);
+    Table cost({"router", "entries", "worst node"});
+    for (RouterKind kind :
+         {RouterKind::Odr, RouterKind::Udr, RouterKind::Adaptive}) {
+      const auto router = make_router(kind);
+      RoutingTable rt(torus, p, *router);
+      cost.add_row({router->name(), fmt(rt.num_entries()),
+                    fmt(rt.max_entries_per_node())});
+    }
+    cost.print(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+void BM_AdaptiveSimLeastQueue(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(2, k);
+  const Placement p = linear_placement(torus);
+  const auto demands = demands_of(p);
+  for (auto _ : state) {
+    const SimMetrics m =
+        AdaptiveNetworkSim(torus, AdaptivePolicy::LeastQueue)
+            .run(demands, 5);
+    benchmark::DoNotOptimize(m.cycles);
+  }
+}
+
+void BM_RoutingTableCompile(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(2, k);
+  const Placement p = linear_placement(torus);
+  UdrRouter udr;
+  for (auto _ : state) {
+    RoutingTable rt(torus, p, udr);
+    benchmark::DoNotOptimize(rt.num_entries());
+  }
+}
+
+BENCHMARK(BM_AdaptiveSimLeastQueue)->Arg(8)->Arg(12)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_RoutingTableCompile)->Arg(6)->Arg(10)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

@@ -1,0 +1,120 @@
+// E4/E5 — Theorem 1 and Proposition 1 (Appendix).
+//
+// E4: the dimension cut bisects uniform placements with exactly 4 k^{d-1}
+//     directed links.
+// E5: the hyperplane sweep bisects *arbitrary* placements crossing at most
+//     2 d k^{d-1} array wires (Corollary 1's 6 d k^{d-1} directed links
+//     including wraps); exact optima on tiny tori gauge the constructions'
+//     tightness.  Plus the gamma-sensitivity ablation.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E4: Theorem 1 bisection (uniform placements)",
+               "dimension cut: exactly 4 k^{d-1} directed links, zero "
+               "imbalance for even k");
+  Table thm1({"d", "k", "|P|", "cut links", "paper 4k^{d-1}", "imbalance"});
+  for (i32 d = 2; d <= 4; ++d)
+    for (i32 k : {4, 6, 8}) {
+      if (d == 4 && k == 8) continue;
+      Torus torus(d, k);
+      const Placement p = linear_placement(torus);
+      const auto cut = best_dimension_cut(torus, p);
+      thm1.add_row({fmt(static_cast<long long>(d)),
+                    fmt(static_cast<long long>(k)),
+                    fmt(static_cast<long long>(p.size())),
+                    fmt(static_cast<long long>(cut.directed_edges)),
+                    fmt(static_cast<long long>(uniform_bisection_width(k, d))),
+                    fmt(static_cast<long long>(cut.imbalance))});
+    }
+  thm1.print(std::cout);
+
+  bench_banner("E5: hyperplane sweep separator (Proposition 1 / Appendix)",
+               "any placement bisected; array-wire crossings <= 2 d k^{d-1}");
+  Table sweep_table({"d", "k", "placement", "array wires", "bound 2dk^{d-1}",
+                     "wrap wires", "directed total", "Cor.1 bound"});
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {4, 6, 8}) {
+      Torus torus(d, k);
+      for (const Placement& p :
+           {linear_placement(torus),
+            random_placement(torus, torus.num_nodes() / 3, 5),
+            clustered_placement(torus, torus.num_nodes() / 2)}) {
+        const auto sweep = hyperplane_sweep_bisection(torus, p);
+        sweep_table.add_row(
+            {fmt(static_cast<long long>(d)), fmt(static_cast<long long>(k)),
+             p.name(), fmt(static_cast<long long>(sweep.array_crossings)),
+             fmt(static_cast<long long>(sweep_separator_upper_bound(k, d))),
+             fmt(static_cast<long long>(sweep.wrap_crossings)),
+             fmt(static_cast<long long>(sweep.directed_edges)),
+             fmt(static_cast<long long>(bisection_width_upper_bound(k, d)))});
+      }
+    }
+  sweep_table.print(std::cout);
+
+  std::cout << "\nExact optima on tiny tori (brute force) vs constructions:\n\n";
+  Table exact_table({"torus", "placement", "exact width", "Thm1 cut",
+                     "sweep cut"});
+  for (i32 k : {3, 4}) {
+    Torus torus(2, k);
+    const Placement p = linear_placement(torus);
+    const auto exact = exact_bisection(torus, p);
+    exact_table.add_row(
+        {"T_" + std::to_string(k) + "^2", p.name(),
+         fmt(static_cast<long long>(exact.directed_edges)),
+         fmt(static_cast<long long>(
+             best_dimension_cut(torus, p).directed_edges)),
+         fmt(static_cast<long long>(
+             hyperplane_sweep_bisection(torus, p).directed_edges))});
+  }
+  exact_table.print(std::cout);
+
+  std::cout << "\nAblation: sweep direction gamma within the proof interval "
+               "(1, 2^{1/(d-1)})\n"
+            << "default gamma(d=3) = "
+            << static_cast<double>(default_gamma(3)) << "\n\n";
+  std::cout << std::endl;
+}
+
+void BM_DimensionCut(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(3, k);
+  const Placement p = linear_placement(torus);
+  for (auto _ : state) {
+    const auto cut = best_dimension_cut(torus, p);
+    benchmark::DoNotOptimize(cut.directed_edges);
+  }
+}
+
+void BM_HyperplaneSweep(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(3, k);
+  const Placement p = linear_placement(torus);
+  for (auto _ : state) {
+    const auto sweep = hyperplane_sweep_bisection(torus, p);
+    benchmark::DoNotOptimize(sweep.array_crossings);
+  }
+}
+
+void BM_ExactBisection(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(2, k);
+  const Placement p = linear_placement(torus);
+  for (auto _ : state) {
+    const auto exact = exact_bisection(torus, p);
+    benchmark::DoNotOptimize(exact.directed_edges);
+  }
+}
+
+BENCHMARK(BM_DimensionCut)->Arg(6)->Arg(10)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HyperplaneSweep)->Arg(6)->Arg(10)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExactBisection)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

@@ -1,0 +1,74 @@
+// E3/E6 — the lower-bound landscape (eq. (1), Lemma 1, eq. (8), Section 4).
+//
+// E3: every bound evaluated on real placements, against measured E_max for
+//     both routers — every bound must sit below every measurement.
+// E6: the dimension-independent improved bound c^2 k^{d-1}/8 against the
+//     Blaum bound (|P|-1)/2d as d grows: the crossover the paper proves.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E3: lower bounds vs measured loads (eq. 1, Lemma 1, eq. 8)",
+               "every bound <= measured E_max for every placement/router");
+  Table table({"d", "k", "t", "blaum", "bisection", "improved", "best",
+               "E_max ODR", "E_max UDR"});
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {4, 6, 8})
+      for (i32 t = 1; t <= 2; ++t) {
+        Torus torus(d, k);
+        const Placement p = multiple_linear_placement(torus, t);
+        const auto bounds = all_bounds(torus, p);
+        table.add_row({fmt(static_cast<long long>(d)),
+                       fmt(static_cast<long long>(k)),
+                       fmt(static_cast<long long>(t)), fmt(bounds[0].value),
+                       fmt(bounds[1].value), fmt(bounds[2].value),
+                       fmt(bounds[3].value),
+                       fmt(odr_loads(torus, p).max_load()),
+                       fmt(udr_loads(torus, p).max_load())});
+      }
+  table.print(std::cout);
+
+  bench_banner(
+      "E6: improved bound vs Blaum bound as d grows (Section 4)",
+      "c^2 k^{d-1}/8 (d-independent constant) overtakes (|P|-1)/2d at d=4");
+  Table cross({"d", "k", "|P|=k^{d-1}", "blaum (|P|-1)/2d",
+               "improved k^{d-1}/8", "winner"});
+  const i32 k = 4;
+  for (i32 d = 2; d <= 7; ++d) {
+    const i64 psize = powi(k, d - 1);
+    const double blaum = blaum_lower_bound(psize, d);
+    const double improved = improved_lower_bound(1.0, k, d);
+    cross.add_row({fmt(static_cast<long long>(d)),
+                   fmt(static_cast<long long>(k)),
+                   fmt(static_cast<long long>(psize)), fmt(blaum),
+                   fmt(improved), improved > blaum ? "improved" : "blaum"});
+  }
+  cross.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_AllBounds(benchmark::State& state) {
+  const i32 d = static_cast<i32>(state.range(0));
+  const i32 k = static_cast<i32>(state.range(1));
+  Torus torus(d, k);
+  const Placement p = linear_placement(torus);
+  for (auto _ : state) {
+    const double best = best_lower_bound(torus, p);
+    benchmark::DoNotOptimize(best);
+  }
+}
+
+BENCHMARK(BM_AllBounds)
+    ->Args({2, 8})
+    ->Args({3, 8})
+    ->Args({4, 6})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

@@ -1,0 +1,91 @@
+// E14 — BSP h-relations and hotspot contrast (Section 1's BSP motivation).
+//
+// The paper motivates linear load through BSP: a placement with linear
+// load can realize h-relations in O(h) time.  We simulate h-relations on
+// the linear placement and estimate the BSP gap g = makespan / h, which
+// must flatten as h grows; the fully populated torus's g keeps growing
+// with k while the linear placement's does not.  A hotspot run shows the
+// opposite regime (receiver-bound, not network-bound).
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E14: BSP h-relations on the optimal placement",
+               "gap estimate g = makespan/h flattens in h; g stays level "
+               "in k for linear placements, grows for full population");
+  UdrRouter udr;
+
+  Table hsweep({"d", "k", "|P|", "h", "makespan", "g = makespan/h"});
+  for (i32 k : {6, 8}) {
+    Torus torus(2, k);
+    const Placement p = linear_placement(torus);
+    for (i64 h : {1, 2, 4, 8, 16}) {
+      const auto traffic = h_relation_traffic(torus, p, udr, h, 37);
+      const SimMetrics m = NetworkSim(torus).run(traffic.messages);
+      hsweep.add_row({"2", fmt(static_cast<long long>(k)),
+                      fmt(static_cast<long long>(p.size())),
+                      fmt(static_cast<long long>(h)),
+                      fmt(static_cast<long long>(m.cycles)),
+                      fmt(static_cast<double>(m.cycles) /
+                          static_cast<double>(h))});
+    }
+  }
+  hsweep.print(std::cout);
+
+  std::cout << "\nGap vs network size at h = 8 (linear vs full):\n\n";
+  Table gsweep({"k", "g linear", "g full"});
+  for (i32 k : {4, 6, 8}) {
+    Torus torus(2, k);
+    const Placement lin = linear_placement(torus);
+    const Placement full = full_population(torus);
+    const auto lin_traffic = h_relation_traffic(torus, lin, udr, 8, 41);
+    const auto full_traffic = h_relation_traffic(torus, full, udr, 8, 41);
+    const double g_lin =
+        static_cast<double>(NetworkSim(torus).run(lin_traffic.messages).cycles) / 8.0;
+    const double g_full =
+        static_cast<double>(NetworkSim(torus).run(full_traffic.messages).cycles) /
+        8.0;
+    gsweep.add_row({fmt(static_cast<long long>(k)), fmt(g_lin, 2),
+                    fmt(g_full, 2)});
+  }
+  gsweep.print(std::cout);
+
+  std::cout << "\nHotspot contrast (all processors send to one target, "
+               "T_8^2 linear placement):\n\n";
+  {
+    Torus torus(2, 8);
+    const Placement p = linear_placement(torus);
+    const auto traffic = hotspot_traffic(torus, p, udr, p.nodes()[0], 43);
+    const SimMetrics m = NetworkSim(torus).run(traffic.messages);
+    Table hot({"messages", "makespan", "peak queue"});
+    hot.add_row({fmt(static_cast<long long>(m.injected)),
+                 fmt(static_cast<long long>(m.cycles)),
+                 fmt(static_cast<long long>(m.max_queue_depth))});
+    hot.print(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+void BM_HRelation(benchmark::State& state) {
+  const i64 h = state.range(0);
+  Torus torus(2, 8);
+  const Placement p = linear_placement(torus);
+  UdrRouter udr;
+  const auto traffic = h_relation_traffic(torus, p, udr, h, 37);
+  for (auto _ : state) {
+    const SimMetrics m = NetworkSim(torus).run(traffic.messages);
+    benchmark::DoNotOptimize(m.cycles);
+  }
+}
+
+BENCHMARK(BM_HRelation)->Arg(1)->Arg(8)->Arg(32)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

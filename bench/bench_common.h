@@ -1,0 +1,33 @@
+// Shared scaffolding for the experiment benches.
+//
+// Every bench binary regenerates one experiment of DESIGN.md's index: it
+// first prints the paper-vs-measured table for that experiment (the
+// "rows/series the paper reports"), then runs google-benchmark timings of
+// the underlying computation.  TP_BENCH_MAIN wires the two together.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/analysis/table.h"
+
+#define TP_BENCH_MAIN(print_fn)                                   \
+  int main(int argc, char** argv) {                               \
+    print_fn();                                                   \
+    ::benchmark::Initialize(&argc, argv);                         \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))     \
+      return 1;                                                   \
+    ::benchmark::RunSpecifiedBenchmarks();                        \
+    ::benchmark::Shutdown();                                      \
+    return 0;                                                     \
+  }
+
+namespace tp {
+
+inline void bench_banner(const char* experiment, const char* claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace tp

@@ -1,0 +1,66 @@
+// E11 — fault tolerance (Section 7).
+//
+// Sweeps the number of failed wires on T_8^2 and T_5^3 and reports the
+// fraction of processor pairs each router can still serve, averaged over
+// several fault samples.  The paper's claim: UDR's s! paths give it
+// genuine fault tolerance where single-path ODR degrades immediately.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+double mean_routable(const Torus& torus, const Placement& p,
+                     const Router& router, i64 failures, int samples) {
+  double sum = 0.0;
+  for (int s = 0; s < samples; ++s)
+    sum += routable_pair_fraction(torus, p, router,
+                                  sample_wire_faults(torus, failures,
+                                                     static_cast<u64>(s)));
+  return sum / samples;
+}
+
+void print_tables() {
+  bench_banner("E11: routability under link faults (Section 7)",
+               "fraction of ordered pairs with a surviving path, mean over "
+               "5 fault samples");
+  OdrRouter odr;
+  UdrRouter udr;
+  const int samples = 5;
+  for (const auto& [d, k] : std::vector<std::pair<i32, i32>>{{2, 8}, {3, 5}}) {
+    Torus torus(d, k);
+    const Placement p = linear_placement(torus);
+    std::cout << "T_" << k << "^" << d << ", |P| = " << p.size() << ", "
+              << torus.num_undirected_edges() << " wires:\n";
+    Table table({"failed wires", "ODR routable", "UDR routable",
+                 "UDR advantage"});
+    for (i64 f : {1, 2, 4, 8, 16}) {
+      const double o = mean_routable(torus, p, odr, f, samples);
+      const double u = mean_routable(torus, p, udr, f, samples);
+      table.add_row({fmt(static_cast<long long>(f)), fmt(o, 4), fmt(u, 4),
+                     fmt(u - o, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+void BM_RoutableFraction(benchmark::State& state) {
+  Torus torus(2, 8);
+  const Placement p = linear_placement(torus);
+  UdrRouter udr;
+  const EdgeSet faults = sample_wire_faults(torus, state.range(0), 3);
+  for (auto _ : state) {
+    const double frac = routable_pair_fraction(torus, p, udr, faults);
+    benchmark::DoNotOptimize(frac);
+  }
+}
+
+BENCHMARK(BM_RoutableFraction)->Arg(4)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

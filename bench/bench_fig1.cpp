@@ -1,0 +1,53 @@
+// E1 — Figure 1: the 3-processor placement on T_3^2.
+//
+// Regenerates the figure's data: which links the routing algorithm
+// highlights (positive load) and the per-link loads, for ODR and UDR.
+
+#include "bench/bench_common.h"
+#include "src/analysis/grid_render.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E1: Figure 1 — placement of three processors on T_3^2",
+               "linear placement {(0,0),(1,2),(2,1)}; highlighted links = "
+               "links with positive load");
+  Torus torus(2, 3);
+  const Placement p = linear_placement(torus);
+  std::cout << render_placement(torus, p) << "\n";
+
+  Table table({"router", "links used", "E_max", "total load", "mean load"});
+  const LoadMap odr = odr_loads(torus, p);
+  const LoadMap udr = udr_loads(torus, p);
+  const LoadMap adaptive = adaptive_loads(torus, p);
+  for (const auto& [name, loads] :
+       {std::pair<const char*, const LoadMap*>{"ODR", &odr},
+        {"UDR", &udr},
+        {"ADAPTIVE", &adaptive}}) {
+    table.add_row({name,
+                   fmt(static_cast<long long>(loads->num_loaded_edges())),
+                   fmt(loads->max_load()), fmt(loads->total_load()),
+                   fmt(loads->mean_load())});
+  }
+  table.print(std::cout);
+  std::cout << "\nODR loads on the grid:\n"
+            << render_loads(torus, p, odr) << std::endl;
+}
+
+void BM_Fig1Loads(benchmark::State& state) {
+  Torus torus(2, 3);
+  const Placement p = linear_placement(torus);
+  for (auto _ : state) {
+    const LoadMap loads = odr_loads(torus, p);
+    benchmark::DoNotOptimize(loads.max_load());
+  }
+}
+
+BENCHMARK(BM_Fig1Loads)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

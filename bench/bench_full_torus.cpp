@@ -1,0 +1,60 @@
+// E2 — the motivating claim of Section 1: fully populated tori have
+// superlinear maximum load.
+//
+// Measures E_max of the complete exchange on fully populated T_k^d and
+// compares with the bisection argument's k^{d+1}/8, alongside the linear
+// placement's flat E_max/|P| — the series that justifies partial
+// population.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E2: fully populated torus load (Section 1)",
+               "full: E_max > k^{d+1}/8, ratio E_max/|P| grows with k; "
+               "linear placement: ratio flat");
+  for (i32 d = 2; d <= 3; ++d) {
+    std::cout << "d = " << d << ":\n";
+    Table table({"k", "|P| full", "E_max full", "k^{d+1}/8",
+                 "ratio full", "|P| lin", "E_max lin", "ratio lin"});
+    for (i32 k : {4, 6, 8, (d == 2 ? 10 : 8)}) {
+      Torus torus(d, k);
+      const Placement full = full_population(torus);
+      const Placement lin = linear_placement(torus);
+      const double full_emax = odr_loads(torus, full).max_load();
+      const double lin_emax = odr_loads(torus, lin).max_load();
+      table.add_row(
+          {fmt(static_cast<long long>(k)),
+           fmt(static_cast<long long>(full.size())), fmt(full_emax),
+           fmt(full_torus_load_lower_bound(k, d)),
+           fmt(full_emax / static_cast<double>(full.size())),
+           fmt(static_cast<long long>(lin.size())), fmt(lin_emax),
+           fmt(lin_emax / static_cast<double>(lin.size()))});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+void BM_FullTorusLoads(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(2, k);
+  const Placement p = full_population(torus);
+  double emax = 0.0;
+  for (auto _ : state) {
+    emax = odr_loads(torus, p).max_load();
+    benchmark::DoNotOptimize(emax);
+  }
+  state.counters["E_max"] = emax;
+}
+
+BENCHMARK(BM_FullTorusLoads)->Arg(6)->Arg(8)->Arg(10)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

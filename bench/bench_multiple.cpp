@@ -1,0 +1,63 @@
+// E8 — Theorem 3: multiple linear placements with ODR.
+//
+// For t = 1..4 and a k sweep: measured E_max against the t^2 k^{d-1}
+// bound, and the E_max/|P| ratio, which must stay bounded as k grows for
+// every fixed t (that is the theorem's linearity claim).
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E8: multiple linear placements with ODR (Theorem 3)",
+               "measured E_max <= t^2 k^{d-1}; E_max/|P| bounded in k for "
+               "fixed t");
+
+  for (i32 d = 2; d <= 3; ++d) {
+    std::cout << "d = " << d << ":\n";
+    Table table({"t", "k", "|P|", "E_max", "Thm3 bound t^2 k^{d-1}",
+                 "E_max/|P|"});
+    for (i32 t = 1; t <= 4; ++t)
+      for (i32 k : {4, 6, 8, 10}) {
+        if (t > k) continue;
+        Torus torus(d, k);
+        const Placement p = multiple_linear_placement(torus, t);
+        const double emax = odr_loads(torus, p).max_load();
+        table.add_row({fmt(static_cast<long long>(t)),
+                       fmt(static_cast<long long>(k)),
+                       fmt(static_cast<long long>(p.size())), fmt(emax),
+                       fmt(multiple_odr_upper(t, k, d)),
+                       fmt(emax / static_cast<double>(p.size()))});
+      }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+void BM_MultipleLinearOdr(benchmark::State& state) {
+  const i32 t_mult = static_cast<i32>(state.range(0));
+  const i32 k = static_cast<i32>(state.range(1));
+  Torus torus(3, k);
+  const Placement p = multiple_linear_placement(torus, t_mult);
+  double emax = 0.0;
+  for (auto _ : state) {
+    emax = odr_loads(torus, p).max_load();
+    benchmark::DoNotOptimize(emax);
+  }
+  state.counters["E_max"] = emax;
+  state.counters["P"] = static_cast<double>(p.size());
+}
+
+BENCHMARK(BM_MultipleLinearOdr)
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({3, 8})
+    ->Args({4, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

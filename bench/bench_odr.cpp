@@ -1,0 +1,89 @@
+// E7 — Theorem 2 and the Section 6.1 exact count.
+//
+// Regenerates the paper's ODR load analysis on the all-ones linear
+// placement: for every (d, k) in the sweep, the exact measured maximum
+// load over interior-dimension links against the paper's closed form
+//   k even:  k^{d-1}/8 + k^{d-2}/4        k odd:  k^{d-1}/8 - k^{d-3}/8
+// and the overall maximum against this reproduction's boundary-dimension
+// form floor(k/2) k^{d-2}.  Includes the tie-break ablation (canonical +
+// versus both directions) for even k.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E7: ODR on linear placements (Theorem 2, Section 6.1)",
+               "measured == paper closed form on interior dims; overall max "
+               "= floor(k/2)k^{d-2} (boundary dims); all linear in |P|");
+
+  Table table({"d", "k", "|P|", "E_max measured", "interior measured",
+               "paper interior form", "overall form", "E_max/|P|",
+               "Thm2 bound k^{d-1}"});
+  for (i32 d = 2; d <= 4; ++d) {
+    for (i32 k = 3; k <= (d == 2 ? 16 : d == 3 ? 12 : 6); ++k) {
+      Torus torus(d, k);
+      const Placement p = linear_placement(torus);
+      const LoadMap loads = odr_loads(torus, p);
+      const double interior =
+          d >= 3 ? loads.max_load_in_dim(torus, 1) : 0.0;
+      table.add_row(
+          {fmt(static_cast<long long>(d)), fmt(static_cast<long long>(k)),
+           fmt(static_cast<long long>(p.size())), fmt(loads.max_load()),
+           d >= 3 ? fmt(interior) : "n/a",
+           d >= 3 ? fmt(odr_linear_emax(k, d)) : "n/a (needs d>=3)",
+           fmt(odr_linear_emax_overall(k, d)),
+           fmt(loads.max_load() / static_cast<double>(p.size())),
+           fmt(odr_linear_emax_upper(k, d))});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAblation: tie-break rule on even k (canonical + vs both "
+               "directions)\n\n";
+  Table ablation({"d", "k", "E_max (+ only)", "E_max (both)", "ratio"});
+  for (i32 k : {4, 6, 8, 10}) {
+    Torus torus(3, k);
+    const Placement p = linear_placement(torus);
+    const double plus = odr_loads(torus, p, TieBreak::PositiveOnly).max_load();
+    const double both =
+        odr_loads(torus, p, TieBreak::BothDirections).max_load();
+    ablation.add_row({"3", fmt(static_cast<long long>(k)), fmt(plus),
+                      fmt(both), fmt(both / plus)});
+  }
+  ablation.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_OdrLoads(benchmark::State& state) {
+  const i32 d = static_cast<i32>(state.range(0));
+  const i32 k = static_cast<i32>(state.range(1));
+  Torus torus(d, k);
+  const Placement p = linear_placement(torus);
+  double emax = 0.0;
+  for (auto _ : state) {
+    const LoadMap loads = odr_loads(torus, p);
+    emax = loads.max_load();
+    benchmark::DoNotOptimize(emax);
+  }
+  state.counters["E_max"] = emax;
+  state.counters["P"] = static_cast<double>(p.size());
+  state.counters["pairs_per_s"] = benchmark::Counter(
+      static_cast<double>(p.size() * (p.size() - 1)),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_OdrLoads)
+    ->Args({2, 8})
+    ->Args({2, 16})
+    ->Args({3, 6})
+    ->Args({3, 10})
+    ->Args({4, 5})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

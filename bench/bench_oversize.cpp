@@ -1,0 +1,64 @@
+// E13 — eq. (9): placements larger than Theta(k^{d-1}) cannot keep the
+// load linear.
+//
+// Grows the multiplicity t *with* k (t = k/2, i.e. |P| = k^d/2) and shows
+// E_max/|P| rising without bound, while fixed-t families stay flat — the
+// size ceiling the paper derives from the bisection argument.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E13: maximum optimal placement size (eq. 9)",
+               "fixed t: E_max/|P| flat in k.  t growing with k (|P| = "
+               "Theta(k^d)): ratio diverges");
+  Table table({"k", "family", "t", "|P|", "E_max", "E_max/|P|"});
+  for (i32 k : {4, 6, 8, 10, 12}) {
+    Torus torus(2, k);
+    // Fixed-size family: t = 1.
+    {
+      const Placement p = multiple_linear_placement(torus, 1);
+      const double emax = odr_loads(torus, p).max_load();
+      table.add_row({fmt(static_cast<long long>(k)), "t = 1", "1",
+                     fmt(static_cast<long long>(p.size())), fmt(emax),
+                     fmt(emax / static_cast<double>(p.size()))});
+    }
+    // Oversized family: t = k/2, |P| = k^2/2.
+    {
+      const i32 t = k / 2;
+      const Placement p = multiple_linear_placement(torus, t);
+      const double emax = odr_loads(torus, p).max_load();
+      table.add_row({fmt(static_cast<long long>(k)), "t = k/2",
+                     fmt(static_cast<long long>(t)),
+                     fmt(static_cast<long long>(p.size())), fmt(emax),
+                     fmt(emax / static_cast<double>(p.size()))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThe oversized family's E_max/|P| grows ~k/8 (superlinear "
+               "load), matching the eq. (9) ceiling: only Theta(k^{d-1}) "
+               "processors can enjoy linear load.\n"
+            << std::endl;
+}
+
+void BM_OversizedLoads(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(2, k);
+  const Placement p = multiple_linear_placement(torus, k / 2);
+  double emax = 0.0;
+  for (auto _ : state) {
+    emax = odr_loads(torus, p).max_load();
+    benchmark::DoNotOptimize(emax);
+  }
+  state.counters["ratio"] = emax / static_cast<double>(p.size());
+}
+
+BENCHMARK(BM_OversizedLoads)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

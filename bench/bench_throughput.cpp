@@ -1,0 +1,83 @@
+// E12 — packet-level throughput: the load numbers predict real congestion.
+//
+// Simulates complete exchanges on the cycle-accurate store-and-forward
+// network and compares makespans: fully populated vs linear placement, ODR
+// vs UDR.  The makespan tracks E_max (the busiest link serializes), which
+// is how the paper's abstract load connects to delivered throughput.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E12: simulated complete-exchange makespan (Section 1 "
+               "motivation)",
+               "makespan >= E_max; full population superlinear, linear "
+               "placement flat");
+  Table table({"d", "k", "placement", "router", "|P|", "messages",
+               "makespan", "E_max", "makespan/E_max", "bottleneck util"});
+  OdrRouter odr;
+  UdrRouter udr;
+  for (const auto& [d, k] :
+       std::vector<std::pair<i32, i32>>{{2, 6}, {2, 8}, {2, 10}, {3, 4}}) {
+    Torus torus(d, k);
+    struct Config {
+      Placement placement;
+      const Router* router;
+      const char* router_name;
+    };
+    const std::vector<Config> configs = {
+        {full_population(torus), &odr, "ODR"},
+        {linear_placement(torus), &odr, "ODR"},
+        {linear_placement(torus), &udr, "UDR"},
+    };
+    for (const Config& cfg : configs) {
+      const auto traffic =
+          complete_exchange_traffic(torus, cfg.placement, *cfg.router, 13);
+      const SimMetrics metrics = NetworkSim(torus).run(traffic.messages);
+      const double emax =
+          (cfg.router_name[0] == 'O'
+               ? odr_loads(torus, cfg.placement)
+               : udr_loads(torus, cfg.placement))
+              .max_load();
+      table.add_row(
+          {fmt(static_cast<long long>(d)), fmt(static_cast<long long>(k)),
+           cfg.placement.name(), cfg.router_name,
+           fmt(static_cast<long long>(cfg.placement.size())),
+           fmt(static_cast<long long>(metrics.injected)),
+           fmt(static_cast<long long>(metrics.cycles)), fmt(emax, 2),
+           fmt(static_cast<double>(metrics.cycles) / emax, 2),
+           fmt(metrics.bottleneck_utilization(), 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_SimulateCompleteExchange(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(2, k);
+  const Placement p = linear_placement(torus);
+  OdrRouter odr;
+  const auto traffic = complete_exchange_traffic(torus, p, odr, 13);
+  i64 cycles = 0;
+  for (auto _ : state) {
+    const SimMetrics metrics = NetworkSim(torus).run(traffic.messages);
+    cycles = metrics.cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["makespan"] = static_cast<double>(cycles);
+}
+
+BENCHMARK(BM_SimulateCompleteExchange)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

@@ -1,0 +1,81 @@
+// E9/E10 — Theorems 4 and 5: UDR load on linear and multiple linear
+// placements.
+//
+// For each (d, k): measured E_max against the paper's 2^{d-1} k^{d-1}
+// bound (Theorem 4), the per-pair path count s!, and for multiplicities
+// t = 1..3 the Theorem 5 bound t^2 2^{d-1} k^{d-1}.  Also shows UDR's
+// load-flattening against ODR — the fault-tolerance dividend.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void print_tables() {
+  bench_banner("E9: UDR on linear placements (Theorem 4)",
+               "measured E_max < 2^{d-1} k^{d-1}; linear in |P|");
+
+  Table table({"d", "k", "|P|", "E_max UDR", "Thm4 bound", "E_max ODR",
+               "UDR/ODR", "E_max/|P|"});
+  for (i32 d = 2; d <= 4; ++d) {
+    for (i32 k = 3; k <= (d == 2 ? 12 : d == 3 ? 10 : 5); ++k) {
+      Torus torus(d, k);
+      const Placement p = linear_placement(torus);
+      const double udr = udr_loads(torus, p).max_load();
+      const double odr = odr_loads(torus, p).max_load();
+      table.add_row({fmt(static_cast<long long>(d)),
+                     fmt(static_cast<long long>(k)),
+                     fmt(static_cast<long long>(p.size())), fmt(udr),
+                     fmt(udr_linear_emax_upper(k, d)), fmt(odr),
+                     fmt(udr / odr),
+                     fmt(udr / static_cast<double>(p.size()))});
+    }
+  }
+  table.print(std::cout);
+
+  bench_banner("E10: UDR on multiple linear placements (Theorem 5)",
+               "measured E_max < t^2 2^{d-1} k^{d-1} for every fixed t");
+  Table multi({"d", "k", "t", "|P|", "E_max UDR", "Thm5 bound", "E_max/|P|"});
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {4, 6, 8})
+      for (i32 t = 1; t <= 3; ++t) {
+        Torus torus(d, k);
+        const Placement p = multiple_linear_placement(torus, t);
+        const double emax = udr_loads(torus, p).max_load();
+        multi.add_row({fmt(static_cast<long long>(d)),
+                       fmt(static_cast<long long>(k)),
+                       fmt(static_cast<long long>(t)),
+                       fmt(static_cast<long long>(p.size())), fmt(emax),
+                       fmt(multiple_udr_upper(t, k, d)),
+                       fmt(emax / static_cast<double>(p.size()))});
+      }
+  multi.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_UdrLoadsSubsetWeights(benchmark::State& state) {
+  const i32 d = static_cast<i32>(state.range(0));
+  const i32 k = static_cast<i32>(state.range(1));
+  Torus torus(d, k);
+  const Placement p = linear_placement(torus);
+  double emax = 0.0;
+  for (auto _ : state) {
+    emax = udr_loads(torus, p).max_load();
+    benchmark::DoNotOptimize(emax);
+  }
+  state.counters["E_max"] = emax;
+}
+
+BENCHMARK(BM_UdrLoadsSubsetWeights)
+    ->Args({2, 8})
+    ->Args({2, 12})
+    ->Args({3, 6})
+    ->Args({3, 8})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

@@ -1,0 +1,110 @@
+// Ablation — wormhole deadlock vs the dateline discipline, and the
+// throughput cost of virtual channels.
+//
+// Dynamic counterpart of the channel-dependency analysis: the same
+// traffic under three VC policies, plus wormhole complete-exchange
+// makespans for the paper's linear-placement design.
+
+#include "bench/bench_common.h"
+#include "src/core/torusplace.h"
+#include "src/simulate/wormhole.h"
+
+namespace tp {
+namespace {
+
+std::vector<Path> ring_shift(const Torus& t, i64 shift) {
+  OdrRouter odr;
+  std::vector<Path> traffic;
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    traffic.push_back(
+        odr.canonical_path(t, n, mod_norm(n + shift, t.num_nodes())));
+  return traffic;
+}
+
+std::vector<Path> exchange_paths(const Torus& t, const Placement& p) {
+  OdrRouter odr;
+  std::vector<Path> traffic;
+  for (NodeId src : p.nodes())
+    for (NodeId dst : p.nodes())
+      if (src != dst) traffic.push_back(odr.canonical_path(t, src, dst));
+  return traffic;
+}
+
+void print_tables() {
+  bench_banner("Ablation: wormhole deadlock vs dateline VCs",
+               "cyclic ring traffic (8-flit messages) under three VC "
+               "policies; static CDG verdicts alongside");
+  Table table({"torus", "traffic", "policy", "outcome", "delivered",
+               "cycles"});
+  struct Case {
+    const char* name;
+    VcPolicy policy;
+    i32 vcs;
+  };
+  const std::vector<Case> cases = {{"single VC", VcPolicy::SingleVc, 1},
+                                   {"any-free x2", VcPolicy::AnyFree, 2},
+                                   {"dateline x2", VcPolicy::Dateline, 2}};
+  for (i32 k : {4, 6, 8}) {
+    Torus ring(1, k);
+    const auto traffic = ring_shift(ring, k / 2);
+    for (const Case& c : cases) {
+      WormholeConfig config;
+      config.vcs_per_link = c.vcs;
+      config.buffer_flits = 2;
+      config.message_flits = 8;
+      config.policy = c.policy;
+      config.stall_threshold = 2000;
+      const WormholeResult r = WormholeSim(ring, config).run(traffic);
+      table.add_row({"ring k=" + std::to_string(k),
+                     "shift k/2", c.name,
+                     r.deadlocked ? "DEADLOCK" : "drained",
+                     fmt(r.delivered), fmt(r.cycles)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWormhole complete exchange, linear placement + ODR + "
+               "dateline VCs:\n\n";
+  Table exchange({"d", "k", "|P|", "flits/msg", "cycles", "cycles/|P|"});
+  for (i32 k : {4, 6}) {
+    Torus torus(2, k);
+    const Placement p = linear_placement(torus);
+    const auto traffic = exchange_paths(torus, p);
+    for (i64 flits : {1, 4, 8}) {
+      WormholeConfig config;
+      config.message_flits = flits;
+      config.policy = VcPolicy::Dateline;
+      config.stall_threshold = 100000;
+      const WormholeResult r = WormholeSim(torus, config).run(traffic);
+      exchange.add_row(
+          {fmt(2), fmt(k), fmt(p.size()), fmt(flits), fmt(r.cycles),
+           fmt(static_cast<double>(r.cycles) /
+               static_cast<double>(p.size()), 2)});
+    }
+  }
+  exchange.print(std::cout);
+  std::cout << std::endl;
+}
+
+void BM_WormholeExchange(benchmark::State& state) {
+  const i32 k = static_cast<i32>(state.range(0));
+  Torus torus(2, k);
+  const Placement p = linear_placement(torus);
+  const auto traffic = exchange_paths(torus, p);
+  WormholeConfig config;
+  config.message_flits = 4;
+  config.policy = VcPolicy::Dateline;
+  config.stall_threshold = 100000;
+  for (auto _ : state) {
+    const WormholeResult r = WormholeSim(torus, config).run(traffic);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+
+BENCHMARK(BM_WormholeExchange)->Arg(4)->Arg(6)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tp
+
+TP_BENCH_MAIN(tp::print_tables)

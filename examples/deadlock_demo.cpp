@@ -1,0 +1,73 @@
+// Watching wormhole deadlock happen — and the dateline fix.
+//
+// The static analysis (src/routing/deadlock.h) says: on a torus the
+// channel-dependency graph of dimension-ordered routing is cyclic over
+// physical channels and acyclic with two dateline virtual channels.  This
+// demo makes that dynamic: the same cyclic ring traffic is run through
+// the flit-level wormhole simulator under three VC policies, and the
+// single-VC / undisciplined configurations genuinely wedge.
+//
+// Build & run:  ./build/examples/deadlock_demo
+
+#include <iostream>
+
+#include "src/analysis/table.h"
+#include "src/core/torusplace.h"
+#include "src/simulate/wormhole.h"
+
+int main() {
+  using namespace tp;
+
+  Torus ring(1, 6);
+  OdrRouter odr;
+  // Every node sends an 8-flit message halfway around the ring.
+  std::vector<Path> traffic;
+  for (NodeId n = 0; n < ring.num_nodes(); ++n)
+    traffic.push_back(
+        odr.canonical_path(ring, n, mod_norm(n + 3, ring.num_nodes())));
+
+  std::cout << "6-node ring, every node sends 8 flits to the opposite "
+               "node (3 hops each).\n\n";
+
+  // First the static verdicts.
+  const Placement everyone = full_population(ring);
+  std::cout << "static analysis: physical CDG cyclic = "
+            << fmt_bool(has_cycle(physical_channel_graph(ring, everyone, odr)))
+            << ", dateline CDG cyclic = "
+            << fmt_bool(has_cycle(dateline_channel_graph(ring, everyone, odr)))
+            << "\n\n";
+
+  Table table({"VC policy", "VCs", "outcome", "delivered", "cycles",
+               "stuck messages"});
+  struct Case {
+    const char* name;
+    VcPolicy policy;
+    i32 vcs;
+  };
+  for (const Case& c : {Case{"single VC", VcPolicy::SingleVc, 1},
+                        Case{"2 VCs, any free", VcPolicy::AnyFree, 2},
+                        Case{"2 VCs, dateline", VcPolicy::Dateline, 2}}) {
+    WormholeConfig config;
+    config.vcs_per_link = c.vcs;
+    config.buffer_flits = 2;
+    config.message_flits = 8;
+    config.policy = c.policy;
+    config.stall_threshold = 1000;
+    WormholeSim sim(ring, config);
+    const WormholeResult result = sim.run(traffic);
+    table.add_row({c.name, fmt(c.vcs),
+                   result.deadlocked ? "DEADLOCK" : "drained",
+                   fmt(result.delivered), fmt(result.cycles),
+                   fmt(result.stuck_messages)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nOwnership of a virtual channel lasts until the tail "
+               "leaves, so the wrap-around\ncloses a cyclic wait; the "
+               "dateline discipline orders the channels and breaks it.\n"
+               "UDR cannot be protected this way (its dateline CDG stays "
+               "cyclic — see\n`torusplace deadlock --router udr`): "
+               "fault tolerance costs deadlock freedom\nunless paths are "
+               "restricted or more VCs are spent.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fault tolerance of UDR vs ODR (Section 7).
+//
+// Fails an increasing number of wires in T_8^2 and reports, for each
+// router, the fraction of processor pairs that can still communicate and
+// the delivered-message count of a complete exchange simulated over the
+// degraded network.
+//
+// Build & run:  ./build/examples/fault_tolerance
+
+#include <iostream>
+
+#include "src/analysis/table.h"
+#include "src/core/torusplace.h"
+
+int main() {
+  using namespace tp;
+
+  const i32 d = 2, k = 8;
+  Torus torus(d, k);
+  const Placement p = linear_placement(torus);
+  OdrRouter odr;
+  UdrRouter udr;
+  AdaptiveMinimalRouter adaptive;
+
+  std::cout << "Fault tolerance on T_" << k << "^" << d << ", placement "
+            << p.name() << " (|P| = " << p.size() << ", "
+            << torus.num_undirected_edges() << " wires)\n\n";
+
+  Table table({"failed wires", "ODR routable", "UDR routable",
+               "ADAPTIVE routable", "UDR delivered", "UDR makespan"});
+  for (i64 failures : {0, 1, 2, 4, 8, 16, 32}) {
+    const EdgeSet faults = sample_wire_faults(torus, failures, /*seed=*/7);
+    const double odr_frac = routable_pair_fraction(torus, p, odr, faults);
+    const double udr_frac = routable_pair_fraction(torus, p, udr, faults);
+    const double ad_frac =
+        routable_pair_fraction(torus, p, adaptive, faults);
+
+    const auto traffic =
+        complete_exchange_traffic(torus, p, udr, /*seed=*/11, &faults);
+    NetworkSim sim(torus, &faults);
+    const SimMetrics metrics = sim.run(traffic.messages);
+
+    table.add_row({fmt(static_cast<long long>(failures)), fmt(odr_frac, 4),
+                   fmt(udr_frac, 4), fmt(ad_frac, 4),
+                   fmt(static_cast<long long>(metrics.delivered)),
+                   fmt(static_cast<long long>(metrics.cycles))});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nUDR keeps pairs connected (s! alternative paths) long after\n"
+         "ODR's single path per pair starts failing; fully adaptive\n"
+         "routing is the upper envelope.\n";
+  return 0;
+}

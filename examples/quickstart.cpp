@@ -1,0 +1,47 @@
+// Quickstart: plan the paper's optimal placement on T_8^3, measure the
+// exact maximum link load under complete exchange, and compare it with the
+// closed form and the lower bounds.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "src/analysis/table.h"
+#include "src/core/torusplace.h"
+
+int main() {
+  using namespace tp;
+
+  const i32 d = 3, k = 8;
+  Torus torus(d, k);
+
+  std::cout << "torusplace quickstart — T_" << k << "^" << d << " ("
+            << torus.num_nodes() << " nodes, " << torus.num_directed_edges()
+            << " directed links)\n\n";
+
+  // Plan the optimal design: linear placement + ODR.
+  PlacementPlan plan = plan_placement(torus, /*t=*/1, RouterKind::Odr);
+  std::cout << plan.summary << "\n\n";
+
+  // Measure the exact loads under all-to-all personalized communication.
+  LoadMap loads = measure_loads(torus, plan.placement, plan.router_kind);
+
+  Table table({"quantity", "value"});
+  table.add_row({"|P|", fmt(static_cast<long long>(plan.placement.size()))});
+  table.add_row({"measured E_max", fmt(loads.max_load())});
+  table.add_row({"paper closed form k^2/8 + k/4", fmt(odr_linear_emax(k, d))});
+  table.add_row({"Theorem 2 upper bound k^{d-1}", fmt(odr_linear_emax_upper(k, d))});
+  table.add_row({"Blaum bound (|P|-1)/2d", fmt(blaum_lower_bound(plan.placement.size(), d))});
+  table.add_row({"improved bound k^{d-1}/8", fmt(improved_lower_bound(1.0, k, d))});
+  table.add_row({"total load", fmt(loads.total_load())});
+  table.add_row({"sum of Lee distances", fmt(expected_total_load(torus, plan.placement))});
+  table.print(std::cout);
+
+  // The same design with fault-tolerant UDR routing.
+  PlacementPlan udr_plan = plan_placement(torus, /*t=*/1, RouterKind::Udr);
+  LoadMap udr = measure_loads(torus, udr_plan.placement, udr_plan.router_kind);
+  std::cout << "\nUDR E_max = " << udr.max_load() << "  (Theorem 4 bound: < "
+            << udr_linear_emax_upper(k, d) << ")\n";
+
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "src/analysis/csv.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/analysis/table.h"
+#include "src/util/error.h"
+
+namespace tp {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os << ',';
+    os << csv_escape(cells[i]);
+  }
+  os << '\n';
+}
+
+void write_csv(std::ostream& os, const Table& table) {
+  write_csv_row(os, table.headers());
+  for (const auto& row : table.rows()) write_csv_row(os, row);
+}
+
+void save_csv(const std::string& path, const Table& table) {
+  std::ofstream os(path);
+  TP_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  write_csv(os, table);
+  TP_REQUIRE(os.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace tp

@@ -1,0 +1,30 @@
+// CSV export for experiment results.
+//
+// Benches and the CLI can persist their tables as RFC-4180 CSV so sweeps
+// can be plotted or diffed outside the binary.  Quoting is applied only
+// when a field needs it.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tp {
+
+class Table;
+
+/// Quotes a single CSV field if it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+/// Writes one CSV row.
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells);
+
+/// Writes a Table (header + rows) as CSV.
+void write_csv(std::ostream& os, const Table& table);
+
+/// Writes a Table to a file; throws tp::Error if the file cannot be
+/// opened.
+void save_csv(const std::string& path, const Table& table);
+
+}  // namespace tp

@@ -1,0 +1,91 @@
+#include "src/analysis/grid_render.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/analysis/table.h"
+#include "src/util/error.h"
+
+namespace tp {
+
+namespace {
+
+void require_2d(const Torus& torus) {
+  TP_REQUIRE(torus.dims() == 2, "grid rendering requires a 2-D torus");
+}
+
+/// Larger of the two directed loads across the wire leaving `n` along
+/// `dim` in the + direction.
+double wire_load(const Torus& torus, const LoadMap& loads, NodeId n,
+                 i32 dim) {
+  const EdgeId fwd = torus.edge_id(n, dim, Dir::Pos);
+  return std::max(loads[fwd], loads[torus.reverse_edge(fwd)]);
+}
+
+}  // namespace
+
+std::string render_placement(const Torus& torus, const Placement& p) {
+  require_2d(torus);
+  p.check_torus(torus);
+  const i32 rows = torus.radix(0), cols = torus.radix(1);
+  std::ostringstream os;
+  for (i32 r = 0; r < rows; ++r) {
+    for (i32 c = 0; c < cols; ++c) {
+      const NodeId n = torus.node_id(Coord{r, c});
+      os << (p.contains(n) ? "[*]" : "[ ]");
+      if (c + 1 < cols) os << "--";
+    }
+    os << '\n';
+    if (r + 1 < rows) {
+      for (i32 c = 0; c < cols; ++c) {
+        os << " | ";
+        if (c + 1 < cols) os << "  ";
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string render_loads(const Torus& torus, const Placement& p,
+                         const LoadMap& loads) {
+  require_2d(torus);
+  p.check_torus(torus);
+  const i32 rows = torus.radix(0), cols = torus.radix(1);
+  std::ostringstream os;
+
+  // Wrap loads along dimension 1 (from last column back to column 0).
+  for (i32 r = 0; r < rows; ++r) {
+    // Node row with horizontal link loads.
+    for (i32 c = 0; c < cols; ++c) {
+      const NodeId n = torus.node_id(Coord{r, c});
+      os << (p.contains(n) ? "[*]" : "[ ]");
+      if (c + 1 < cols)
+        os << "-" << fmt(wire_load(torus, loads, n, 1), 1) << "-";
+    }
+    {
+      const NodeId last = torus.node_id(Coord{r, cols - 1});
+      os << "  ~" << fmt(wire_load(torus, loads, last, 1), 1) << "~";
+    }
+    os << '\n';
+    // Vertical link loads between this row and the next (or the wrap).
+    if (r + 1 < rows) {
+      for (i32 c = 0; c < cols; ++c) {
+        const NodeId n = torus.node_id(Coord{r, c});
+        os << fmt(wire_load(torus, loads, n, 0), 1);
+        if (c + 1 < cols) os << "    ";
+      }
+      os << '\n';
+    }
+  }
+  // Wrap loads along dimension 0 (from last row back to row 0).
+  for (i32 c = 0; c < cols; ++c) {
+    const NodeId n = torus.node_id(Coord{rows - 1, c});
+    os << "~" << fmt(wire_load(torus, loads, n, 0), 1);
+    if (c + 1 < cols) os << "  ";
+  }
+  os << "  (~x~ = wrap link load)\n";
+  return os.str();
+}
+
+}  // namespace tp

@@ -1,0 +1,26 @@
+// ASCII rendering of 2-dimensional tori: placements (Figure 1 of the
+// paper) and per-link load heat maps.  Dimension 0 runs down the page,
+// dimension 1 across it.
+
+#pragma once
+
+#include <string>
+
+#include "src/load/load_map.h"
+#include "src/placement/placement.h"
+#include "src/routing/router.h"
+#include "src/torus/torus.h"
+
+namespace tp {
+
+/// Draws the torus grid marking processor nodes '[*]' and empty routing
+/// nodes '[ ]'.  Requires dims() == 2.
+std::string render_placement(const Torus& torus, const Placement& p);
+
+/// Draws the grid with each link annotated by its load (one decimal),
+/// highlighting loaded links the way Figure 1 highlights used links.
+/// Wrap links are shown on the border.  Requires dims() == 2.
+std::string render_loads(const Torus& torus, const Placement& p,
+                         const LoadMap& loads);
+
+}  // namespace tp

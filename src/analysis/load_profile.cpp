@@ -1,0 +1,47 @@
+#include "src/analysis/load_profile.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+std::vector<DirectionProfile> load_profile(const Torus& torus,
+                                           const LoadMap& loads) {
+  TP_REQUIRE(loads.num_edges() == torus.num_directed_edges(),
+             "load map covers a different torus");
+  std::vector<DirectionProfile> profiles;
+  for (i32 dim = 0; dim < torus.dims(); ++dim) {
+    for (Dir dir : {Dir::Pos, Dir::Neg}) {
+      DirectionProfile prof;
+      prof.dim = dim;
+      prof.dir = dir;
+      i64 count = 0;
+      for (NodeId n = 0; n < torus.num_nodes(); ++n) {
+        const double v = loads[torus.edge_id(n, dim, dir)];
+        prof.max_load = std::max(prof.max_load, v);
+        prof.total_load += v;
+        ++count;
+      }
+      prof.mean_load =
+          count > 0 ? prof.total_load / static_cast<double>(count) : 0.0;
+      profiles.push_back(prof);
+    }
+  }
+  return profiles;
+}
+
+double direction_asymmetry(const Torus& torus, const LoadMap& loads,
+                           i32 dim) {
+  TP_REQUIRE(dim >= 0 && dim < torus.dims(), "dimension out of range");
+  double pos = 0.0, neg = 0.0;
+  for (NodeId n = 0; n < torus.num_nodes(); ++n) {
+    pos += loads[torus.edge_id(n, dim, Dir::Pos)];
+    neg += loads[torus.edge_id(n, dim, Dir::Neg)];
+  }
+  if (pos == 0.0 && neg == 0.0) return 1.0;
+  TP_REQUIRE(neg > 0.0, "all load in one direction: asymmetry undefined");
+  return pos / neg;
+}
+
+}  // namespace tp

@@ -1,0 +1,36 @@
+// Structural profiles of a load map: per-dimension and per-direction
+// statistics.
+//
+// The canonical tie-break sends every half-way correction in the +
+// direction, so on even-k tori the + links of a dimension carry more
+// traffic than the - links; the profile quantifies that asymmetry and the
+// boundary-vs-interior dimension split behind the E7 finding.
+
+#pragma once
+
+#include <vector>
+
+#include "src/load/load_map.h"
+#include "src/torus/torus.h"
+
+namespace tp {
+
+/// Load statistics for one (dimension, direction) link class.
+struct DirectionProfile {
+  i32 dim = 0;
+  Dir dir = Dir::Pos;
+  double max_load = 0.0;
+  double mean_load = 0.0;
+  double total_load = 0.0;
+};
+
+/// Profiles every (dimension, direction) class of the torus.
+std::vector<DirectionProfile> load_profile(const Torus& torus,
+                                           const LoadMap& loads);
+
+/// Ratio of + to - total load in the given dimension (1.0 = symmetric).
+/// Returns 1.0 when the dimension carries no load at all.
+double direction_asymmetry(const Torus& torus, const LoadMap& loads,
+                           i32 dim);
+
+}  // namespace tp

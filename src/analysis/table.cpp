@@ -1,0 +1,65 @@
+#include "src/analysis/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TP_REQUIRE(cells.size() == headers_.size(),
+             "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+         << cells[c];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    rule += std::string(width[c], '-') + "  ";
+  os << rule << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (const auto& cell : cells) os << ' ' << cell << " |";
+    os << '\n';
+  };
+  line(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string fmt_bool(bool value) { return value ? "yes" : "no"; }
+
+}  // namespace tp

@@ -1,0 +1,52 @@
+// Column-aligned text tables for experiment output.
+//
+// Benches and examples print paper-vs-measured rows through this class so
+// every experiment reports in the same format (plain aligned text or
+// GitHub markdown).
+
+#pragma once
+
+#include <concepts>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned plain-text rendering.
+  void print(std::ostream& os) const;
+
+  /// GitHub-markdown rendering.
+  void print_markdown(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("3.250").
+std::string fmt(double value, int precision = 3);
+
+/// Integer formatting (any integral type).
+template <typename T>
+  requires std::integral<T>
+std::string fmt(T value) {
+  return std::to_string(value);
+}
+
+/// "yes"/"no".
+std::string fmt_bool(bool value);
+
+}  // namespace tp

@@ -1,0 +1,66 @@
+#include "src/bisection/cut.h"
+
+#include "src/util/error.h"
+
+namespace tp {
+
+Cut::Cut(const Torus& torus, std::vector<bool> side) : side_(std::move(side)) {
+  TP_REQUIRE(static_cast<i64>(side_.size()) == torus.num_nodes(),
+             "one side entry per node required");
+}
+
+i64 Cut::directed_cut_size(const Torus& torus) const {
+  i64 count = 0;
+  for (EdgeId e = 0; e < torus.num_directed_edges(); ++e) {
+    const Link l = torus.link(e);
+    if (side_[static_cast<std::size_t>(l.tail)] !=
+        side_[static_cast<std::size_t>(l.head)])
+      ++count;
+  }
+  return count;
+}
+
+i64 Cut::undirected_cut_size(const Torus& torus) const {
+  i64 count = 0;
+  for (EdgeId e = 0; e < torus.num_directed_edges(); ++e) {
+    if (torus.undirected_id(e) != e) continue;  // count each wire once
+    const Link l = torus.link(e);
+    if (side_[static_cast<std::size_t>(l.tail)] !=
+        side_[static_cast<std::size_t>(l.head)])
+      ++count;
+  }
+  return count;
+}
+
+std::pair<i64, i64> Cut::processor_split(const Torus& torus,
+                                         const Placement& p) const {
+  p.check_torus(torus);
+  i64 a = 0, b = 0;
+  for (NodeId n : p.nodes())
+    (side_[static_cast<std::size_t>(n)] ? b : a) += 1;
+  return {a, b};
+}
+
+bool Cut::bisects(const Torus& torus, const Placement& p) const {
+  const auto [a, b] = processor_split(torus, p);
+  return (a > b ? a - b : b - a) <= 1;
+}
+
+EdgeSet Cut::crossing_edges(const Torus& torus) const {
+  EdgeSet set(torus);
+  for (EdgeId e = 0; e < torus.num_directed_edges(); ++e) {
+    const Link l = torus.link(e);
+    if (side_[static_cast<std::size_t>(l.tail)] !=
+        side_[static_cast<std::size_t>(l.head)])
+      set.insert(e);
+  }
+  return set;
+}
+
+std::pair<i64, i64> Cut::node_split() const {
+  i64 a = 0, b = 0;
+  for (bool s : side_) (s ? b : a) += 1;
+  return {a, b};
+}
+
+}  // namespace tp

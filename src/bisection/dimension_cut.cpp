@@ -1,0 +1,64 @@
+#include "src/bisection/dimension_cut.h"
+
+#include "src/placement/uniformity.h"
+#include "src/util/error.h"
+
+namespace tp {
+
+DimensionCutResult dimension_cut(const Torus& torus, const Placement& p,
+                                 i32 dim) {
+  p.check_torus(torus);
+  TP_REQUIRE(dim >= 0 && dim < torus.dims(), "dimension out of range");
+  const i32 k = torus.radix(dim);
+  const auto layer = subtorus_counts(torus, p, dim);
+
+  // Prefix sums over layers; processors in layers (a, b] (cyclically).
+  std::vector<i64> prefix(static_cast<std::size_t>(k) + 1, 0);
+  for (i32 v = 0; v < k; ++v)
+    prefix[static_cast<std::size_t>(v) + 1] =
+        prefix[static_cast<std::size_t>(v)] + layer[static_cast<std::size_t>(v)];
+  const i64 total = prefix[static_cast<std::size_t>(k)];
+
+  // Boundaries sit between layer b and b+1 (mod k).  Choosing boundaries
+  // (a, b) with a < b puts layers a+1..b on side A.
+  i64 best_imbalance = -1;
+  i32 best_a = 0, best_b = 0;
+  for (i32 a = 0; a < k; ++a) {
+    for (i32 b = a + 1; b < k; ++b) {
+      const i64 in_a = prefix[static_cast<std::size_t>(b) + 1] -
+                       prefix[static_cast<std::size_t>(a) + 1];
+      const i64 imbalance =
+          in_a * 2 > total ? in_a * 2 - total : total - in_a * 2;
+      if (best_imbalance < 0 || imbalance < best_imbalance) {
+        best_imbalance = imbalance;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  TP_ASSERT(best_imbalance >= 0, "no boundary pair found");
+
+  std::vector<bool> side(static_cast<std::size_t>(torus.num_nodes()), false);
+  for (NodeId n = 0; n < torus.num_nodes(); ++n) {
+    const i32 v = torus.coord_of(n, dim);
+    side[static_cast<std::size_t>(n)] = (v > best_a && v <= best_b);
+  }
+  DimensionCutResult result{Cut(torus, std::move(side)), dim, best_a, best_b,
+                            0, best_imbalance};
+  result.directed_edges = result.cut.directed_cut_size(torus);
+  return result;
+}
+
+DimensionCutResult best_dimension_cut(const Torus& torus, const Placement& p) {
+  std::optional<DimensionCutResult> best;
+  for (i32 dim = 0; dim < torus.dims(); ++dim) {
+    auto r = dimension_cut(torus, p, dim);
+    if (!best || r.imbalance < best->imbalance ||
+        (r.imbalance == best->imbalance &&
+         r.directed_edges < best->directed_edges))
+      best.emplace(std::move(r));
+  }
+  return *best;
+}
+
+}  // namespace tp

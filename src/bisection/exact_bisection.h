@@ -1,0 +1,26 @@
+// Exact bisection width with respect to a placement, by exhaustive search.
+//
+// Feasible only for tiny tori (the node count is capped at 24, i.e. ~2^23
+// candidate partitions), but invaluable for validating the constructive
+// cuts: the exact optimum can never exceed the Theorem 1 or sweep cut, and
+// on small instances we can see how tight the constructions are.
+
+#pragma once
+
+#include <optional>
+
+#include "src/bisection/cut.h"
+
+namespace tp {
+
+/// Result of the exhaustive search.
+struct ExactBisectionResult {
+  Cut cut;                ///< an optimal bisecting partition
+  i64 directed_edges = 0; ///< the bisection width w.r.t. the placement
+};
+
+/// Minimum directed-cut size over all node partitions splitting the
+/// placement within one processor.  Requires torus.num_nodes() <= 24.
+ExactBisectionResult exact_bisection(const Torus& torus, const Placement& p);
+
+}  // namespace tp

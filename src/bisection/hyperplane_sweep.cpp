@@ -1,0 +1,97 @@
+#include "src/bisection/hyperplane_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+long double default_gamma(i32 dims) {
+  TP_REQUIRE(dims >= 1, "dimension out of range");
+  if (dims == 1) return 1.0L;  // unused: d=1 sweep is a plain coordinate sort
+  const long double hi =
+      std::pow(2.0L, 1.0L / static_cast<long double>(dims - 1));
+  // Midpoint nudged by an irrational fraction of the interval so the
+  // powers 1, γ, ..., γ^{d-1} stay rationally independent in practice.
+  const long double frac = 0.5L + 0.1L * (std::numbers::pi_v<long double> - 3.0L);
+  return 1.0L + (hi - 1.0L) * frac;
+}
+
+namespace {
+
+struct Scored {
+  long double score;
+  NodeId node;
+};
+
+/// Scores every node by the (unnormalized) sweep direction; returns false
+/// if two nodes collide (γ not generic enough for this torus).
+bool score_nodes(const Torus& torus, long double gamma,
+                 std::vector<Scored>& out) {
+  const i32 d = torus.dims();
+  SmallVec<long double, kMaxDims> weight(static_cast<std::size_t>(d), 1.0L);
+  for (std::size_t i = 1; i < weight.size(); ++i)
+    weight[i] = weight[i - 1] * gamma;
+
+  out.clear();
+  out.reserve(static_cast<std::size_t>(torus.num_nodes()));
+  for (NodeId n = 0; n < torus.num_nodes(); ++n) {
+    long double s = 0.0L;
+    for (i32 dim = 0; dim < d; ++dim)
+      s += weight[static_cast<std::size_t>(dim)] * torus.coord_of(n, dim);
+    out.push_back({s, n});
+  }
+  std::sort(out.begin(), out.end(), [](const Scored& a, const Scored& b) {
+    return a.score < b.score;
+  });
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (out[i].score == out[i - 1].score) return false;
+  return true;
+}
+
+}  // namespace
+
+SweepResult hyperplane_sweep_bisection(const Torus& torus,
+                                       const Placement& p) {
+  p.check_torus(torus);
+  TP_REQUIRE(p.size() >= 1, "cannot bisect an empty placement");
+
+  std::vector<Scored> scored;
+  long double gamma = default_gamma(torus.dims());
+  bool ok = false;
+  for (int attempt = 0; attempt < 8 && !ok; ++attempt) {
+    ok = score_nodes(torus, gamma, scored);
+    if (!ok) gamma += 1e-7L * static_cast<long double>(attempt + 1);
+  }
+  TP_REQUIRE(ok, "no collision-free sweep direction found");
+
+  // Sweep: stop once side A holds floor(|P|/2) processors.
+  const i64 half = p.size() / 2;
+  std::vector<bool> side(static_cast<std::size_t>(torus.num_nodes()), true);
+  i64 seen = 0;
+  for (const Scored& s : scored) {
+    if (seen == half) break;
+    side[static_cast<std::size_t>(s.node)] = false;  // side A
+    if (p.contains(s.node)) ++seen;
+  }
+  TP_ASSERT(seen == half, "sweep failed to collect half of the placement");
+
+  SweepResult result{Cut(torus, std::move(side)), 0, 0, 0, gamma};
+  // Classify each crossed wire as an array edge or a torus wrap edge.
+  for (EdgeId e = 0; e < torus.num_directed_edges(); ++e) {
+    if (torus.undirected_id(e) != e) continue;
+    const Link l = torus.link(e);
+    if (result.cut.side_of(l.tail) == result.cut.side_of(l.head)) continue;
+    const i32 a = torus.coord_of(l.tail, l.dim);
+    const i32 b = torus.coord_of(l.head, l.dim);
+    const bool wrap = (a - b != 1) && (b - a != 1);
+    (wrap ? result.wrap_crossings : result.array_crossings) += 1;
+  }
+  result.directed_edges = result.cut.directed_cut_size(torus);
+  return result;
+}
+
+}  // namespace tp

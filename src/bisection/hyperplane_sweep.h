@@ -1,0 +1,41 @@
+// The Appendix's hyperplane-sweep separator (proof of Proposition 1).
+//
+// A hyperplane with normal direction (1, γ, γ², ..., γ^{d-1}),
+// 1 < γ < 2^{1/(d-1)} and γ irrational, sweeps the standard embedding of
+// the k-ary d-array.  Because γ is irrational, no two lattice points share
+// a sweep value, so the processors of any placement P can be split exactly
+// in half by stopping the sweep at the right value; the Appendix shows the
+// stopping hyperplane crosses at most 2 d k^{d-1} array edges.  Together
+// with the d k^{d-1} torus wrap wires this yields Corollary 1's
+// 6 d k^{d-1} bound on directed links.
+//
+// The implementation uses `long double` scores.  A transcendental γ cannot
+// be represented in floating point, so genericity is *checked*: if two
+// nodes ever score equal, the sweep retries with a perturbed γ (for the
+// torus sizes this library enumerates, the default γ never collides).
+
+#pragma once
+
+#include "src/bisection/cut.h"
+
+namespace tp {
+
+/// Result of sweeping a hyperplane until it bisects the placement.
+struct SweepResult {
+  Cut cut;                  ///< side A = nodes with sweep value below t0
+  i64 array_crossings = 0;  ///< undirected k-ary-array edges crossed
+  i64 wrap_crossings = 0;   ///< undirected torus wrap wires crossed
+  i64 directed_edges = 0;   ///< total directed links removed by the cut
+  long double gamma = 0.0L; ///< the γ actually used
+};
+
+/// Bisects the placement with a hyperplane sweep.  Works on any torus and
+/// placement (Proposition 1 assumes nothing about P).  Throws only if no
+/// collision-free γ is found after several perturbation attempts.
+SweepResult hyperplane_sweep_bisection(const Torus& torus, const Placement& p);
+
+/// The γ the sweep tries first for a given dimension count: the midpoint
+/// of (1, 2^{1/(d-1)}) nudged by an irrational offset.
+long double default_gamma(i32 dims);
+
+}  // namespace tp

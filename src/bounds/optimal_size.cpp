@@ -1,0 +1,43 @@
+#include "src/bounds/optimal_size.h"
+
+#include <algorithm>
+
+#include "src/load/formulas.h"
+#include "src/util/error.h"
+
+namespace tp {
+
+double placement_size_ceiling(const Torus& torus, double c1) {
+  TP_REQUIRE(torus.is_uniform_radix(), "eq. (9) stated for T_k^d");
+  return max_placement_size(c1, torus.radix(0), torus.dims());
+}
+
+double fitted_load_coefficient(const std::vector<ScalingPoint>& points) {
+  TP_REQUIRE(!points.empty(), "need at least one data point");
+  double c1 = 0.0;
+  for (const auto& pt : points) {
+    TP_REQUIRE(pt.placement_size > 0, "placement size must be positive");
+    c1 = std::max(c1, pt.emax / static_cast<double>(pt.placement_size));
+  }
+  return c1;
+}
+
+bool is_load_linear(const std::vector<ScalingPoint>& points, double slack) {
+  TP_REQUIRE(points.size() >= 2, "need at least two data points");
+  TP_REQUIRE(slack >= 1.0, "slack must be >= 1");
+  auto sorted = points;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScalingPoint& a, const ScalingPoint& b) {
+              return a.placement_size < b.placement_size;
+            });
+  const double base = sorted.front().emax /
+                      static_cast<double>(sorted.front().placement_size);
+  if (base <= 0.0) return true;  // degenerate tiny instance
+  for (const auto& pt : sorted) {
+    const double ratio = pt.emax / static_cast<double>(pt.placement_size);
+    if (ratio > slack * base) return false;
+  }
+  return true;
+}
+
+}  // namespace tp

@@ -1,0 +1,37 @@
+// Maximum placement size under the linear-load requirement (Section 3.1).
+//
+// If E_max must stay below c1·|P| and the bisection width w.r.t. any
+// placement is at most 6dk^{d-1} (Corollary 1), then eq. (9) forces
+// |P| <= 12·d·c1·k^{d-1}.  These helpers evaluate the chain of
+// inequalities on concrete data and classify measured (|P|, E_max) series.
+
+#pragma once
+
+#include <vector>
+
+#include "src/placement/placement.h"
+#include "src/torus/torus.h"
+
+namespace tp {
+
+/// One data point of a load-vs-size scaling experiment.
+struct ScalingPoint {
+  i32 k = 0;
+  i64 placement_size = 0;
+  double emax = 0.0;
+};
+
+/// Eq. (9)'s ceiling on |P| for load coefficient c1.
+double placement_size_ceiling(const Torus& torus, double c1);
+
+/// Least c1 such that E_max <= c1 |P| across all points (the empirical
+/// load/size coefficient).  Requires non-empty data with |P| > 0.
+double fitted_load_coefficient(const std::vector<ScalingPoint>& points);
+
+/// True when E_max grows at most linearly in |P| across the series:
+/// the per-point ratio E_max/|P| never exceeds `slack` times the ratio at
+/// the smallest |P| (a practical monotonicity test for linearity).
+bool is_load_linear(const std::vector<ScalingPoint>& points,
+                    double slack = 1.5);
+
+}  // namespace tp

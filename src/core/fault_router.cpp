@@ -1,0 +1,34 @@
+#include "src/core/fault_router.h"
+
+#include "src/util/error.h"
+
+namespace tp {
+
+std::vector<Path> FaultTolerantRouter::paths(const Torus& torus, NodeId p,
+                                             NodeId q) const {
+  std::vector<Path> ok;
+  for (Path& path : inner_.paths(torus, p, q)) {
+    bool clean = true;
+    for (EdgeId e : path.edges)
+      if (faults_.contains(e)) {
+        clean = false;
+        break;
+      }
+    if (clean) ok.push_back(std::move(path));
+  }
+  return ok;
+}
+
+i64 FaultTolerantRouter::num_paths(const Torus& torus, NodeId p,
+                                   NodeId q) const {
+  return static_cast<i64>(paths(torus, p, q).size());
+}
+
+Path FaultTolerantRouter::sample_path(const Torus& torus, NodeId p, NodeId q,
+                                      Xoshiro256SS& rng) const {
+  auto ok = paths(torus, p, q);
+  TP_REQUIRE(!ok.empty(), "no fault-free path between the pair");
+  return ok[rng.below(ok.size())];
+}
+
+}  // namespace tp

@@ -1,0 +1,44 @@
+// A Router decorator that avoids failed links.
+//
+// Wraps any routing algorithm and restricts each pair's path set to the
+// paths that avoid every failed link — the operational model of Section 7:
+// "if any of the links fails, the network will remain functional by
+// routing the messages through paths which do not include the defective
+// link."  Pairs whose entire path set is faulted have no paths; callers
+// can detect this through num_paths() == 0 (paths() returns empty,
+// sample_path() throws).
+
+#pragma once
+
+#include <memory>
+
+#include "src/routing/router.h"
+#include "src/torus/graph.h"
+
+namespace tp {
+
+class FaultTolerantRouter final : public Router {
+ public:
+  /// The inner router and fault set must outlive this object.
+  FaultTolerantRouter(const Router& inner, const EdgeSet& faults)
+      : inner_(inner), faults_(faults) {}
+
+  std::string name() const override { return inner_.name() + "+faults"; }
+
+  std::vector<Path> paths(const Torus& torus, NodeId p,
+                          NodeId q) const override;
+
+  i64 num_paths(const Torus& torus, NodeId p, NodeId q) const override;
+
+  /// Uniform over the fault-free subset.  Throws if no path survives.
+  Path sample_path(const Torus& torus, NodeId p, NodeId q,
+                   Xoshiro256SS& rng) const override;
+
+  const Router& inner() const { return inner_; }
+
+ private:
+  const Router& inner_;
+  const EdgeSet& faults_;
+};
+
+}  // namespace tp

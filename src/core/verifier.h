@@ -1,0 +1,55 @@
+// Empirical certification that a placement family keeps load linear.
+//
+// The paper's definition of an optimal placement is asymptotic: a
+// *description* P_{d,k} such that E_max <= c1 |P_{d,k}| with c1 a constant
+// over the whole family.  LinearLoadVerifier runs the exact load analysis
+// over a sweep of k for fixed d, fits the smallest c1, and checks that the
+// per-k ratio E_max/|P| stays bounded (no upward drift), which is the
+// practical test that the family is optimal in the paper's sense.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/bounds/optimal_size.h"
+#include "src/core/planner.h"
+
+namespace tp {
+
+/// A family of placements indexed by k for a fixed dimension d.
+/// The callable receives the torus T_k^d and returns the placement.
+using PlacementFamily = std::function<Placement(const Torus&)>;
+
+struct VerificationReport {
+  std::vector<ScalingPoint> points;  ///< one entry per k in the sweep
+  double c1 = 0.0;                   ///< fitted load coefficient
+  bool linear = false;               ///< ratio stayed bounded over the sweep
+  std::string family_name;
+  std::string router_name;
+};
+
+/// Runs the family over every k in `ks` on T_k^d and certifies linearity.
+/// `slack` is the allowed drift of E_max/|P| relative to the smallest k
+/// (1.5 accommodates lower-order terms like the +k^{d-2}/4 in the ODR
+/// closed form).
+VerificationReport verify_linear_load(i32 d, const std::vector<i32>& ks,
+                                      const PlacementFamily& family,
+                                      RouterKind kind, double slack = 1.5);
+
+/// The paper's "desirable case" (Section 2): the load coefficient c1 must
+/// not depend on the dimension d either.  Runs the family over every
+/// (d, k) combination and certifies that the fitted c1 of each dimension
+/// stays within `slack` of the smallest dimension's.
+struct DimensionReport {
+  std::vector<VerificationReport> per_dimension;  ///< one per d in `ds`
+  bool d_independent = false;  ///< c1 drift across d within slack
+  double worst_c1 = 0.0;
+};
+
+DimensionReport verify_dimension_independence(
+    const std::vector<i32>& ds, const std::vector<i32>& ks,
+    const PlacementFamily& family, RouterKind kind, double slack = 1.5);
+
+}  // namespace tp

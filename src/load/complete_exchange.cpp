@@ -1,0 +1,335 @@
+#include "src/load/complete_exchange.h"
+
+#include "src/routing/odr.h"
+#include "src/routing/udr.h"
+#include "src/util/combinatorics.h"
+#include "src/util/parallel.h"
+#include "src/util/error.h"
+
+namespace tp {
+
+using routing_detail::allowed_dirs;
+using routing_detail::steps_in_dir;
+
+LoadMap reference_loads(const Torus& torus, const Placement& p,
+                        const Router& router) {
+  p.check_torus(torus);
+  LoadMap loads(torus);
+  for (NodeId src : p.nodes()) {
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      const auto paths = router.paths(torus, src, dst);
+      TP_ASSERT(!paths.empty(), "router produced no path for a pair");
+      const double w = 1.0 / static_cast<double>(paths.size());
+      for (const Path& path : paths)
+        for (EdgeId e : path.edges) loads.add(e, w);
+    }
+  }
+  return loads;
+}
+
+namespace {
+
+/// Adds `weight` to every link of the correction segment of dimension
+/// `dim` starting at `node`, moving toward coordinate `to` in direction
+/// `dir`.  Returns the node where the segment ends.
+NodeId add_segment(const Torus& torus, LoadMap& loads, NodeId node, i32 dim,
+                   i32 to, Dir dir, double weight) {
+  const i32 from = torus.coord_of(node, dim);
+  const i64 steps = steps_in_dir(torus, dim, from, to, dir);
+  NodeId cur = node;
+  for (i64 s = 0; s < steps; ++s) {
+    loads.add(torus.edge_id(cur, dim, dir), weight);
+    cur = torus.neighbor(cur, dim, dir);
+  }
+  return cur;
+}
+
+}  // namespace
+
+LoadMap odr_loads(const Torus& torus, const Placement& p, TieBreak tie) {
+  SmallVec<i32> identity;
+  for (i32 dim = 0; dim < torus.dims(); ++dim) identity.push_back(dim);
+  return odr_loads_ordered(torus, p, identity, tie);
+}
+
+namespace {
+
+/// Accumulates ODR contributions of sources p.nodes()[src_lo..src_hi).
+void accumulate_odr(const Torus& torus, const Placement& p,
+                    const SmallVec<i32>& order, TieBreak tie,
+                    LoadMap& loads, i64 src_lo, i64 src_hi);
+
+/// Accumulates UDR contributions of sources p.nodes()[src_lo..src_hi).
+void accumulate_udr(const Torus& torus, const Placement& p, TieBreak tie,
+                    LoadMap& loads, i64 src_lo, i64 src_hi);
+
+}  // namespace
+
+LoadMap odr_loads_ordered(const Torus& torus, const Placement& p,
+                          const SmallVec<i32>& order, TieBreak tie) {
+  p.check_torus(torus);
+  OdrRouter(order, tie).correction_order(torus);  // validate permutation
+  LoadMap loads(torus);
+  accumulate_odr(torus, p, order, tie, loads, 0, p.size());
+  return loads;
+}
+
+LoadMap odr_loads_parallel(const Torus& torus, const Placement& p,
+                           i32 threads, TieBreak tie) {
+  p.check_torus(torus);
+  SmallVec<i32> order;
+  for (i32 dim = 0; dim < torus.dims(); ++dim) order.push_back(dim);
+  std::vector<LoadMap> partial(static_cast<std::size_t>(threads),
+                               LoadMap(torus));
+  parallel_for_blocks(p.size(), threads, [&](i32 worker, i64 lo, i64 hi) {
+    accumulate_odr(torus, p, order, tie,
+                   partial[static_cast<std::size_t>(worker)], lo, hi);
+  });
+  LoadMap loads(torus);
+  for (const LoadMap& part : partial)
+    for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
+      loads.add(e, part[e]);
+  return loads;
+}
+
+LoadMap udr_loads_parallel(const Torus& torus, const Placement& p,
+                           i32 threads, TieBreak tie) {
+  p.check_torus(torus);
+  std::vector<LoadMap> partial(static_cast<std::size_t>(threads),
+                               LoadMap(torus));
+  parallel_for_blocks(p.size(), threads, [&](i32 worker, i64 lo, i64 hi) {
+    accumulate_udr(torus, p, tie, partial[static_cast<std::size_t>(worker)],
+                   lo, hi);
+  });
+  LoadMap loads(torus);
+  for (const LoadMap& part : partial)
+    for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
+      loads.add(e, part[e]);
+  return loads;
+}
+
+namespace {
+
+void accumulate_odr(const Torus& torus, const Placement& p,
+                    const SmallVec<i32>& order, TieBreak tie,
+                    LoadMap& loads, i64 src_lo, i64 src_hi) {
+  for (i64 si = src_lo; si < src_hi; ++si) {
+    const NodeId src = p.nodes()[static_cast<std::size_t>(si)];
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      // Dimensions are corrected in order; the node state entering each
+      // dimension is deterministic (earlier dims at dst, later at src)
+      // regardless of any tie direction taken earlier, so each dimension's
+      // segment(s) can be walked independently.
+      NodeId node = src;
+      for (std::size_t idx = 0; idx < order.size(); ++idx) {
+        const i32 dim = order[idx];
+        const i32 a = torus.coord_of(node, dim);
+        const i32 b = torus.coord_of(dst, dim);
+        const auto dirs = allowed_dirs(torus, dim, a, b, tie);
+        if (dirs.empty()) continue;
+        const double w = 1.0 / static_cast<double>(dirs.size());
+        NodeId next = node;
+        for (std::size_t i = 0; i < dirs.size(); ++i) {
+          const Dir dir = dirs[i] > 0 ? Dir::Pos : Dir::Neg;
+          next = add_segment(torus, loads, node, dim, b, dir, w);
+        }
+        node = next;
+      }
+      TP_ASSERT(node == dst, "ODR load walk did not reach destination");
+    }
+  }
+}
+
+void accumulate_udr(const Torus& torus, const Placement& p, TieBreak tie,
+                    LoadMap& loads, i64 src_lo, i64 src_hi) {
+  // Precompute m!(s-1-m)!/s! for all m < s <= kMaxDims.
+  double order_weight[kMaxDims + 1][kMaxDims] = {};
+  for (std::size_t s = 1; s <= kMaxDims; ++s)
+    for (std::size_t m = 0; m < s; ++m)
+      order_weight[s][m] =
+          static_cast<double>(factorial(static_cast<i64>(m)) *
+                              factorial(static_cast<i64>(s - 1 - m))) /
+          static_cast<double>(factorial(static_cast<i64>(s)));
+
+  for (i64 si = src_lo; si < src_hi; ++si) {
+    const NodeId src = p.nodes()[static_cast<std::size_t>(si)];
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      const SmallVec<i32> diff = UdrRouter::differing_dims(torus, src, dst);
+      const std::size_t s = diff.size();
+      // For each dimension j being corrected, and each subset S of the
+      // other differing dimensions corrected before j, the walk enters the
+      // j-segment at the node whose S-dims sit at dst and the rest at src.
+      // That state is independent of the directions taken in S, so the
+      // direction choice only matters for the j-segment itself.
+      for (std::size_t ji = 0; ji < s; ++ji) {
+        const i32 j = diff[ji];
+        const i32 a = torus.coord_of(src, j);
+        const i32 b = torus.coord_of(dst, j);
+        const auto dirs = allowed_dirs(torus, j, a, b, tie);
+        TP_ASSERT(!dirs.empty(), "differing dim with no direction");
+        const double dir_w = 1.0 / static_cast<double>(dirs.size());
+        // Other differing dims, as a compact array for subset masking.
+        SmallVec<i32> others;
+        for (std::size_t i = 0; i < s; ++i)
+          if (i != ji) others.push_back(diff[i]);
+        const int n_others = static_cast<int>(others.size());
+        for_each_subset(n_others, [&](std::uint32_t mask) {
+          const double w =
+              order_weight[s][static_cast<std::size_t>(popcount32(mask))] *
+              dir_w;
+          // Build the entry node: dims in mask already corrected to dst.
+          NodeId node = src;
+          for (int oi = 0; oi < n_others; ++oi) {
+            if (!(mask & (1u << oi))) continue;
+            const i32 od = others[static_cast<std::size_t>(oi)];
+            const i64 stride_move =
+                static_cast<i64>(torus.coord_of(dst, od)) -
+                torus.coord_of(node, od);
+            // Move coordinate od of node to dst's value.
+            node = torus.node_id([&] {
+              Coord c = torus.coord(node);
+              c[static_cast<std::size_t>(od)] = torus.coord_of(dst, od);
+              return c;
+            }());
+            (void)stride_move;
+          }
+          for (std::size_t di = 0; di < dirs.size(); ++di) {
+            const Dir dir = dirs[di] > 0 ? Dir::Pos : Dir::Neg;
+            add_segment(torus, loads, node, j, b, dir, w);
+          }
+        });
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LoadMap udr_loads(const Torus& torus, const Placement& p, TieBreak tie) {
+  p.check_torus(torus);
+  LoadMap loads(torus);
+  accumulate_udr(torus, p, tie, loads, 0, p.size());
+  return loads;
+}
+
+LoadMap udr_loads_enumerated(const Torus& torus, const Placement& p,
+                             TieBreak tie) {
+  p.check_torus(torus);
+  UdrRouter router(tie);
+  return reference_loads(torus, p, router);
+}
+
+LoadMap adaptive_loads(const Torus& torus, const Placement& p) {
+  p.check_torus(torus);
+  LoadMap loads(torus);
+  const std::size_t d = static_cast<std::size_t>(torus.dims());
+
+  for (NodeId src : p.nodes()) {
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      // Per-dimension arc lengths and tie flags.
+      SmallVec<i64> len(d, 0);
+      SmallVec<i32> tie_dim;
+      i64 total = 0;
+      for (std::size_t i = 0; i < d; ++i) {
+        const i32 dim = static_cast<i32>(i);
+        len[i] = torus.cyclic_dist(dim, torus.coord_of(src, dim),
+                                   torus.coord_of(dst, dim));
+        total += len[i];
+        if (torus.shortest_way(dim, torus.coord_of(src, dim),
+                               torus.coord_of(dst, dim)) == Way::Tie)
+          tie_dim.push_back(dim);
+      }
+      // Base multinomial: number of interleavings for one direction
+      // commitment (identical for every commitment since arc lengths match).
+      double m_base = 1.0;
+      {
+        i64 remaining = total;
+        for (std::size_t i = 0; i < d; ++i) {
+          m_base *= static_cast<double>(binomial(remaining, len[i]));
+          remaining -= len[i];
+        }
+      }
+      const double commit_w =
+          1.0 / static_cast<double>(powi(2, static_cast<i64>(tie_dim.size())));
+
+      // Enumerate direction commitments for tie dims.
+      for_each_subset(static_cast<int>(tie_dim.size()), [&](std::uint32_t mask) {
+        SmallVec<i32> dir(d, 0);
+        for (std::size_t i = 0; i < d; ++i) {
+          if (len[i] == 0) continue;
+          const i32 dim = static_cast<i32>(i);
+          const Way way = torus.shortest_way(dim, torus.coord_of(src, dim),
+                                             torus.coord_of(dst, dim));
+          dir[i] = (way == Way::Neg) ? -1 : +1;
+        }
+        for (std::size_t t = 0; t < tie_dim.size(); ++t)
+          if (mask & (1u << t))
+            dir[static_cast<std::size_t>(tie_dim[t])] = -1;
+
+        // Walk the corridor: positions 0..len[i] along each dimension.
+        Radices pos_radix(d, 1);
+        for (std::size_t i = 0; i < d; ++i)
+          pos_radix[i] = static_cast<i32>(len[i] + 1);
+        for (NdRange r(pos_radix); !r.done(); r.next()) {
+          const Coord& pos = r.coord();
+          // Node at this corridor position, and path counts to/from it.
+          Coord c = torus.coord(src);
+          double m_to = 1.0, m_from = 1.0;
+          i64 steps_to = 0, steps_from = 0;
+          for (std::size_t i = 0; i < d; ++i) {
+            steps_to += pos[i];
+            steps_from += len[i] - pos[i];
+          }
+          {
+            i64 rem = steps_to;
+            for (std::size_t i = 0; i < d; ++i) {
+              m_to *= static_cast<double>(binomial(rem, pos[i]));
+              rem -= pos[i];
+            }
+            rem = steps_from;
+            for (std::size_t i = 0; i < d; ++i) {
+              m_from *= static_cast<double>(binomial(rem, len[i] - pos[i]));
+              rem -= len[i] - pos[i];
+            }
+          }
+          for (std::size_t i = 0; i < d; ++i) {
+            const i64 k = torus.radix(static_cast<i32>(i));
+            c[i] = static_cast<i32>(
+                mod_norm(c[i] + dir[i] * static_cast<i64>(pos[i]), k));
+          }
+          const NodeId u = torus.node_id(c);
+          // One outgoing corridor edge per dimension with remaining steps.
+          for (std::size_t i = 0; i < d; ++i) {
+            if (pos[i] == len[i] || len[i] == 0) continue;
+            // Fraction of paths using edge u->u+dir_i: paths to u times
+            // paths from the edge head to dst, over all paths.  The head's
+            // remaining steps differ from u's only in dimension i.
+            const double m_from_head =
+                m_from * static_cast<double>(len[i] - pos[i]) /
+                static_cast<double>(steps_from);
+            const double frac = m_to * m_from_head / m_base;
+            const Dir dd = dir[i] > 0 ? Dir::Pos : Dir::Neg;
+            loads.add(torus.edge_id(u, static_cast<i32>(i), dd),
+                      commit_w * frac);
+          }
+        }
+      });
+    }
+  }
+  return loads;
+}
+
+double expected_total_load(const Torus& torus, const Placement& p) {
+  p.check_torus(torus);
+  double sum = 0.0;
+  for (NodeId a : p.nodes())
+    for (NodeId b : p.nodes())
+      if (a != b) sum += static_cast<double>(torus.lee_distance(a, b));
+  return sum;
+}
+
+}  // namespace tp

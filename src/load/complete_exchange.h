@@ -1,0 +1,74 @@
+// Exact per-link loads under complete exchange (all-to-all personalized
+// communication), Definition 4 of the paper:
+//
+//   E(l) = sum over ordered pairs p != q of |C_{p->l->q}| / |C_{p->q}|.
+//
+// `reference_loads` implements the definition literally through the Router
+// interface (enumerate every path of every pair) — the oracle the fast
+// paths are tested against.  The specialized functions compute identical
+// numbers without enumerating path sets:
+//
+//   odr_loads      O(|P|^2 · d · k)          canonical segment walk
+//   udr_loads      O(|P|^2 · s·2^s · k)      subset-weighted segment walk
+//   adaptive_loads O(|P|^2 · corridor size)  multinomial path fractions
+//
+// udr_loads_enumerated keeps the s!-enumeration variant alive as a second
+// independent implementation for cross-checking.
+
+#pragma once
+
+#include "src/load/load_map.h"
+#include "src/placement/placement.h"
+#include "src/routing/router.h"
+
+namespace tp {
+
+/// Literal Definition 4 via Router::paths().  Exact but slow; intended for
+/// tests and tiny instances.
+LoadMap reference_loads(const Torus& torus, const Placement& p,
+                        const Router& router);
+
+/// Loads under Ordered Dimensional Routing (Section 6).
+LoadMap odr_loads(const Torus& torus, const Placement& p,
+                  TieBreak tie = TieBreak::PositiveOnly);
+
+/// Loads under ODR correcting dimensions in a custom order (a permutation
+/// of 0..d-1).  odr_loads(t, p, tie) is the identity-order special case.
+LoadMap odr_loads_ordered(const Torus& torus, const Placement& p,
+                          const SmallVec<i32>& order,
+                          TieBreak tie = TieBreak::PositiveOnly);
+
+/// Loads under Unordered Dimensional Routing (Section 7), computed with
+/// subset weights: correcting dimension j after the subset S of the other
+/// differing dimensions happens in |S|!(s-1-|S|)!/s! of all orders.
+LoadMap udr_loads(const Torus& torus, const Placement& p,
+                  TieBreak tie = TieBreak::PositiveOnly);
+
+/// Loads under UDR by explicit enumeration of all s! correction orders.
+/// Same result as udr_loads; exists as an independent cross-check.
+LoadMap udr_loads_enumerated(const Torus& torus, const Placement& p,
+                             TieBreak tie = TieBreak::PositiveOnly);
+
+/// Loads under fully adaptive minimal routing: each pair spreads one unit
+/// of traffic over all its minimal paths uniformly.
+LoadMap adaptive_loads(const Torus& torus, const Placement& p);
+
+/// Multi-threaded ODR loads: partitions the source processors over
+/// `threads` workers, each accumulating into a private map, then reduces.
+/// Bit-identical to odr_loads (per-link sums commute over sources whose
+/// contributions are integers or exact halves).
+LoadMap odr_loads_parallel(const Torus& torus, const Placement& p,
+                           i32 threads,
+                           TieBreak tie = TieBreak::PositiveOnly);
+
+/// Multi-threaded UDR loads.  Matches udr_loads up to reduction-order
+/// rounding (~1 ulp: weights like 1/3 are not exactly representable).
+LoadMap udr_loads_parallel(const Torus& torus, const Placement& p,
+                           i32 threads,
+                           TieBreak tie = TieBreak::PositiveOnly);
+
+/// The value total_load() must equal for any minimal router: the sum of
+/// Lee distances over all ordered processor pairs.
+double expected_total_load(const Torus& torus, const Placement& p);
+
+}  // namespace tp

@@ -1,0 +1,132 @@
+#include "src/load/exact_loads.h"
+
+#include <algorithm>
+
+#include "src/routing/odr.h"
+#include "src/routing/udr.h"
+#include "src/util/combinatorics.h"
+#include "src/util/error.h"
+
+namespace tp {
+
+using routing_detail::allowed_dirs;
+using routing_detail::steps_in_dir;
+
+Rational ExactLoadMap::max_load() const {
+  Rational best;
+  for (const Rational& v : loads_)
+    if (v > best) best = v;
+  return best;
+}
+
+Rational ExactLoadMap::total_load() const {
+  Rational sum;
+  for (const Rational& v : loads_) sum += v;
+  return sum;
+}
+
+LoadMap ExactLoadMap::to_load_map(const Torus& torus) const {
+  LoadMap map(torus);
+  for (std::size_t i = 0; i < loads_.size(); ++i)
+    map.add(static_cast<EdgeId>(i), loads_[i].to_double());
+  return map;
+}
+
+namespace {
+
+NodeId add_segment(const Torus& torus, ExactLoadMap& loads, NodeId node,
+                   i32 dim, i32 to, Dir dir, const Rational& weight) {
+  const i32 from = torus.coord_of(node, dim);
+  const i64 steps = steps_in_dir(torus, dim, from, to, dir);
+  NodeId cur = node;
+  for (i64 s = 0; s < steps; ++s) {
+    loads.add(torus.edge_id(cur, dim, dir), weight);
+    cur = torus.neighbor(cur, dim, dir);
+  }
+  return cur;
+}
+
+}  // namespace
+
+ExactLoadMap odr_loads_exact(const Torus& torus, const Placement& p,
+                             TieBreak tie) {
+  p.check_torus(torus);
+  ExactLoadMap loads(torus);
+  for (NodeId src : p.nodes()) {
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      NodeId node = src;
+      for (i32 dim = 0; dim < torus.dims(); ++dim) {
+        const i32 a = torus.coord_of(node, dim);
+        const i32 b = torus.coord_of(dst, dim);
+        const auto dirs = allowed_dirs(torus, dim, a, b, tie);
+        if (dirs.empty()) continue;
+        const Rational w(1, static_cast<i64>(dirs.size()));
+        NodeId next = node;
+        for (std::size_t i = 0; i < dirs.size(); ++i) {
+          const Dir dir = dirs[i] > 0 ? Dir::Pos : Dir::Neg;
+          next = add_segment(torus, loads, node, dim, b, dir, w);
+        }
+        node = next;
+      }
+      TP_ASSERT(node == dst, "exact ODR walk did not reach destination");
+    }
+  }
+  return loads;
+}
+
+ExactLoadMap udr_loads_exact(const Torus& torus, const Placement& p,
+                             TieBreak tie) {
+  p.check_torus(torus);
+  ExactLoadMap loads(torus);
+  for (NodeId src : p.nodes()) {
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      const SmallVec<i32> diff = UdrRouter::differing_dims(torus, src, dst);
+      const std::size_t s = diff.size();
+      const i64 s_fact = factorial(static_cast<i64>(s));
+      for (std::size_t ji = 0; ji < s; ++ji) {
+        const i32 j = diff[ji];
+        const i32 a = torus.coord_of(src, j);
+        const i32 b = torus.coord_of(dst, j);
+        const auto dirs = allowed_dirs(torus, j, a, b, tie);
+        TP_ASSERT(!dirs.empty(), "differing dim with no direction");
+        SmallVec<i32> others;
+        for (std::size_t i = 0; i < s; ++i)
+          if (i != ji) others.push_back(diff[i]);
+        const int n_others = static_cast<int>(others.size());
+        for_each_subset(n_others, [&](std::uint32_t mask) {
+          const i64 m = popcount32(mask);
+          const Rational w =
+              Rational(factorial(m) * factorial(static_cast<i64>(s) - 1 - m),
+                       s_fact) /
+              Rational(static_cast<i64>(dirs.size()));
+          NodeId node = src;
+          for (int oi = 0; oi < n_others; ++oi) {
+            if (!(mask & (1u << oi))) continue;
+            const i32 od = others[static_cast<std::size_t>(oi)];
+            Coord c = torus.coord(node);
+            c[static_cast<std::size_t>(od)] = torus.coord_of(dst, od);
+            node = torus.node_id(c);
+          }
+          for (std::size_t di = 0; di < dirs.size(); ++di) {
+            const Dir dir = dirs[di] > 0 ? Dir::Pos : Dir::Neg;
+            add_segment(torus, loads, node, j, b, dir, w);
+          }
+        });
+      }
+    }
+  }
+  return loads;
+}
+
+Rational expected_total_load_exact(const Torus& torus, const Placement& p) {
+  p.check_torus(torus);
+  Rational sum;
+  for (NodeId a : p.nodes())
+    for (NodeId b : p.nodes())
+      if (a != b) sum += Rational(torus.lee_distance(a, b));
+  return sum;
+}
+
+}  // namespace tp

@@ -1,0 +1,93 @@
+#include "src/placement/factory.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/placement/io.h"
+#include "src/placement/modular.h"
+#include "src/util/error.h"
+
+namespace tp {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) parts.push_back(item);
+  return parts;
+}
+
+i64 to_int(const std::string& s) {
+  TP_REQUIRE(!s.empty(), "empty numeric argument in placement spec");
+  char* end = nullptr;
+  const i64 v = std::strtoll(s.c_str(), &end, 10);
+  TP_REQUIRE(end != nullptr && *end == '\0',
+             "malformed number '" + s + "' in placement spec");
+  return v;
+}
+
+}  // namespace
+
+Placement make_placement(const Torus& torus, const std::string& spec) {
+  if (spec.rfind("file:", 0) == 0)
+    return load_placement(spec.substr(5), torus);
+  const auto parts = split(spec, ':');
+  TP_REQUIRE(!parts.empty(), "empty placement spec");
+  const std::string& family = parts[0];
+  const std::size_t nargs = parts.size() - 1;
+
+  auto arg = [&](std::size_t i) { return to_int(parts[i + 1]); };
+
+  if (family == "linear") {
+    TP_REQUIRE(nargs <= 1, "linear takes at most one argument");
+    return linear_placement(torus,
+                            nargs >= 1 ? static_cast<i32>(arg(0)) : 0);
+  }
+  if (family == "multiple") {
+    TP_REQUIRE(nargs == 1, "multiple needs t");
+    return multiple_linear_placement(torus, static_cast<i32>(arg(0)));
+  }
+  if (family == "diagonal") {
+    TP_REQUIRE(nargs <= 1, "diagonal takes at most one argument");
+    return shifted_diagonal_placement(
+        torus, nargs >= 1 ? static_cast<i32>(arg(0)) : 0);
+  }
+  if (family == "full") {
+    TP_REQUIRE(nargs == 0, "full takes no arguments");
+    return full_population(torus);
+  }
+  if (family == "random") {
+    TP_REQUIRE(nargs >= 1 && nargs <= 2, "random needs n and optional seed");
+    return random_placement(torus, arg(0),
+                            nargs >= 2 ? static_cast<u64>(arg(1)) : 1);
+  }
+  if (family == "clustered") {
+    TP_REQUIRE(nargs == 1, "clustered needs n");
+    return clustered_placement(torus, arg(0));
+  }
+  if (family == "subtorus") {
+    TP_REQUIRE(nargs == 2, "subtorus needs dim and value");
+    return subtorus_placement(torus, static_cast<i32>(arg(0)),
+                              static_cast<i32>(arg(1)));
+  }
+  if (family == "perfect_lee") {
+    TP_REQUIRE(nargs == 0, "perfect_lee takes no arguments");
+    return perfect_lee_placement(torus);
+  }
+  if (family == "modular") {
+    TP_REQUIRE(nargs >= 1 && nargs <= 2, "modular needs m and optional c");
+    SmallVec<i32> coeffs(static_cast<std::size_t>(torus.dims()), 1);
+    return modular_placement(torus, coeffs, static_cast<i32>(arg(0)),
+                             nargs >= 2 ? static_cast<i32>(arg(1)) : 0);
+  }
+  throw Error("unknown placement family '" + family + "'");
+}
+
+std::vector<std::string> placement_family_names() {
+  return {"linear",    "multiple", "diagonal",    "full",    "random",
+          "clustered", "subtorus", "perfect_lee", "modular", "file"};
+}
+
+}  // namespace tp

@@ -1,0 +1,36 @@
+// Placement factory: build placements from textual specs.
+//
+// Used by the CLI and the experiment harness so every placement family in
+// the library is addressable by name:
+//
+//   "linear"            all-ones linear placement, residue 0
+//   "linear:c"          all-ones linear placement, residue c
+//   "multiple:t"        union of residues 0..t-1
+//   "diagonal"          shifted diagonal (Blaum et al. baseline)
+//   "diagonal:shift"
+//   "full"              every node
+//   "random:n[:seed]"   uniform random subset
+//   "clustered:n"       first n node ids
+//   "subtorus:dim:v"    one principal subtorus
+//   "perfect_lee"       the 5|k perfect Lee code on T_k^2
+//   "modular:m[:c]"     all-ones congruence modulo m (m | k)
+//   "file:<path>"       placement saved with save_placement (io.h)
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/placement/placement.h"
+
+namespace tp {
+
+/// Parses a spec and builds the placement.  Throws tp::Error on unknown
+/// family names, malformed arguments, or family preconditions (e.g.
+/// "perfect_lee" on a torus without 5 | k).
+Placement make_placement(const Torus& torus, const std::string& spec);
+
+/// The family names make_placement accepts (for help text).
+std::vector<std::string> placement_family_names();
+
+}  // namespace tp

@@ -1,0 +1,96 @@
+#include "src/placement/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+namespace {
+constexpr const char* kMagic = "torusplace-placement v1";
+}
+
+void write_placement(std::ostream& os, const Torus& torus,
+                     const Placement& p) {
+  p.check_torus(torus);
+  os << kMagic << "\n";
+  os << "radices";
+  for (i32 d = 0; d < torus.dims(); ++d) os << ' ' << torus.radix(d);
+  os << "\n";
+  os << "name " << p.name() << "\n";
+  os << "nodes " << p.size() << "\n";
+  for (NodeId n : p.nodes()) {
+    const Coord c = torus.coord(n);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << c[i];
+    }
+    os << "\n";
+  }
+  TP_REQUIRE(os.good(), "placement write failed");
+}
+
+Placement read_placement(std::istream& is, const Torus& torus) {
+  std::string line;
+  TP_REQUIRE(std::getline(is, line) && line == kMagic,
+             "not a torusplace placement file");
+
+  TP_REQUIRE(std::getline(is, line), "missing radices line");
+  {
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    TP_REQUIRE(tag == "radices", "expected radices line");
+    for (i32 d = 0; d < torus.dims(); ++d) {
+      i32 k = 0;
+      TP_REQUIRE(static_cast<bool>(ss >> k), "radices line too short");
+      TP_REQUIRE(k == torus.radix(d),
+                 "placement was saved for a different torus");
+    }
+    i32 extra = 0;
+    TP_REQUIRE(!(ss >> extra), "radices line too long");
+  }
+
+  TP_REQUIRE(std::getline(is, line) && line.rfind("name ", 0) == 0,
+             "missing name line");
+  std::string name = line.substr(5);
+
+  TP_REQUIRE(std::getline(is, line) && line.rfind("nodes ", 0) == 0,
+             "missing nodes line");
+  const i64 count = std::strtoll(line.c_str() + 6, nullptr, 10);
+  TP_REQUIRE(count >= 0 && count <= torus.num_nodes(),
+             "implausible node count");
+
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(count));
+  for (i64 i = 0; i < count; ++i) {
+    TP_REQUIRE(std::getline(is, line), "truncated placement file");
+    std::istringstream ss(line);
+    Coord c;
+    for (i32 d = 0; d < torus.dims(); ++d) {
+      i32 v = 0;
+      TP_REQUIRE(static_cast<bool>(ss >> v), "coordinate line too short");
+      c.push_back(v);
+    }
+    nodes.push_back(torus.node_id(c));  // validates ranges
+  }
+  Placement p(torus, std::move(nodes), std::move(name));
+  TP_REQUIRE(p.size() == count, "duplicate nodes in placement file");
+  return p;
+}
+
+void save_placement(const std::string& path, const Torus& torus,
+                    const Placement& p) {
+  std::ofstream os(path);
+  TP_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  write_placement(os, torus, p);
+}
+
+Placement load_placement(const std::string& path, const Torus& torus) {
+  std::ifstream is(path);
+  TP_REQUIRE(is.good(), "cannot open '" + path + "'");
+  return read_placement(is, torus);
+}
+
+}  // namespace tp

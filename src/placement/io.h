@@ -1,0 +1,37 @@
+// Placement serialization.
+//
+// A small line-oriented text format so placements survive across runs and
+// can be passed between the CLI, the examples, and external tools:
+//
+//   torusplace-placement v1
+//   radices <k_1> <k_2> ... <k_d>
+//   name <free text until end of line>
+//   nodes <count>
+//   <coordinate tuple per line, d integers>
+//
+// Loading validates the torus shape against the torus the caller supplies
+// (a placement is meaningless on a different torus).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/placement/placement.h"
+
+namespace tp {
+
+/// Writes the placement in the format above.
+void write_placement(std::ostream& os, const Torus& torus,
+                     const Placement& p);
+
+/// Parses a placement; throws tp::Error on malformed input or if the
+/// stored radices differ from `torus`.
+Placement read_placement(std::istream& is, const Torus& torus);
+
+/// File convenience wrappers.
+void save_placement(const std::string& path, const Torus& torus,
+                    const Placement& p);
+Placement load_placement(const std::string& path, const Torus& torus);
+
+}  // namespace tp

@@ -1,0 +1,84 @@
+#include "src/placement/modular.h"
+
+#include "src/util/error.h"
+
+namespace tp {
+
+Placement modular_placement(const Torus& torus, const SmallVec<i32>& coeffs,
+                            i32 m, i32 c) {
+  TP_REQUIRE(coeffs.size() == static_cast<std::size_t>(torus.dims()),
+             "one coefficient per dimension required");
+  TP_REQUIRE(m >= 2, "modulus must be >= 2");
+  for (i32 dim = 0; dim < torus.dims(); ++dim)
+    TP_REQUIRE(torus.radix(dim) % m == 0,
+               "modulus must divide every radix (congruence must respect "
+               "wrap-around)");
+  bool any_coprime = false;
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    if (is_coprime(coeffs[i], m)) any_coprime = true;
+  TP_REQUIRE(any_coprime, "at least one coefficient must be coprime to m");
+
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < torus.num_nodes(); ++n) {
+    i64 sum = 0;
+    for (i32 dim = 0; dim < torus.dims(); ++dim)
+      sum += static_cast<i64>(coeffs[static_cast<std::size_t>(dim)]) *
+             torus.coord_of(n, dim);
+    if (mod_norm(sum, m) == mod_norm(c, m)) nodes.push_back(n);
+  }
+  return Placement(torus, std::move(nodes),
+                   "modular(m=" + std::to_string(m) +
+                       ",c=" + std::to_string(mod_norm(c, m)) + ")");
+}
+
+Placement perfect_lee_placement(const Torus& torus) {
+  TP_REQUIRE(torus.dims() == 2, "perfect Lee placement defined on T_k^2");
+  TP_REQUIRE(torus.is_uniform_radix() && torus.radix(0) % 5 == 0,
+             "perfect Lee placement requires 5 | k");
+  Placement p = modular_placement(torus, SmallVec<i32>{1, 2}, 5, 0);
+  return Placement(torus, p.nodes(), "perfect_lee");
+}
+
+Placement diagonal_placement_mixed(const Torus& torus, i32 dim, i32 c) {
+  TP_REQUIRE(dim >= 0 && dim < torus.dims(), "dimension out of range");
+  const i32 kj = torus.radix(dim);
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < torus.num_nodes(); ++n) {
+    i64 others = 0;
+    for (i32 i = 0; i < torus.dims(); ++i)
+      if (i != dim) others += torus.coord_of(n, i);
+    if (torus.coord_of(n, dim) == mod_norm(c + others, kj))
+      nodes.push_back(n);
+  }
+  return Placement(torus, std::move(nodes),
+                   "diagonal_mixed(dim=" + std::to_string(dim) +
+                       ",c=" + std::to_string(mod_norm(c, kj)) + ")");
+}
+
+bool is_dominating(const Torus& torus, const Placement& p, i64 radius) {
+  p.check_torus(torus);
+  for (NodeId n = 0; n < torus.num_nodes(); ++n) {
+    bool covered = false;
+    for (NodeId proc : p.nodes())
+      if (torus.lee_distance(n, proc) <= radius) {
+        covered = true;
+        break;
+      }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool is_perfect_dominating(const Torus& torus, const Placement& p,
+                           i64 radius) {
+  p.check_torus(torus);
+  for (NodeId n = 0; n < torus.num_nodes(); ++n) {
+    i64 covering = 0;
+    for (NodeId proc : p.nodes())
+      if (torus.lee_distance(n, proc) <= radius) ++covering;
+    if (covering != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace tp

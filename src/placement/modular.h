@@ -1,0 +1,52 @@
+// Generalized modular placements — the Section 8 directions.
+//
+// Two families beyond Definition 10:
+//
+//  * modular_placement:  { p : c_1 p_1 + ... + c_d p_d == c (mod m) } with
+//    the modulus m dividing k instead of equal to it.  Size k^d / m.  For
+//    (c_i) = (1, 2), m = 5, d = 2 this is the classical perfect Lee code:
+//    every node of T_k^2 (5 | k) is within Lee distance 1 of exactly one
+//    processor — the resource-placement connection to Bose et al. the
+//    paper cites.
+//
+//  * diagonal_placement_mixed:  the linear placement transplanted to
+//    mixed-radix tori T_{k_1 x ... x k_d}: fix a dimension j and place
+//    processors where p_j == c + sum_{i != j} p_i (mod k_j).  Size
+//    N / k_j, and uniform along every dimension other than j (along j
+//    itself exactly when some other radix is a multiple of k_j).  One
+//    uniform dimension is all the generalized Theorem 1 needs for its
+//    bisection, so the linear-load machinery carries over to unequal
+//    radices — the paper's Section 8 direction.
+
+#pragma once
+
+#include "src/placement/placement.h"
+
+namespace tp {
+
+/// Placement cut out by a linear congruence modulo m, where m must divide
+/// every radix of the torus (so the congruence respects wrap-around).
+/// At least one coefficient must be coprime to m; size is N / m.
+Placement modular_placement(const Torus& torus, const SmallVec<i32>& coeffs,
+                            i32 m, i32 c = 0);
+
+/// The perfect Lee-sphere placement on T_k^2 (requires 5 | k): coeffs
+/// (1, 2) modulo 5.  Every node is within Lee distance 1 of exactly one
+/// processor.
+Placement perfect_lee_placement(const Torus& torus);
+
+/// Mixed-radix diagonal placement: processors where
+///   p_dim == c + sum_{i != dim} p_i  (mod radix(dim)).
+/// Size N / radix(dim); uniform along every dimension other than `dim`.
+Placement diagonal_placement_mixed(const Torus& torus, i32 dim, i32 c = 0);
+
+/// True when every node of the torus is within Lee distance `radius` of at
+/// least one processor (a distance-`radius` dominating set).
+bool is_dominating(const Torus& torus, const Placement& p, i64 radius);
+
+/// True when every node is within Lee distance `radius` of *exactly* one
+/// processor (a perfect placement / perfect Lee code).
+bool is_perfect_dominating(const Torus& torus, const Placement& p,
+                           i64 radius);
+
+}  // namespace tp

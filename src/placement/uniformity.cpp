@@ -1,0 +1,37 @@
+#include "src/placement/uniformity.h"
+
+#include "src/util/error.h"
+
+namespace tp {
+
+std::vector<i64> subtorus_counts(const Torus& torus, const Placement& p,
+                                 i32 dim) {
+  p.check_torus(torus);
+  TP_REQUIRE(dim >= 0 && dim < torus.dims(), "dimension out of range");
+  std::vector<i64> counts(static_cast<std::size_t>(torus.radix(dim)), 0);
+  for (NodeId n : p.nodes())
+    ++counts[static_cast<std::size_t>(torus.coord_of(n, dim))];
+  return counts;
+}
+
+bool is_uniform_along(const Torus& torus, const Placement& p, i32 dim) {
+  const auto counts = subtorus_counts(torus, p, dim);
+  for (std::size_t i = 1; i < counts.size(); ++i)
+    if (counts[i] != counts[0]) return false;
+  return true;
+}
+
+bool is_uniform(const Torus& torus, const Placement& p) {
+  for (i32 d = 0; d < torus.dims(); ++d)
+    if (!is_uniform_along(torus, p, d)) return false;
+  return true;
+}
+
+std::vector<i32> uniform_dimensions(const Torus& torus, const Placement& p) {
+  std::vector<i32> dims;
+  for (i32 d = 0; d < torus.dims(); ++d)
+    if (is_uniform_along(torus, p, d)) dims.push_back(d);
+  return dims;
+}
+
+}  // namespace tp

@@ -1,0 +1,33 @@
+// Uniformity of placements (Section 2 of the paper).
+//
+// A placement is *uniform* when every principal subtorus of the torus
+// contains the same number of its processors.  Theorem 1's 4k^{d-1}
+// bisection construction relies on this property (in fact only on it
+// holding along a single dimension, which `uniform_dimensions` exposes).
+
+#pragma once
+
+#include <vector>
+
+#include "src/placement/placement.h"
+#include "src/torus/torus.h"
+
+namespace tp {
+
+/// Processor count of the placement inside each principal subtorus along
+/// `dim`: entry v counts processors with coordinate v in that dimension.
+std::vector<i64> subtorus_counts(const Torus& torus, const Placement& p,
+                                 i32 dim);
+
+/// True when all principal subtori along `dim` hold equally many processors.
+bool is_uniform_along(const Torus& torus, const Placement& p, i32 dim);
+
+/// True when the placement is uniform along every dimension (the paper's
+/// "uniform placement").
+bool is_uniform(const Torus& torus, const Placement& p);
+
+/// The dimensions along which the placement is uniform.  Theorem 1 only
+/// needs this list to be non-empty.
+std::vector<i32> uniform_dimensions(const Torus& torus, const Placement& p);
+
+}  // namespace tp

@@ -1,0 +1,145 @@
+#include "src/routing/adaptive.h"
+
+#include "src/util/error.h"
+
+namespace tp {
+
+using routing_detail::steps_in_dir;
+
+namespace {
+
+/// Per-dimension travel plan: committed direction and number of steps.
+struct DimPlan {
+  Dir dir = Dir::Pos;
+  i64 steps = 0;
+};
+
+/// Enumerate direction commitments for tie dimensions; call fn(plans).
+template <typename Fn>
+void for_each_commitment(const Torus& torus, NodeId p, NodeId q, Fn&& fn) {
+  SmallVec<i32> tie_dims;
+  SmallVec<DimPlan, kMaxDims> plans(
+      static_cast<std::size_t>(torus.dims()), DimPlan{});
+  for (i32 d = 0; d < torus.dims(); ++d) {
+    const i32 a = torus.coord_of(p, d);
+    const i32 b = torus.coord_of(q, d);
+    auto& plan = plans[static_cast<std::size_t>(d)];
+    switch (torus.shortest_way(d, a, b)) {
+      case Way::None:
+        plan.steps = 0;
+        break;
+      case Way::Pos:
+        plan.dir = Dir::Pos;
+        plan.steps = steps_in_dir(torus, d, a, b, Dir::Pos);
+        break;
+      case Way::Neg:
+        plan.dir = Dir::Neg;
+        plan.steps = steps_in_dir(torus, d, a, b, Dir::Neg);
+        break;
+      case Way::Tie:
+        plan.dir = Dir::Pos;
+        plan.steps = steps_in_dir(torus, d, a, b, Dir::Pos);
+        tie_dims.push_back(d);
+        break;
+    }
+  }
+  const std::size_t n_ties = tie_dims.size();
+  TP_REQUIRE(n_ties <= 20, "too many tie dimensions");
+  for (std::uint32_t mask = 0; mask < (1u << n_ties); ++mask) {
+    auto local = plans;
+    for (std::size_t t = 0; t < n_ties; ++t) {
+      if (mask & (1u << t))
+        local[static_cast<std::size_t>(tie_dims[t])].dir = Dir::Neg;
+      // steps are k/2 either way on a tie, no change needed
+    }
+    fn(local);
+  }
+}
+
+}  // namespace
+
+std::vector<Path> AdaptiveMinimalRouter::paths(const Torus& torus, NodeId p,
+                                               NodeId q) const {
+  TP_REQUIRE(torus.valid_node(p) && torus.valid_node(q), "node out of range");
+  const i64 total = num_paths(torus, p, q);
+  TP_REQUIRE(total <= max_paths_,
+             "minimal path set too large to enumerate (" +
+                 std::to_string(total) + " paths)");
+  std::vector<Path> result;
+  result.reserve(static_cast<std::size_t>(total));
+
+  for_each_commitment(torus, p, q, [&](auto plans) {
+    Path prefix;
+    prefix.source = p;
+    prefix.target = q;
+    auto recurse = [&](auto&& self, NodeId node) -> void {
+      bool any = false;
+      for (i32 d = 0; d < torus.dims(); ++d) {
+        auto& plan = plans[static_cast<std::size_t>(d)];
+        if (plan.steps == 0) continue;
+        any = true;
+        prefix.edges.push_back(torus.edge_id(node, d, plan.dir));
+        --plan.steps;
+        self(self, torus.neighbor(node, d, plan.dir));
+        ++plan.steps;
+        prefix.edges.pop_back();
+      }
+      if (!any) {
+        TP_ASSERT(node == q, "adaptive path did not reach target");
+        result.push_back(prefix);
+      }
+    };
+    recurse(recurse, p);
+  });
+  return result;
+}
+
+i64 AdaptiveMinimalRouter::num_paths(const Torus& torus, NodeId p,
+                                     NodeId q) const {
+  return torus.num_minimal_paths(p, q);
+}
+
+Path AdaptiveMinimalRouter::sample_path(const Torus& torus, NodeId p,
+                                        NodeId q, Xoshiro256SS& rng) const {
+  TP_REQUIRE(torus.valid_node(p) && torus.valid_node(q), "node out of range");
+  Path path;
+  path.source = p;
+  path.target = q;
+  // Commit a direction per dimension (ties are a fair coin: each direction
+  // carries exactly half of the minimal paths), then draw a uniform
+  // interleaving: step in dimension d with probability remaining_d / total.
+  SmallVec<i64> remaining(static_cast<std::size_t>(torus.dims()), 0);
+  SmallVec<i32> dir(static_cast<std::size_t>(torus.dims()), +1);
+  i64 total = 0;
+  for (i32 d = 0; d < torus.dims(); ++d) {
+    const i32 a = torus.coord_of(p, d);
+    const i32 b = torus.coord_of(q, d);
+    const Way way = torus.shortest_way(d, a, b);
+    if (way == Way::None) continue;
+    Dir dd = Dir::Pos;
+    if (way == Way::Neg) dd = Dir::Neg;
+    if (way == Way::Tie) dd = (rng.below(2) == 0) ? Dir::Pos : Dir::Neg;
+    dir[static_cast<std::size_t>(d)] = dd == Dir::Pos ? +1 : -1;
+    remaining[static_cast<std::size_t>(d)] =
+        steps_in_dir(torus, d, a, b, dd);
+    total += remaining[static_cast<std::size_t>(d)];
+  }
+  NodeId node = p;
+  while (total > 0) {
+    i64 pick = static_cast<i64>(rng.below(static_cast<u64>(total)));
+    i32 d = 0;
+    while (pick >= remaining[static_cast<std::size_t>(d)]) {
+      pick -= remaining[static_cast<std::size_t>(d)];
+      ++d;
+    }
+    const Dir dd = dir[static_cast<std::size_t>(d)] > 0 ? Dir::Pos : Dir::Neg;
+    path.edges.push_back(torus.edge_id(node, d, dd));
+    node = torus.neighbor(node, d, dd);
+    --remaining[static_cast<std::size_t>(d)];
+    --total;
+  }
+  TP_ASSERT(node == q, "sampled adaptive path did not reach target");
+  return path;
+}
+
+}  // namespace tp

@@ -1,0 +1,38 @@
+// Fully adaptive minimal routing: C_{p->q} is *every* shortest path.
+//
+// The paper's routers (ODR, UDR) are restrictions of this one.  It serves
+// as the reference envelope in experiments: the largest possible path sets
+// (hence the best fault tolerance a minimal router can have) and the most
+// evenly spread load.  Path counts grow as multinomials, so full
+// enumeration is only feasible for nearby pairs / small tori; loads are
+// computed without enumeration in src/load/adaptive_loads.
+
+#pragma once
+
+#include "src/routing/router.h"
+
+namespace tp {
+
+class AdaptiveMinimalRouter final : public Router {
+ public:
+  std::string name() const override { return "ADAPTIVE"; }
+
+  /// All minimal paths.  Throws if there are more than `max_paths`
+  /// (default 1M) to guard against accidental factorial blowups.
+  std::vector<Path> paths(const Torus& torus, NodeId p,
+                          NodeId q) const override;
+
+  i64 num_paths(const Torus& torus, NodeId p, NodeId q) const override;
+
+  /// Uniform sample over all minimal paths, drawn incrementally in
+  /// O(Lee distance) time without enumeration.
+  Path sample_path(const Torus& torus, NodeId p, NodeId q,
+                   Xoshiro256SS& rng) const override;
+
+  void set_max_paths(i64 m) { max_paths_ = m; }
+
+ private:
+  i64 max_paths_ = 1 << 20;
+};
+
+}  // namespace tp

@@ -1,0 +1,100 @@
+#include "src/routing/disjoint.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "src/placement/placement.h"
+#include "src/util/error.h"
+
+namespace tp {
+
+i64 max_edge_disjoint_paths(const Torus& torus, const Router& router,
+                            NodeId p, NodeId q) {
+  TP_REQUIRE(torus.valid_node(p) && torus.valid_node(q), "node out of range");
+  if (p == q) return 0;
+
+  // Union of the allowed paths' links, with unit capacities.
+  std::vector<EdgeId> edges;
+  for (const Path& path : router.paths(torus, p, q))
+    for (EdgeId e : path.edges) edges.push_back(e);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  // Incidence lists over the union subgraph (indices into `edges`).
+  std::map<NodeId, std::vector<std::size_t>> out_of, into;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Link l = torus.link(edges[i]);
+    out_of[l.tail].push_back(i);
+    into[l.head].push_back(i);
+  }
+
+  std::vector<signed char> used(edges.size(), 0);  // 1 = carrying flow
+  i64 flow = 0;
+  for (;;) {
+    // BFS for an augmenting path: forward along unused links, backward
+    // along used ones.  Parent bookkeeping: (edge index, direction).
+    std::map<NodeId, std::pair<std::size_t, bool>> parent;  // bool: forward
+    std::queue<NodeId> queue;
+    queue.push(p);
+    std::map<NodeId, bool> seen;
+    seen[p] = true;
+    bool reached = false;
+    while (!queue.empty() && !reached) {
+      const NodeId u = queue.front();
+      queue.pop();
+      if (auto it = out_of.find(u); it != out_of.end()) {
+        for (std::size_t ei : it->second) {
+          if (used[ei]) continue;
+          const NodeId v = torus.link(edges[ei]).head;
+          if (seen[v]) continue;
+          seen[v] = true;
+          parent[v] = {ei, true};
+          if (v == q) {
+            reached = true;
+            break;
+          }
+          queue.push(v);
+        }
+      }
+      if (reached) break;
+      if (auto it = into.find(u); it != into.end()) {
+        for (std::size_t ei : it->second) {
+          if (!used[ei]) continue;
+          const NodeId v = torus.link(edges[ei]).tail;
+          if (seen[v]) continue;
+          seen[v] = true;
+          parent[v] = {ei, false};
+          queue.push(v);
+        }
+      }
+    }
+    if (!reached) break;
+    // Augment along the found path.
+    NodeId v = q;
+    while (v != p) {
+      const auto [ei, forward] = parent.at(v);
+      used[ei] = forward ? 1 : 0;
+      v = forward ? torus.link(edges[ei]).tail : torus.link(edges[ei]).head;
+    }
+    ++flow;
+  }
+  return flow;
+}
+
+i64 placement_disjoint_connectivity(const Torus& torus, const Placement& p,
+                                    const Router& router) {
+  p.check_torus(torus);
+  TP_REQUIRE(p.size() >= 2, "need at least two processors");
+  i64 worst = -1;
+  for (NodeId src : p.nodes())
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      const i64 disjoint = max_edge_disjoint_paths(torus, router, src, dst);
+      if (worst < 0 || disjoint < worst) worst = disjoint;
+    }
+  return worst;
+}
+
+}  // namespace tp

@@ -1,0 +1,36 @@
+// Edge-disjoint path analysis: the exact fault-tolerance number.
+//
+// Section 7 argues UDR is fault tolerant because it offers s! paths — but
+// paths that share a link fail together, so the honest metric is the
+// maximum number of pairwise edge-disjoint paths inside the algorithm's
+// path set C_{p->q}: that many link failures are needed (and, by Menger,
+// sufficient in the worst case) to disconnect the pair under that
+// algorithm.  This module computes it by unit-capacity max-flow over the
+// union of the allowed paths:
+//
+//   ODR:  1 for every pair (one path).
+//   UDR:  s for a pair differing in s dimensions — the s! paths collapse
+//         to s disjoint ones (they all funnel through s first links).
+//   Fully adaptive: s as well without ties (same funnel at the source),
+//         up to 2s with ties.
+
+#pragma once
+
+#include "src/placement/placement.h"
+#include "src/routing/router.h"
+
+namespace tp {
+
+/// Maximum number of pairwise edge-disjoint paths within C_{p->q}.
+/// Runs Edmonds-Karp over the union subgraph of the router's paths, so
+/// the router must be able to enumerate paths() for the pair.
+i64 max_edge_disjoint_paths(const Torus& torus, const Router& router,
+                            NodeId p, NodeId q);
+
+/// Minimum over all ordered processor pairs — the number of adversarial
+/// link failures guaranteed to be survivable by the whole placement under
+/// this algorithm.
+i64 placement_disjoint_connectivity(const Torus& torus, const Placement& p,
+                                    const Router& router);
+
+}  // namespace tp

@@ -1,0 +1,61 @@
+// Ordered Dimensional Routing (Section 6 of the paper).
+//
+// Dimensions are corrected one after another in a fixed order (1, ..., d);
+// each is corrected completely, in the direction of shortest cyclic
+// distance, before the next begins.  With the canonical tie-break (ties go
+// to the + direction) the algorithm specifies exactly one path per pair —
+// the restricted version the paper uses for its load analysis.  With
+// TieBreak::BothDirections the algorithm yields 2^(#tie dimensions) paths.
+
+#pragma once
+
+#include "src/routing/router.h"
+
+namespace tp {
+
+class OdrRouter final : public Router {
+ public:
+  explicit OdrRouter(TieBreak tie = TieBreak::PositiveOnly) : tie_(tie) {}
+
+  /// ODR correcting dimensions in a custom order instead of 0, 1, ..., d-1.
+  /// `order` must be a permutation of the torus's dimensions (checked at
+  /// first use).  The paper fixes the identity order; the generalization
+  /// shows E_max on linear placements is invariant under the choice.
+  OdrRouter(SmallVec<i32> order, TieBreak tie = TieBreak::PositiveOnly)
+      : tie_(tie), order_(order) {}
+
+  std::string name() const override {
+    std::string n = tie_ == TieBreak::PositiveOnly ? "ODR" : "ODR(both)";
+    if (!order_.empty()) {
+      n += "[";
+      for (std::size_t i = 0; i < order_.size(); ++i) {
+        if (i > 0) n += ",";
+        n += std::to_string(order_[i]);
+      }
+      n += "]";
+    }
+    return n;
+  }
+
+  std::vector<Path> paths(const Torus& torus, NodeId p,
+                          NodeId q) const override;
+  i64 num_paths(const Torus& torus, NodeId p, NodeId q) const override;
+  Path sample_path(const Torus& torus, NodeId p, NodeId q,
+                   Xoshiro256SS& rng) const override;
+
+  /// The single canonical path (tie-break +, dimensions in order).
+  /// Cheaper than paths() and available for either tie-break setting.
+  Path canonical_path(const Torus& torus, NodeId p, NodeId q) const;
+
+  TieBreak tie_break() const { return tie_; }
+
+  /// The correction order used for a torus: the configured permutation, or
+  /// the identity if none was given.  Validates the permutation.
+  SmallVec<i32> correction_order(const Torus& torus) const;
+
+ private:
+  TieBreak tie_;
+  SmallVec<i32> order_;  // empty = identity order
+};
+
+}  // namespace tp

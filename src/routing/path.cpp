@@ -1,0 +1,36 @@
+#include "src/routing/path.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+std::vector<NodeId> Path::nodes(const Torus& torus) const {
+  std::vector<NodeId> seq;
+  seq.reserve(edges.size() + 1);
+  seq.push_back(source);
+  for (EdgeId e : edges) {
+    const Link l = torus.link(e);
+    TP_REQUIRE(l.tail == seq.back(), "path edges are not contiguous");
+    seq.push_back(l.head);
+  }
+  return seq;
+}
+
+void Path::verify_connected(const Torus& torus) const {
+  const auto seq = nodes(torus);  // throws if not contiguous
+  TP_REQUIRE(seq.back() == target, "path does not end at its target");
+}
+
+void Path::verify_minimal(const Torus& torus) const {
+  verify_connected(torus);
+  TP_REQUIRE(length() == torus.lee_distance(source, target),
+             "path is not minimal");
+}
+
+bool Path::uses(EdgeId e) const {
+  return std::find(edges.begin(), edges.end(), e) != edges.end();
+}
+
+}  // namespace tp

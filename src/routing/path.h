@@ -1,0 +1,38 @@
+// Paths in the torus.
+//
+// A Path is the directed-link sequence a message follows from its source
+// processor to its destination.  All paths produced by the routers in this
+// library are minimal (their length equals the Lee distance between the
+// endpoints); Path::verify_minimal checks that invariant.
+
+#pragma once
+
+#include <vector>
+
+#include "src/torus/torus.h"
+
+namespace tp {
+
+/// A directed walk through the torus, stored as its link sequence.
+struct Path {
+  NodeId source = 0;
+  NodeId target = 0;
+  std::vector<EdgeId> edges;
+
+  i64 length() const { return static_cast<i64>(edges.size()); }
+
+  /// Node sequence source, ..., target (length()+1 entries).
+  std::vector<NodeId> nodes(const Torus& torus) const;
+
+  /// Throws unless the edges form a connected walk from source to target.
+  void verify_connected(const Torus& torus) const;
+
+  /// Throws unless the walk is connected *and* its length equals the Lee
+  /// distance between source and target (i.e. it is a shortest path).
+  void verify_minimal(const Torus& torus) const;
+
+  /// True if the path traverses the given link.
+  bool uses(EdgeId e) const;
+};
+
+}  // namespace tp

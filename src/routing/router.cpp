@@ -1,0 +1,60 @@
+#include "src/routing/router.h"
+
+#include "src/util/error.h"
+
+namespace tp {
+
+i64 Router::num_paths(const Torus& torus, NodeId p, NodeId q) const {
+  return static_cast<i64>(paths(torus, p, q).size());
+}
+
+Path Router::sample_path(const Torus& torus, NodeId p, NodeId q,
+                         Xoshiro256SS& rng) const {
+  auto all = paths(torus, p, q);
+  TP_REQUIRE(!all.empty(), "router produced no path");
+  return all[rng.below(all.size())];
+}
+
+namespace routing_detail {
+
+SmallVec<i32> allowed_dirs(const Torus& torus, i32 dim, i32 a, i32 b,
+                           TieBreak tie) {
+  SmallVec<i32> dirs;
+  switch (torus.shortest_way(dim, a, b)) {
+    case Way::None:
+      break;
+    case Way::Pos:
+      dirs.push_back(+1);
+      break;
+    case Way::Neg:
+      dirs.push_back(-1);
+      break;
+    case Way::Tie:
+      dirs.push_back(+1);
+      if (tie == TieBreak::BothDirections) dirs.push_back(-1);
+      break;
+  }
+  return dirs;
+}
+
+i64 steps_in_dir(const Torus& torus, i32 dim, i32 a, i32 b, Dir dir) {
+  const i64 k = torus.radix(dim);
+  return dir == Dir::Pos ? mod_norm(b - a, k) : mod_norm(a - b, k);
+}
+
+NodeId append_segment(const Torus& torus, NodeId node, i32 dim, i32 to,
+                      Dir dir, std::vector<EdgeId>& path) {
+  const i32 from = torus.coord_of(node, dim);
+  const i64 steps = steps_in_dir(torus, dim, from, to, dir);
+  NodeId cur = node;
+  for (i64 s = 0; s < steps; ++s) {
+    path.push_back(torus.edge_id(cur, dim, dir));
+    cur = torus.neighbor(cur, dim, dir);
+  }
+  TP_ASSERT(torus.coord_of(cur, dim) == to, "segment did not land on target");
+  return cur;
+}
+
+}  // namespace routing_detail
+
+}  // namespace tp

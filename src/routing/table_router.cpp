@@ -1,0 +1,102 @@
+#include "src/routing/table_router.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+RoutingTable::RoutingTable(const Torus& torus, const Placement& p,
+                           const Router& router)
+    : dests_(p.nodes()),
+      dest_index_(static_cast<std::size_t>(torus.num_nodes()), -1),
+      num_dests_(p.nodes().size()),
+      num_nodes_(torus.num_nodes()) {
+  p.check_torus(torus);
+  for (std::size_t i = 0; i < dests_.size(); ++i)
+    dest_index_[static_cast<std::size_t>(dests_[i])] = static_cast<i64>(i);
+  entries_.resize(static_cast<std::size_t>(num_nodes_) * num_dests_);
+
+  for (NodeId src : p.nodes()) {
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      const i64 di = dest_index_[static_cast<std::size_t>(dst)];
+      for (const Path& path : router.paths(torus, src, dst)) {
+        NodeId node = src;
+        for (EdgeId e : path.edges) {
+          auto& hops = entries_[index(node, di)];
+          if (std::find(hops.begin(), hops.end(), e) == hops.end()) {
+            hops.push_back(e);
+            ++num_entries_;
+          }
+          node = torus.link(e).head;
+        }
+      }
+    }
+  }
+}
+
+i64 RoutingTable::dest_index(NodeId dst) const {
+  TP_REQUIRE(dst >= 0 && dst < num_nodes_, "node id out of range");
+  const i64 di = dest_index_[static_cast<std::size_t>(dst)];
+  TP_REQUIRE(di >= 0, "destination is not a processor of the placement");
+  return di;
+}
+
+const std::vector<EdgeId>& RoutingTable::next_hops(NodeId node,
+                                                   NodeId dst) const {
+  TP_REQUIRE(node >= 0 && node < num_nodes_, "node id out of range");
+  return entries_[index(node, dest_index(dst))];
+}
+
+i64 RoutingTable::max_entries_per_node() const {
+  i64 worst = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    i64 total = 0;
+    for (std::size_t di = 0; di < num_dests_; ++di)
+      total += static_cast<i64>(entries_[index(n, static_cast<i64>(di))].size());
+    worst = std::max(worst, total);
+  }
+  return worst;
+}
+
+Path RoutingTable::forward(const Torus& torus, NodeId src, NodeId dst,
+                           Xoshiro256SS& rng) const {
+  Path path;
+  path.source = src;
+  path.target = dst;
+  NodeId node = src;
+  const i64 max_hops = torus.num_nodes() * 2;  // livelock guard
+  while (node != dst) {
+    const auto& hops = next_hops(node, dst);
+    TP_REQUIRE(!hops.empty(), "routing table dead-ends at " +
+                                  torus.node_str(node) + " for " +
+                                  torus.node_str(dst));
+    const EdgeId e = hops[rng.below(hops.size())];
+    path.edges.push_back(e);
+    node = torus.link(e).head;
+    TP_REQUIRE(path.length() <= max_hops, "routing table loops");
+  }
+  return path;
+}
+
+void RoutingTable::verify(const Torus& torus) const {
+  for (NodeId node = 0; node < num_nodes_; ++node) {
+    for (std::size_t di = 0; di < num_dests_; ++di) {
+      const NodeId dst = dests_[di];
+      for (EdgeId e : entries_[index(node, static_cast<i64>(di))]) {
+        const Link l = torus.link(e);
+        TP_REQUIRE(l.tail == node, "entry's link does not leave its node");
+        TP_REQUIRE(torus.lee_distance(l.head, dst) ==
+                       torus.lee_distance(node, dst) - 1,
+                   "table hop does not make minimal progress");
+        if (l.head != dst) {
+          TP_REQUIRE(!entries_[index(l.head, static_cast<i64>(di))].empty(),
+                     "table hop leads to a node without an entry");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tp

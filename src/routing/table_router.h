@@ -1,0 +1,70 @@
+// Compiled routing tables — the deployable form of a routing algorithm.
+//
+// The Router interface describes path *sets*; real torus routers forward
+// hop by hop from a table.  RoutingTable compiles any Router over a
+// placement into per-node next-hop tables:
+//
+//   table[node][destination] = set of outgoing links the algorithm allows
+//
+// For minimal dimension-ordered algorithms the table is consistent: from
+// any node reached along an allowed path, repeatedly following any allowed
+// next hop reaches the destination in Lee-minimal steps.  compile() also
+// reports the memory footprint, which is the practical cost of the larger
+// path sets that give UDR its fault tolerance.
+
+#pragma once
+
+#include <vector>
+
+#include "src/placement/placement.h"
+#include "src/routing/router.h"
+
+namespace tp {
+
+/// Per-(node, destination) allowed outgoing links, for destinations in a
+/// placement.
+class RoutingTable {
+ public:
+  /// Compiles the router's path sets into next-hop tables.  Every node of
+  /// every path of every ordered processor pair contributes its outgoing
+  /// link to the entry for (node, destination).
+  RoutingTable(const Torus& torus, const Placement& p, const Router& router);
+
+  /// Allowed outgoing links at `node` for traffic destined to `dst`
+  /// (dst must be a processor).  Empty if this node never appears on an
+  /// allowed path to dst.
+  const std::vector<EdgeId>& next_hops(NodeId node, NodeId dst) const;
+
+  /// Total number of (node, destination, link) entries.
+  i64 num_entries() const { return num_entries_; }
+
+  /// Entries for the worst node (table memory is per-router-node).
+  i64 max_entries_per_node() const;
+
+  /// Forwards a message hop by hop from `src` to `dst`, picking uniformly
+  /// among allowed next hops.  Throws if the table dead-ends.  The
+  /// returned path is minimal for the routers in this library.
+  Path forward(const Torus& torus, NodeId src, NodeId dst,
+               Xoshiro256SS& rng) const;
+
+  /// Checks global consistency: from every node with a table entry for
+  /// every destination, every allowed hop makes progress (reduces Lee
+  /// distance) and leads to another entry or the destination.
+  void verify(const Torus& torus) const;
+
+ private:
+  std::size_t index(NodeId node, i64 dst_idx) const {
+    return static_cast<std::size_t>(node) * num_dests_ +
+           static_cast<std::size_t>(dst_idx);
+  }
+  i64 dest_index(NodeId dst) const;
+
+  std::vector<std::vector<EdgeId>> entries_;  // [node * num_dests + dest]
+  std::vector<NodeId> dests_;                 // sorted processor list
+  std::vector<i64> dest_index_;               // node -> index or -1
+  std::size_t num_dests_ = 0;
+  i64 num_nodes_ = 0;
+  i64 num_entries_ = 0;
+};
+
+}  // namespace tp

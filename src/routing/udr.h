@@ -1,0 +1,48 @@
+// Unordered Dimensional Routing (Section 7 of the paper).
+//
+// Like ODR, each dimension is corrected completely before another begins,
+// but the order in which dimensions are corrected is arbitrary: a pair of
+// processors differing in s dimensions has s! paths (one per correction
+// order), which is what gives UDR its fault tolerance.  Directions within
+// a dimension follow the shortest cyclic distance with the same tie-break
+// options as ODR; with TieBreak::BothDirections the count becomes
+// s! * 2^(#tie dimensions).
+
+#pragma once
+
+#include "src/routing/router.h"
+
+namespace tp {
+
+class UdrRouter final : public Router {
+ public:
+  explicit UdrRouter(TieBreak tie = TieBreak::PositiveOnly) : tie_(tie) {}
+
+  std::string name() const override {
+    return tie_ == TieBreak::PositiveOnly ? "UDR" : "UDR(both)";
+  }
+
+  std::vector<Path> paths(const Torus& torus, NodeId p,
+                          NodeId q) const override;
+  i64 num_paths(const Torus& torus, NodeId p, NodeId q) const override;
+  Path sample_path(const Torus& torus, NodeId p, NodeId q,
+                   Xoshiro256SS& rng) const override;
+
+  /// Builds the path that corrects the differing dimensions in the given
+  /// order, with the given direction per differing dimension (+1/-1 entries
+  /// aligned with `order`).  Exposed for the fault-tolerant router, which
+  /// searches correction orders avoiding failed links.
+  Path path_for_order(const Torus& torus, NodeId p, NodeId q,
+                      const SmallVec<i32>& order,
+                      const SmallVec<i32>& dirs) const;
+
+  /// Dimensions in which p and q differ, in increasing order.
+  static SmallVec<i32> differing_dims(const Torus& torus, NodeId p, NodeId q);
+
+  TieBreak tie_break() const { return tie_; }
+
+ private:
+  TieBreak tie_;
+};
+
+}  // namespace tp

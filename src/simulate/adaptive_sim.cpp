@@ -1,0 +1,177 @@
+#include "src/simulate/adaptive_sim.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/error.h"
+#include "src/util/small_vec.h"
+
+namespace tp {
+
+AdaptiveNetworkSim::AdaptiveNetworkSim(const Torus& torus,
+                                       AdaptivePolicy policy,
+                                       const EdgeSet* faults)
+    : torus_(torus), policy_(policy), faults_(torus) {
+  if (faults != nullptr) {
+    has_faults_ = true;
+    for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
+      if (faults->contains(e)) faults_.insert(e);
+  }
+}
+
+SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
+                                   u64 seed, i64 max_cycles) {
+  struct MsgState {
+    NodeId node = 0;
+    NodeId dst = 0;
+    i64 inject_cycle = 0;
+  };
+
+  SimMetrics metrics;
+  metrics.link_forwards.assign(
+      static_cast<std::size_t>(torus_.num_directed_edges()), 0);
+
+  std::vector<const Demand*> by_inject;
+  by_inject.reserve(demands.size());
+  i64 total_work = 0;
+  i64 last_inject = 0;
+  for (const Demand& d : demands) {
+    TP_REQUIRE(torus_.valid_node(d.src) && torus_.valid_node(d.dst),
+               "demand node out of range");
+    TP_REQUIRE(d.inject_cycle >= 0, "negative injection cycle");
+    by_inject.push_back(&d);
+    total_work += torus_.lee_distance(d.src, d.dst);
+    last_inject = std::max(last_inject, d.inject_cycle);
+  }
+  std::stable_sort(by_inject.begin(), by_inject.end(),
+                   [](const Demand* a, const Demand* b) {
+                     return a->inject_cycle < b->inject_cycle;
+                   });
+  if (max_cycles == 0) max_cycles = total_work + last_inject + 2;
+
+  std::vector<std::deque<MsgState>> queue(
+      static_cast<std::size_t>(torus_.num_directed_edges()));
+  std::vector<EdgeId> active;
+  std::vector<bool> is_active(
+      static_cast<std::size_t>(torus_.num_directed_edges()), false);
+  Xoshiro256SS rng(seed);
+
+  // Minimal outgoing links from `node` toward `dst`, skipping faults.
+  SmallVec<i64, 2 * kMaxDims> candidates;
+  auto minimal_links = [&](NodeId node, NodeId dst) {
+    candidates.clear();
+    for (i32 dim = 0; dim < torus_.dims(); ++dim) {
+      const i32 a = torus_.coord_of(node, dim);
+      const i32 b = torus_.coord_of(dst, dim);
+      const Way way = torus_.shortest_way(dim, a, b);
+      if (way == Way::None) continue;
+      if (way != Way::Neg) {
+        const EdgeId e = torus_.edge_id(node, dim, Dir::Pos);
+        if (!has_faults_ || !faults_.contains(e)) candidates.push_back(e);
+      }
+      if (way != Way::Pos) {
+        const EdgeId e = torus_.edge_id(node, dim, Dir::Neg);
+        if (!has_faults_ || !faults_.contains(e)) candidates.push_back(e);
+      }
+    }
+  };
+
+  auto route_or_drop = [&](MsgState s) {
+    if (s.node == s.dst) return;  // handled by caller
+    minimal_links(s.node, s.dst);
+    if (candidates.empty()) {
+      ++metrics.unroutable;
+      return;
+    }
+    EdgeId pick = static_cast<EdgeId>(candidates[0]);
+    if (policy_ == AdaptivePolicy::RandomMinimal) {
+      pick = static_cast<EdgeId>(
+          candidates[static_cast<std::size_t>(rng.below(candidates.size()))]);
+    } else {
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const EdgeId e = static_cast<EdgeId>(candidates[i]);
+        if (queue[static_cast<std::size_t>(e)].size() <
+            queue[static_cast<std::size_t>(pick)].size())
+          pick = e;
+      }
+    }
+    queue[static_cast<std::size_t>(pick)].push_back(s);
+    metrics.max_queue_depth = std::max(
+        metrics.max_queue_depth,
+        static_cast<i64>(queue[static_cast<std::size_t>(pick)].size()));
+    if (!is_active[static_cast<std::size_t>(pick)]) {
+      is_active[static_cast<std::size_t>(pick)] = true;
+      active.push_back(pick);
+    }
+  };
+
+  std::size_t next_inject = 0;
+  i64 in_flight = 0;
+  double latency_sum = 0.0;
+  i64 cycle = 0;
+  std::vector<MsgState> arrivals;
+
+  auto outstanding = [&] {
+    return next_inject < by_inject.size() || in_flight > 0;
+  };
+
+  while (outstanding()) {
+    TP_REQUIRE(cycle <= max_cycles, "simulation exceeded cycle budget");
+    while (next_inject < by_inject.size() &&
+           by_inject[next_inject]->inject_cycle == cycle) {
+      const Demand* d = by_inject[next_inject++];
+      ++metrics.injected;
+      if (d->src == d->dst) {
+        ++metrics.delivered;
+        continue;
+      }
+      const i64 before_unroutable = metrics.unroutable;
+      route_or_drop(MsgState{d->src, d->dst, d->inject_cycle});
+      if (metrics.unroutable == before_unroutable) ++in_flight;
+    }
+
+    arrivals.clear();
+    for (std::size_t ai = 0; ai < active.size();) {
+      const EdgeId e = active[ai];
+      auto& q = queue[static_cast<std::size_t>(e)];
+      if (q.empty()) {
+        is_active[static_cast<std::size_t>(e)] = false;
+        active[ai] = active.back();
+        active.pop_back();
+        continue;
+      }
+      MsgState s = q.front();
+      q.pop_front();
+      ++metrics.link_forwards[static_cast<std::size_t>(e)];
+      s.node = torus_.link(e).head;
+      if (s.node == s.dst) {
+        ++metrics.delivered;
+        --in_flight;
+        latency_sum += static_cast<double>(cycle + 1 - s.inject_cycle);
+        metrics.cycles = std::max(metrics.cycles, cycle + 1);
+      } else {
+        arrivals.push_back(s);
+      }
+      ++ai;
+    }
+    for (const MsgState& s : arrivals) {
+      const i64 before_unroutable = metrics.unroutable;
+      route_or_drop(s);
+      if (metrics.unroutable != before_unroutable) --in_flight;
+    }
+    ++cycle;
+  }
+
+  metrics.max_link_forwards =
+      metrics.link_forwards.empty()
+          ? 0
+          : *std::max_element(metrics.link_forwards.begin(),
+                              metrics.link_forwards.end());
+  metrics.mean_latency =
+      metrics.delivered > 0
+          ? latency_sum / static_cast<double>(metrics.delivered)
+          : 0.0;
+  return metrics;
+}
+
+}  // namespace tp

@@ -1,0 +1,55 @@
+#include "src/simulate/fault.h"
+
+#include <vector>
+
+#include "src/simulate/traffic.h"
+#include "src/util/error.h"
+#include "src/util/prng.h"
+
+namespace tp {
+
+EdgeSet sample_wire_faults(const Torus& torus, i64 count, u64 seed) {
+  TP_REQUIRE(count >= 0 && count <= torus.num_undirected_edges(),
+             "fault count exceeds wire count");
+  // Collect canonical wire ids, then partially shuffle.
+  std::vector<EdgeId> wires;
+  wires.reserve(static_cast<std::size_t>(torus.num_undirected_edges()));
+  for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
+    if (torus.undirected_id(e) == e) wires.push_back(e);
+
+  Xoshiro256SS rng(seed);
+  EdgeSet faults(torus);
+  for (i64 i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(i) +
+                   static_cast<std::size_t>(rng.below(
+                       static_cast<u64>(wires.size() - static_cast<std::size_t>(i))));
+    std::swap(wires[static_cast<std::size_t>(i)], wires[j]);
+    const EdgeId e = wires[static_cast<std::size_t>(i)];
+    faults.insert(e);
+    faults.insert(torus.reverse_edge(e));
+  }
+  return faults;
+}
+
+i64 count_unroutable_pairs(const Torus& torus, const Placement& p,
+                           const Router& router, const EdgeSet& faults) {
+  p.check_torus(torus);
+  i64 unroutable = 0;
+  for (NodeId src : p.nodes())
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      if (fault_free_paths(torus, router, src, dst, faults).empty())
+        ++unroutable;
+    }
+  return unroutable;
+}
+
+double routable_pair_fraction(const Torus& torus, const Placement& p,
+                              const Router& router, const EdgeSet& faults) {
+  const i64 pairs = p.size() * (p.size() - 1);
+  if (pairs == 0) return 1.0;
+  const i64 bad = count_unroutable_pairs(torus, p, router, faults);
+  return 1.0 - static_cast<double>(bad) / static_cast<double>(pairs);
+}
+
+}  // namespace tp

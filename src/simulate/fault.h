@@ -1,0 +1,28 @@
+// Link-fault injection (the fault-tolerance scenario of Section 7).
+//
+// Faults are modeled at the directed-link level; a "wire" failure takes
+// out both directions, which is how sample_wire_faults generates them.
+
+#pragma once
+
+#include "src/placement/placement.h"
+#include "src/routing/router.h"
+#include "src/torus/graph.h"
+
+namespace tp {
+
+/// Fails `count` distinct wires (both directed links of each) chosen
+/// uniformly at random.  Deterministic given `seed`.
+EdgeSet sample_wire_faults(const Torus& torus, i64 count, u64 seed);
+
+/// Fraction of ordered processor pairs that still have at least one
+/// routing path avoiding every failed link, under the given router.
+/// 1.0 means the placement remains fully connected for that algorithm.
+double routable_pair_fraction(const Torus& torus, const Placement& p,
+                              const Router& router, const EdgeSet& faults);
+
+/// Ordered pairs (p, q) whose entire path set is faulted.
+i64 count_unroutable_pairs(const Torus& torus, const Placement& p,
+                           const Router& router, const EdgeSet& faults);
+
+}  // namespace tp

@@ -1,0 +1,30 @@
+// Result metrics of a network simulation run.
+
+#pragma once
+
+#include <vector>
+
+#include "src/torus/torus.h"
+
+namespace tp {
+
+struct SimMetrics {
+  i64 cycles = 0;            ///< makespan: cycle at which the last message arrived
+  i64 injected = 0;          ///< messages entering the network
+  i64 delivered = 0;         ///< messages that reached their destination
+  i64 unroutable = 0;        ///< messages with no fault-free path (dropped at source)
+  double mean_latency = 0.0; ///< mean deliver-inject cycle difference
+  i64 max_queue_depth = 0;   ///< peak backlog on any single link
+  i64 max_link_forwards = 0; ///< busiest link's total transmissions
+  std::vector<i64> link_forwards;  ///< per directed link, indexed by EdgeId
+
+  /// Busiest-link transmissions divided by makespan: 1.0 means some link
+  /// was busy every cycle (the network ran at that link's capacity).
+  double bottleneck_utilization() const {
+    return cycles > 0 ? static_cast<double>(max_link_forwards) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+};
+
+}  // namespace tp

@@ -1,0 +1,59 @@
+#include "src/torus/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+std::vector<i64> bfs_distances(const Torus& torus, NodeId source,
+                               const EdgeSet* removed) {
+  TP_REQUIRE(torus.valid_node(source), "source out of range");
+  std::vector<i64> dist(static_cast<std::size_t>(torus.num_nodes()), -1);
+  std::queue<NodeId> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop();
+    for (i32 dim = 0; dim < torus.dims(); ++dim) {
+      for (Dir dir : {Dir::Pos, Dir::Neg}) {
+        const EdgeId e = torus.edge_id(n, dim, dir);
+        if (removed != nullptr && removed->contains(e)) continue;
+        const NodeId m = torus.neighbor(n, dim, dir);
+        auto& dm = dist[static_cast<std::size_t>(m)];
+        if (dm < 0) {
+          dm = dist[static_cast<std::size_t>(n)] + 1;
+          queue.push(m);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<i32> components(const Torus& torus, const EdgeSet* removed) {
+  std::vector<i32> label(static_cast<std::size_t>(torus.num_nodes()), -1);
+  i32 next = 0;
+  for (NodeId s = 0; s < torus.num_nodes(); ++s) {
+    if (label[static_cast<std::size_t>(s)] >= 0) continue;
+    const auto dist = bfs_distances(torus, s, removed);
+    for (NodeId n = 0; n < torus.num_nodes(); ++n)
+      if (dist[static_cast<std::size_t>(n)] >= 0)
+        label[static_cast<std::size_t>(n)] = next;
+    ++next;
+  }
+  return label;
+}
+
+i32 num_components(const Torus& torus, const EdgeSet* removed) {
+  const auto label = components(torus, removed);
+  return label.empty() ? 0 : *std::max_element(label.begin(), label.end()) + 1;
+}
+
+bool is_connected(const Torus& torus, const EdgeSet* removed) {
+  return num_components(torus, removed) == 1;
+}
+
+}  // namespace tp

@@ -1,0 +1,53 @@
+// Graph algorithms over a torus with an optional set of removed links.
+//
+// Used to verify bisections (removing a cut must disconnect the two sides)
+// and to reason about reachability under link faults.
+
+#pragma once
+
+#include <vector>
+
+#include "src/torus/torus.h"
+
+namespace tp {
+
+/// A set of directed links, stored as a dense bitmap over edge ids.
+class EdgeSet {
+ public:
+  explicit EdgeSet(const Torus& torus)
+      : removed_(static_cast<std::size_t>(torus.num_directed_edges()),
+                 false) {}
+
+  void insert(EdgeId e) { removed_.at(static_cast<std::size_t>(e)) = true; }
+  void erase(EdgeId e) { removed_.at(static_cast<std::size_t>(e)) = false; }
+  bool contains(EdgeId e) const {
+    return removed_.at(static_cast<std::size_t>(e));
+  }
+  i64 size() const {
+    i64 n = 0;
+    for (bool b : removed_) n += b ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<bool> removed_;
+};
+
+/// BFS distances (hop counts) from a source, ignoring links in `removed`.
+/// Unreachable nodes get distance -1.
+std::vector<i64> bfs_distances(const Torus& torus, NodeId source,
+                               const EdgeSet* removed = nullptr);
+
+/// Connected-component label per node when links in `removed` are deleted
+/// (a node pair is connected if a directed path exists each way; on a torus
+/// with symmetric removals this matches undirected connectivity).
+/// Labels are 0-based and dense.
+std::vector<i32> components(const Torus& torus, const EdgeSet* removed);
+
+/// Number of connected components after removing links.
+i32 num_components(const Torus& torus, const EdgeSet* removed);
+
+/// True if every node can reach every other node.
+bool is_connected(const Torus& torus, const EdgeSet* removed = nullptr);
+
+}  // namespace tp

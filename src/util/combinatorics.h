@@ -1,0 +1,59 @@
+// Permutation and subset enumeration used by the UDR load analysis.
+//
+// ForEachPermutation enumerates all orderings of a small index set (the
+// dimension-correction orders of Unordered Dimensional Routing); subsets are
+// enumerated as bitmasks.  Both are generator-style to avoid materializing
+// factorially many sequences.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/math.h"
+#include "src/util/small_vec.h"
+
+namespace tp {
+
+/// Calls fn(perm) for every permutation of {items[0], ..., items[n-1]}.
+/// Uses Heap's algorithm; perm is a SmallVec<i32> reused across calls.
+/// fn may return void, or bool (return false to stop early).
+template <typename Fn>
+void for_each_permutation(SmallVec<i32> items, Fn&& fn) {
+  const std::size_t n = items.size();
+  if (n == 0) {
+    fn(items);
+    return;
+  }
+  // Iterative Heap's algorithm.
+  SmallVec<i32> c(n, 0);
+  fn(items);
+  std::size_t i = 0;
+  while (i < n) {
+    if (static_cast<std::size_t>(c[i]) < i) {
+      std::size_t j = (i % 2 == 0) ? 0 : static_cast<std::size_t>(c[i]);
+      i32 tmp = items[j];
+      items[j] = items[i];
+      items[i] = tmp;
+      fn(items);
+      ++c[i];
+      i = 0;
+    } else {
+      c[i] = 0;
+      ++i;
+    }
+  }
+}
+
+/// Calls fn(mask) for every subset mask of an n-element ground set,
+/// including the empty set and the full set.  Requires n <= 30.
+template <typename Fn>
+void for_each_subset(int n, Fn&& fn) {
+  TP_REQUIRE(n >= 0 && n <= 30, "subset ground set too large");
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) fn(mask);
+}
+
+/// Number of set bits.
+inline int popcount32(std::uint32_t x) { return __builtin_popcount(x); }
+
+}  // namespace tp

@@ -1,0 +1,94 @@
+#include "src/util/math.h"
+
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+i64 mod_norm(i64 x, i64 m) {
+  TP_REQUIRE(m > 0, "modulus must be positive");
+  i64 r = x % m;
+  if (r < 0) r += m;
+  return r;
+}
+
+i64 gcd(i64 a, i64 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+bool is_coprime(i64 a, i64 m) {
+  TP_REQUIRE(m >= 1, "modulus must be >= 1");
+  return gcd(a, m) == 1;
+}
+
+i64 powi(i64 base, i64 exp) {
+  TP_REQUIRE(exp >= 0, "negative exponent");
+  i64 result = 1;
+  for (i64 i = 0; i < exp; ++i) {
+    TP_REQUIRE(base == 0 ||
+                   (result <= std::numeric_limits<i64>::max() / (base < 0 ? -base : base)),
+               "powi overflow");
+    result *= base;
+  }
+  return result;
+}
+
+i64 factorial(i64 n) {
+  TP_REQUIRE(n >= 0 && n <= 20, "factorial argument out of [0, 20]");
+  i64 result = 1;
+  for (i64 i = 2; i <= n; ++i) result *= i;
+  return result;
+}
+
+i64 binomial(i64 n, i64 r) {
+  TP_REQUIRE(n >= 0 && r >= 0 && r <= n, "binomial requires 0 <= r <= n");
+  if (r > n - r) r = n - r;
+  i64 result = 1;
+  for (i64 i = 1; i <= r; ++i) {
+    TP_REQUIRE(result <= std::numeric_limits<i64>::max() / (n - r + i),
+               "binomial overflow");
+    result = result * (n - r + i) / i;
+  }
+  return result;
+}
+
+i64 cyclic_distance(i64 i, i64 j, i64 k) {
+  TP_REQUIRE(k >= 1, "ring size must be >= 1");
+  i64 fwd = mod_norm(j - i, k);
+  i64 bwd = mod_norm(i - j, k);
+  return fwd < bwd ? fwd : bwd;
+}
+
+i64 ceil_div(i64 a, i64 b) {
+  TP_REQUIRE(b > 0 && a >= 0, "ceil_div requires a >= 0, b > 0");
+  return (a + b - 1) / b;
+}
+
+i64 mod_inverse(i64 a, i64 m) {
+  TP_REQUIRE(m >= 1, "modulus must be >= 1");
+  a = mod_norm(a, m);
+  TP_REQUIRE(gcd(a, m) == 1, "mod_inverse requires gcd(a, m) == 1");
+  // Extended Euclid on (a, m).
+  i64 old_r = a, r = m;
+  i64 old_s = 1, s = 0;
+  while (r != 0) {
+    i64 q = old_r / r;
+    i64 tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+  }
+  return mod_norm(old_s, m);
+}
+
+}  // namespace tp

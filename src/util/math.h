@@ -1,0 +1,45 @@
+// Integer and modular arithmetic helpers used throughout the library.
+//
+// All functions are total over their stated preconditions and throw
+// tp::Error otherwise.  Overflow in powi/factorial/binomial is checked.
+
+#pragma once
+
+#include <cstdint>
+
+namespace tp {
+
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// x mod m normalized into [0, m).  Requires m > 0; x may be negative.
+i64 mod_norm(i64 x, i64 m);
+
+/// Greatest common divisor (non-negative).  gcd(0, 0) == 0.
+i64 gcd(i64 a, i64 b);
+
+/// True iff a and m are relatively prime.  Requires m >= 1.
+bool is_coprime(i64 a, i64 m);
+
+/// base^exp with overflow checking.  Requires exp >= 0.
+i64 powi(i64 base, i64 exp);
+
+/// n! with overflow checking.  Requires 0 <= n <= 20.
+i64 factorial(i64 n);
+
+/// Binomial coefficient C(n, r) with overflow checking.
+/// Requires 0 <= r <= n.
+i64 binomial(i64 n, i64 r);
+
+/// Cyclic distance between residues i and j modulo k (Definition 6):
+/// min(i-j mod k, j-i mod k).  Requires k >= 1; i, j may be any integers.
+i64 cyclic_distance(i64 i, i64 j, i64 k);
+
+/// Ceiling division for non-negative integers.  Requires b > 0, a >= 0.
+i64 ceil_div(i64 a, i64 b);
+
+/// Modular inverse of a modulo m.  Requires m >= 1 and gcd(a, m) == 1.
+i64 mod_inverse(i64 a, i64 m);
+
+}  // namespace tp

@@ -1,0 +1,58 @@
+// Mixed-radix counting: iterate all coordinate tuples of a torus/array.
+//
+// NdRange walks tuples (a_1, ..., a_d) with 0 <= a_i < radix_i in
+// lexicographic order without materializing them.
+
+#pragma once
+
+#include "src/util/math.h"
+#include "src/util/small_vec.h"
+
+namespace tp {
+
+using Coord = SmallVec<i32>;
+using Radices = SmallVec<i32>;
+
+/// Iterates every coordinate tuple below the given radices.
+///
+///   for (NdRange r(radices); !r.done(); r.next()) use(r.coord());
+class NdRange {
+ public:
+  explicit NdRange(const Radices& radices)
+      : radices_(radices), coord_(radices.size(), 0) {
+    for (std::size_t i = 0; i < radices_.size(); ++i)
+      TP_REQUIRE(radices_[i] >= 1, "radices must be >= 1");
+    done_ = radices_.empty();
+  }
+
+  bool done() const { return done_; }
+  const Coord& coord() const { return coord_; }
+
+  void next() {
+    TP_REQUIRE(!done_, "next() past end of NdRange");
+    std::size_t i = radices_.size();
+    while (i > 0) {
+      --i;
+      if (++coord_[i] < radices_[i]) return;
+      coord_[i] = 0;
+    }
+    done_ = true;
+  }
+
+ private:
+  Radices radices_;
+  Coord coord_;
+  bool done_ = false;
+};
+
+/// Product of all radices (the number of tuples NdRange will produce).
+inline i64 radix_product(const Radices& radices) {
+  i64 p = 1;
+  for (std::size_t i = 0; i < radices.size(); ++i) {
+    TP_REQUIRE(radices[i] >= 1, "radices must be >= 1");
+    p *= radices[i];
+  }
+  return p;
+}
+
+}  // namespace tp

@@ -1,0 +1,54 @@
+// Minimal shared-memory parallelism for the load analyzers.
+//
+// The analyzers' work decomposes perfectly over source processors, so a
+// static block partition over std::thread workers is all that is needed
+// (no work stealing, no locks — each worker accumulates into its own
+// buffer and the caller reduces).  parallel_for_blocks is deterministic:
+// the same partition is produced for a given (count, threads).
+
+#pragma once
+
+#include <thread>
+#include <vector>
+
+#include "src/util/error.h"
+#include "src/util/math.h"
+
+namespace tp {
+
+/// Invokes fn(worker_index, begin, end) on `threads` workers, partitioning
+/// [0, count) into contiguous blocks (the last blocks may be one shorter).
+/// With threads == 1 the call runs inline.  fn must be safe to run
+/// concurrently against itself on disjoint ranges.
+template <typename Fn>
+void parallel_for_blocks(i64 count, i32 threads, Fn&& fn) {
+  TP_REQUIRE(count >= 0, "negative work count");
+  TP_REQUIRE(threads >= 1, "need at least one thread");
+  if (threads == 1 || count <= 1) {
+    fn(0, i64{0}, count);
+    return;
+  }
+  const i32 workers = static_cast<i32>(
+      std::min<i64>(threads, std::max<i64>(count, 1)));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  const i64 base = count / workers;
+  const i64 extra = count % workers;
+  i64 begin = 0;
+  for (i32 w = 0; w < workers; ++w) {
+    const i64 len = base + (w < extra ? 1 : 0);
+    const i64 end = begin + len;
+    pool.emplace_back([&fn, w, begin, end] { fn(w, begin, end); });
+    begin = end;
+  }
+  for (auto& t : pool) t.join();
+  TP_ASSERT(begin == count, "partition did not cover the range");
+}
+
+/// A sensible default worker count for this machine.
+inline i32 default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<i32>(hw);
+}
+
+}  // namespace tp

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator and randomized placements need reproducible streams that are
+// stable across platforms and standard-library versions, so the library ships
+// its own generators instead of relying on std::mt19937 distributions:
+//   * SplitMix64  — seeding / stream splitting
+//   * Xoshiro256SS — bulk generation (xoshiro256**, Blackman & Vigna)
+// Bounded draws use Lemire-style rejection so results are exactly uniform.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+/// SplitMix64: tiny, fast generator used to seed other generators and to
+/// derive independent streams from a single user seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's workhorse generator.
+/// Satisfies UniformRandomBitGenerator.
+class Xoshiro256SS {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Xoshiro256SS(std::uint64_t seed = 0x243f6a8885a308d3ULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw from [0, bound).  Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    TP_REQUIRE(bound > 0, "below(0) is ill-defined");
+    // Lemire's multiply-shift with rejection for exact uniformity.
+    std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      std::uint64_t r = (*this)();
+      __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      if (static_cast<std::uint64_t>(m) >= threshold)
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace tp

@@ -1,0 +1,110 @@
+// SmallVec — fixed-capacity inline vector used for torus coordinates.
+//
+// Torus dimensionality in this library is bounded by kMaxDims (8); storing
+// coordinates inline keeps the load-analysis inner loops free of heap
+// traffic.  The interface is the subset of std::vector the library needs.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+/// Maximum number of torus dimensions supported by inline containers.
+inline constexpr std::size_t kMaxDims = 8;
+
+/// Fixed-capacity vector with inline storage.  Element type must be
+/// trivially copyable (coordinates, small counters).
+template <typename T, std::size_t Cap = kMaxDims>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr SmallVec() = default;
+
+  constexpr SmallVec(std::size_t n, const T& value) {
+    TP_REQUIRE(n <= Cap, "SmallVec capacity exceeded");
+    size_ = n;
+    std::fill(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(n),
+              value);
+  }
+
+  constexpr SmallVec(std::initializer_list<T> init) {
+    TP_REQUIRE(init.size() <= Cap, "SmallVec capacity exceeded");
+    size_ = init.size();
+    std::copy(init.begin(), init.end(), data_.begin());
+  }
+
+  template <typename It>
+  constexpr SmallVec(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  static constexpr std::size_t capacity() { return Cap; }
+
+  constexpr T& operator[](std::size_t i) { return data_[i]; }
+  constexpr const T& operator[](std::size_t i) const { return data_[i]; }
+
+  constexpr T& at(std::size_t i) {
+    TP_REQUIRE(i < size_, "SmallVec index out of range");
+    return data_[i];
+  }
+  constexpr const T& at(std::size_t i) const {
+    TP_REQUIRE(i < size_, "SmallVec index out of range");
+    return data_[i];
+  }
+
+  constexpr T& front() { return data_[0]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr T& back() { return data_[size_ - 1]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+  constexpr void push_back(const T& v) {
+    TP_REQUIRE(size_ < Cap, "SmallVec capacity exceeded");
+    data_[size_++] = v;
+  }
+  constexpr void pop_back() {
+    TP_REQUIRE(size_ > 0, "pop_back on empty SmallVec");
+    --size_;
+  }
+  constexpr void clear() { size_ = 0; }
+  constexpr void resize(std::size_t n, const T& value = T{}) {
+    TP_REQUIRE(n <= Cap, "SmallVec capacity exceeded");
+    for (std::size_t i = size_; i < n; ++i) data_[i] = value;
+    size_ = n;
+  }
+
+  constexpr iterator begin() { return data_.data(); }
+  constexpr const_iterator begin() const { return data_.data(); }
+  constexpr iterator end() { return data_.data() + size_; }
+  constexpr const_iterator end() const { return data_.data() + size_; }
+
+  friend constexpr bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i)
+      if (a.data_[i] != b.data_[i]) return false;
+    return true;
+  }
+  friend constexpr bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const SmallVec& a, const SmallVec& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  std::array<T, Cap> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace tp

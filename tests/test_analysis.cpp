@@ -1,0 +1,122 @@
+// Tests for the analysis helpers: table formatting and 2-D grid rendering.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/csv.h"
+#include "src/analysis/grid_render.h"
+#include "src/analysis/table.h"
+#include "src/load/complete_exchange.h"
+#include "src/placement/placement.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(Table, AlignedOutput) {
+  Table table({"k", "E_max"});
+  table.add_row({"4", "2.0"});
+  table.add_row({"16", "8.0"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("k"), std::string::npos);
+  EXPECT_NE(out.find("E_max"), std::string::npos);
+  EXPECT_NE(out.find("16"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Table, MarkdownOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.print_markdown(os);
+  EXPECT_EQ(os.str(), "| a | b |\n|---|---|\n| 1 | 2 |\n");
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Fmt, Formats) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(7LL), "7");
+  EXPECT_EQ(fmt_bool(true), "yes");
+  EXPECT_EQ(fmt_bool(false), "no");
+}
+
+TEST(GridRender, PlacementShowsProcessors) {
+  Torus t(2, 3);
+  const Placement p = linear_placement(t);  // 3 processors on T_3^2
+  const std::string grid = render_placement(t, p);
+  // Exactly three processor markers.
+  std::size_t count = 0, pos = 0;
+  while ((pos = grid.find("[*]", pos)) != std::string::npos) {
+    ++count;
+    pos += 3;
+  }
+  EXPECT_EQ(count, 3u);
+  // And 9 - 3 = 6 empty nodes.
+  count = 0;
+  pos = 0;
+  while ((pos = grid.find("[ ]", pos)) != std::string::npos) {
+    ++count;
+    pos += 3;
+  }
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(GridRender, LoadsAnnotateLinks) {
+  Torus t(2, 3);
+  const Placement p = linear_placement(t);
+  const LoadMap loads = odr_loads(t, p);
+  const std::string grid = render_loads(t, p, loads);
+  EXPECT_NE(grid.find("[*]"), std::string::npos);
+  EXPECT_NE(grid.find("wrap link load"), std::string::npos);
+}
+
+TEST(GridRender, Requires2D) {
+  Torus t(3, 3);
+  const Placement p = linear_placement(t);
+  EXPECT_THROW(render_placement(t, p), Error);
+  EXPECT_THROW(render_loads(t, p, LoadMap(t)), Error);
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(Csv, TableRoundTripText) {
+  Table table({"k", "name"});
+  table.add_row({"4", "linear,odd"});
+  std::ostringstream os;
+  write_csv(os, table);
+  EXPECT_EQ(os.str(), "k,name\n4,\"linear,odd\"\n");
+}
+
+TEST(Csv, SaveToFileAndFailure) {
+  Table table({"a"});
+  table.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/tp_test.csv";
+  save_csv(path, table);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+  EXPECT_THROW(save_csv("/nonexistent_dir_xyz/out.csv", table), Error);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,234 @@
+// Tests for the bisection machinery:
+//   * Theorem 1: the dimension cut bisects uniform placements with exactly
+//     4 k^{d-1} directed links (k even)
+//   * Proposition 1 / Appendix: the hyperplane sweep bisects any placement
+//     crossing at most 2 d k^{d-1} array wires (6 d k^{d-1} directed links
+//     with the wrap wires, Corollary 1)
+//   * removing a bisection's links really disconnects the two sides
+//   * the exact small-case optimum never exceeds the constructions
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bisection/cut.h"
+#include "src/bisection/dimension_cut.h"
+#include "src/bisection/exact_bisection.h"
+#include "src/bisection/hyperplane_sweep.h"
+#include "src/load/formulas.h"
+#include "src/placement/placement.h"
+#include "src/torus/graph.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+// --- Cut basics --------------------------------------------------------------
+
+TEST(Cut, SizesAndSplits) {
+  Torus t(2, 4);
+  // Side B = nodes with first coordinate in {1, 2}.
+  std::vector<bool> side(static_cast<std::size_t>(t.num_nodes()), false);
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    side[static_cast<std::size_t>(n)] =
+        t.coord_of(n, 0) == 1 || t.coord_of(n, 0) == 2;
+  Cut cut(t, side);
+  EXPECT_EQ(cut.node_split(), (std::pair<i64, i64>{8, 8}));
+  // Two layer boundaries, k wires each, 2 directions: 4k directed links.
+  EXPECT_EQ(cut.directed_cut_size(t), 16);
+  EXPECT_EQ(cut.undirected_cut_size(t), 8);
+  const Placement p = linear_placement(t);
+  EXPECT_TRUE(cut.bisects(t, p));
+}
+
+TEST(Cut, RemovingCrossingEdgesDisconnects) {
+  Torus t(2, 4);
+  std::vector<bool> side(static_cast<std::size_t>(t.num_nodes()), false);
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    side[static_cast<std::size_t>(n)] = t.coord_of(n, 0) >= 2;
+  Cut cut(t, side);
+  EdgeSet removed = cut.crossing_edges(t);
+  EXPECT_EQ(num_components(t, &removed), 2);
+}
+
+TEST(Cut, RejectsWrongSize) {
+  Torus t(2, 3);
+  EXPECT_THROW(Cut(t, std::vector<bool>(5, false)), Error);
+}
+
+// --- Theorem 1 ----------------------------------------------------------------
+
+TEST(DimensionCut, Theorem1ExactWidthAndBalance) {
+  for (i32 d = 2; d <= 4; ++d)
+    for (i32 k : {4, 6, 8}) {
+      if (d == 4 && k == 8) continue;  // keep runtime modest
+      Torus t(d, k);
+      const Placement p = linear_placement(t);
+      const auto result = best_dimension_cut(t, p);
+      EXPECT_EQ(result.imbalance, 0) << "d=" << d << " k=" << k;
+      EXPECT_EQ(result.directed_edges, uniform_bisection_width(k, d))
+          << "d=" << d << " k=" << k;
+      EXPECT_TRUE(result.cut.bisects(t, p));
+    }
+}
+
+TEST(DimensionCut, WorksForMultipleLinearPlacements) {
+  Torus t(3, 4);
+  for (i32 tt = 1; tt <= 3; ++tt) {
+    const Placement p = multiple_linear_placement(t, tt);
+    const auto result = best_dimension_cut(t, p);
+    EXPECT_EQ(result.imbalance, 0) << "t=" << tt;
+    EXPECT_EQ(result.directed_edges, uniform_bisection_width(4, 3));
+  }
+}
+
+TEST(DimensionCut, CutDisconnectsTheTorus) {
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);
+  const auto result = best_dimension_cut(t, p);
+  EdgeSet removed = result.cut.crossing_edges(t);
+  EXPECT_EQ(num_components(t, &removed), 2);
+}
+
+TEST(DimensionCut, OddKLeavesBoundedImbalance) {
+  // k odd: layers hold |P|/k processors each; the best two-boundary cut
+  // leaves an imbalance of exactly one layer's worth.
+  Torus t(2, 5);
+  const Placement p = linear_placement(t);
+  const auto result = best_dimension_cut(t, p);
+  EXPECT_EQ(result.imbalance, 1);  // |P| = 5 over layers of 1
+  EXPECT_EQ(result.directed_edges, uniform_bisection_width(5, 2));
+}
+
+TEST(DimensionCut, NonUniformPlacementStillGetsBestEffort) {
+  Torus t(2, 4);
+  const Placement p = clustered_placement(t, 8);  // first two rows
+  const auto result = best_dimension_cut(t, p);
+  // Clustered into rows 0-1: a cut separating rows 0-1 from 2-3 balances
+  // the nodes but puts all processors on one side along dim 0; along dim 1
+  // the cluster is uniform, so the best cut balances exactly.
+  EXPECT_EQ(result.imbalance, 0);
+  EXPECT_TRUE(result.cut.bisects(t, p));
+}
+
+TEST(DimensionCut, InvalidDimensionThrows) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  EXPECT_THROW(dimension_cut(t, p, 2), Error);
+  EXPECT_THROW(dimension_cut(t, p, -1), Error);
+}
+
+// --- Proposition 1 / Appendix ---------------------------------------------------
+
+TEST(HyperplaneSweep, BisectsLinearPlacements) {
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {3, 4, 5, 6}) {
+      Torus t(d, k);
+      const Placement p = linear_placement(t);
+      const auto result = hyperplane_sweep_bisection(t, p);
+      EXPECT_TRUE(result.cut.bisects(t, p)) << "d=" << d << " k=" << k;
+      EXPECT_LE(result.array_crossings, sweep_separator_upper_bound(k, d))
+          << "d=" << d << " k=" << k;
+      EXPECT_LE(result.directed_edges, bisection_width_upper_bound(k, d))
+          << "d=" << d << " k=" << k;
+    }
+}
+
+TEST(HyperplaneSweep, BisectsArbitraryPlacements) {
+  // Proposition 1 assumes nothing about P: try random and adversarial.
+  Torus t(3, 4);
+  for (u64 seed : {1u, 2u, 3u}) {
+    const Placement p = random_placement(t, 21, seed);
+    const auto result = hyperplane_sweep_bisection(t, p);
+    const auto [a, b] = result.cut.processor_split(t, p);
+    EXPECT_EQ(a, 10);  // floor(21/2) on the origin side
+    EXPECT_EQ(b, 11);
+    EXPECT_LE(result.array_crossings, sweep_separator_upper_bound(4, 3));
+  }
+  const Placement clustered = clustered_placement(t, 16);
+  const auto result = hyperplane_sweep_bisection(t, clustered);
+  EXPECT_TRUE(result.cut.bisects(t, clustered));
+  EXPECT_LE(result.array_crossings, sweep_separator_upper_bound(4, 3));
+}
+
+TEST(HyperplaneSweep, GammaIsInTheProofInterval) {
+  for (i32 d = 2; d <= 6; ++d) {
+    const long double g = default_gamma(d);
+    EXPECT_GT(g, 1.0L);
+    EXPECT_LT(g, std::pow(2.0L, 1.0L / (d - 1)));
+  }
+}
+
+TEST(HyperplaneSweep, CutDisconnects) {
+  Torus t(2, 5);
+  const Placement p = linear_placement(t);
+  const auto result = hyperplane_sweep_bisection(t, p);
+  EdgeSet removed = result.cut.crossing_edges(t);
+  EXPECT_GE(num_components(t, &removed), 2);
+}
+
+TEST(HyperplaneSweep, WorksInOneDimension) {
+  Torus t(1, 8);
+  const Placement p = full_population(t);
+  const auto result = hyperplane_sweep_bisection(t, p);
+  EXPECT_TRUE(result.cut.bisects(t, p));
+}
+
+TEST(HyperplaneSweep, EmptyPlacementRejected) {
+  Torus t(2, 3);
+  const Placement p(t, {}, "empty");
+  EXPECT_THROW(hyperplane_sweep_bisection(t, p), Error);
+}
+
+// --- exact small cases -----------------------------------------------------------
+
+TEST(ExactBisection, MatchesHandComputedRing) {
+  // A ring of 6 nodes, all populated: the optimal bisection removes two
+  // wires = 4 directed links.
+  Torus t(1, 6);
+  const auto result = exact_bisection(t, full_population(t));
+  EXPECT_EQ(result.directed_edges, 4);
+  EXPECT_TRUE(result.cut.bisects(t, full_population(t)));
+}
+
+TEST(ExactBisection, FullyPopulated2DTorus) {
+  // T_4^2 fully populated: bisection width is 4k^{d-1} directed = 16.
+  Torus t(2, 4);
+  const auto result = exact_bisection(t, full_population(t));
+  EXPECT_EQ(result.directed_edges, 16);
+}
+
+TEST(ExactBisection, NeverExceedsConstructions) {
+  // The exact optimum is at most the Theorem 1 cut and the sweep cut.
+  for (i32 k : {3, 4}) {
+    Torus t(2, k);
+    const Placement p = linear_placement(t);
+    const auto exact = exact_bisection(t, p);
+    EXPECT_LE(exact.directed_edges,
+              best_dimension_cut(t, p).directed_edges);
+    EXPECT_LE(exact.directed_edges,
+              hyperplane_sweep_bisection(t, p).directed_edges);
+    EXPECT_TRUE(exact.cut.bisects(t, p));
+  }
+}
+
+TEST(ExactBisection, SparsePlacementCanBeCheaperThanTheTorusBisection) {
+  // With only two processors, splitting them apart needs far fewer links
+  // than bisecting the whole torus — the paper's motivation for defining
+  // bisection width *with respect to a placement*.
+  Torus t(2, 4);
+  const Placement p(t, {t.node_id(Coord{0, 0}), t.node_id(Coord{2, 2})},
+                    "two");
+  const auto result = exact_bisection(t, p);
+  EXPECT_LE(result.directed_edges, 8);
+  const auto full = exact_bisection(t, full_population(t));
+  EXPECT_LT(result.directed_edges, full.directed_edges);
+}
+
+TEST(ExactBisection, SizeGuard) {
+  Torus t(3, 3);  // 27 nodes > 24
+  EXPECT_THROW(exact_bisection(t, full_population(t)), Error);
+}
+
+}  // namespace
+}  // namespace tp

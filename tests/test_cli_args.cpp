@@ -1,0 +1,58 @@
+// Tests for the CLI option parser.
+
+#include <gtest/gtest.h>
+
+#include "tools/cli_args.h"
+
+namespace tp::cli {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(CliArgs, ParsesSpaceAndEqualsForms) {
+  std::vector<std::string> storage{"prog", "cmd", "--d", "3", "--k=8"};
+  auto argv = argv_of(storage);
+  Args args(static_cast<int>(argv.size()), argv.data(), 2, {"d", "k"});
+  EXPECT_TRUE(args.has("d"));
+  EXPECT_EQ(args.get_int("d", 0), 3);
+  EXPECT_EQ(args.get_int("k", 0), 8);
+  EXPECT_FALSE(args.has("t"));
+  EXPECT_EQ(args.get_int("t", 7), 7);
+  EXPECT_EQ(args.get("missing", "x"), "x");
+}
+
+TEST(CliArgs, CollectsPositionals) {
+  std::vector<std::string> storage{"prog", "cmd", "pos1", "--d", "2", "pos2"};
+  auto argv = argv_of(storage);
+  Args args(static_cast<int>(argv.size()), argv.data(), 2, {"d"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(CliArgs, RejectsUnknownOptions) {
+  std::vector<std::string> storage{"prog", "cmd", "--bogus", "1"};
+  auto argv = argv_of(storage);
+  EXPECT_THROW(Args(static_cast<int>(argv.size()), argv.data(), 2, {"d"}),
+               Error);
+}
+
+TEST(CliArgs, RejectsMissingValue) {
+  std::vector<std::string> storage{"prog", "cmd", "--d"};
+  auto argv = argv_of(storage);
+  EXPECT_THROW(Args(static_cast<int>(argv.size()), argv.data(), 2, {"d"}),
+               Error);
+}
+
+TEST(CliArgs, EqualsFormWithStringValue) {
+  std::vector<std::string> storage{"prog", "cmd", "--placement=linear:2"};
+  auto argv = argv_of(storage);
+  Args args(static_cast<int>(argv.size()), argv.data(), 2, {"placement"});
+  EXPECT_EQ(args.get("placement"), "linear:2");
+}
+
+}  // namespace
+}  // namespace tp::cli

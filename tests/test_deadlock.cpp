@@ -1,0 +1,108 @@
+// Tests for the channel-dependency-graph deadlock analysis:
+//   * cycle detector sanity
+//   * on a torus, even ODR's *physical* CDG is cyclic (the wrap-around)
+//   * with dateline virtual channels ODR becomes deadlock-free
+//   * UDR stays cyclic even with datelines (the cost of unordered
+//     dimension correction)
+
+#include <gtest/gtest.h>
+
+#include "src/placement/placement.h"
+#include "src/routing/deadlock.h"
+#include "src/routing/odr.h"
+#include "src/routing/udr.h"
+
+namespace tp {
+namespace {
+
+TEST(HasCycle, DetectorSanity) {
+  ChannelGraph acyclic;
+  acyclic.adj = {{1}, {2}, {}};
+  EXPECT_FALSE(has_cycle(acyclic));
+  EXPECT_EQ(acyclic.num_dependencies(), 2);
+
+  ChannelGraph cyclic;
+  cyclic.adj = {{1}, {2}, {0}};
+  EXPECT_TRUE(has_cycle(cyclic));
+
+  ChannelGraph self_loop;
+  self_loop.adj = {{0}};
+  EXPECT_TRUE(has_cycle(self_loop));
+
+  ChannelGraph empty;
+  EXPECT_FALSE(has_cycle(empty));
+
+  ChannelGraph diamond;  // acyclic despite converging paths
+  diamond.adj = {{1, 2}, {3}, {3}, {}};
+  EXPECT_FALSE(has_cycle(diamond));
+}
+
+TEST(PhysicalCdg, OdrIsCyclicOnTheTorus) {
+  // The wrap-around closes each ring: full population guarantees paths all
+  // the way around, so the physical CDG has a cycle even for ODR.
+  Torus t(2, 4);
+  OdrRouter odr;
+  const Placement p = full_population(t);
+  EXPECT_TRUE(has_cycle(physical_channel_graph(t, p, odr)));
+}
+
+TEST(DatelineCdg, OdrIsDeadlockFree) {
+  OdrRouter odr;
+  for (i32 d = 1; d <= 3; ++d)
+    for (i32 k : {3, 4, 5}) {
+      Torus t(d, k);
+      const Placement p = full_population(t);
+      EXPECT_TRUE(deadlock_free_with_datelines(t, p, odr))
+          << "d=" << d << " k=" << k;
+    }
+}
+
+TEST(DatelineCdg, OdrOnLinearPlacementsIsDeadlockFree) {
+  OdrRouter odr;
+  for (i32 k : {4, 5, 6}) {
+    Torus t(3, k);
+    EXPECT_TRUE(deadlock_free_with_datelines(t, linear_placement(t), odr))
+        << "k=" << k;
+  }
+}
+
+TEST(DatelineCdg, CustomOrderOdrIsAlsoDeadlockFree) {
+  // Any fixed dimension order is deadlock-free — the order just relabels
+  // the dimension hierarchy.
+  Torus t(3, 4);
+  OdrRouter reversed(SmallVec<i32>{2, 1, 0});
+  EXPECT_TRUE(
+      deadlock_free_with_datelines(t, full_population(t), reversed));
+}
+
+TEST(DatelineCdg, UdrIsCyclic) {
+  // Unordered correction lets dimension i wait on j and vice versa: the
+  // dateline scheme cannot break those cross-dimension cycles.
+  Torus t(2, 4);
+  UdrRouter udr;
+  EXPECT_FALSE(deadlock_free_with_datelines(t, full_population(t), udr));
+}
+
+TEST(DatelineCdg, UdrOnOneDimensionalTorusIsFine) {
+  // With a single dimension UDR degenerates to ODR.
+  Torus t(1, 6);
+  UdrRouter udr;
+  EXPECT_TRUE(deadlock_free_with_datelines(t, full_population(t), udr));
+}
+
+TEST(Cdg, DependencyCountsAreReasonable) {
+  Torus t(2, 4);
+  OdrRouter odr;
+  const Placement p = linear_placement(t);
+  const ChannelGraph physical = physical_channel_graph(t, p, odr);
+  const ChannelGraph dateline = dateline_channel_graph(t, p, odr);
+  EXPECT_EQ(static_cast<i64>(physical.adj.size()), t.num_directed_edges());
+  EXPECT_EQ(static_cast<i64>(dateline.adj.size()),
+            2 * t.num_directed_edges());
+  EXPECT_GT(physical.num_dependencies(), 0);
+  // Splitting channels never loses dependencies.
+  EXPECT_GE(dateline.num_dependencies(), physical.num_dependencies());
+}
+
+}  // namespace
+}  // namespace tp

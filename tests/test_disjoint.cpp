@@ -1,0 +1,100 @@
+// Tests for the edge-disjoint-path fault-tolerance metric.
+
+#include <gtest/gtest.h>
+
+#include "src/placement/placement.h"
+#include "src/routing/adaptive.h"
+#include "src/routing/disjoint.h"
+#include "src/routing/odr.h"
+#include "src/routing/udr.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(Disjoint, OdrIsAlwaysOne) {
+  Torus t(3, 5);
+  OdrRouter odr;
+  const NodeId p = t.node_id(Coord{0, 0, 0});
+  for (NodeId q : {t.node_id(Coord{1, 0, 0}), t.node_id(Coord{1, 2, 0}),
+                   t.node_id(Coord{2, 1, 2})})
+    EXPECT_EQ(max_edge_disjoint_paths(t, odr, p, q), 1);
+}
+
+TEST(Disjoint, UdrEqualsNumberOfDifferingDimensions) {
+  // The s! UDR paths funnel through s distinct first links, so exactly s
+  // of them are pairwise edge-disjoint.
+  Torus t(3, 5);
+  UdrRouter udr;
+  const NodeId p = t.node_id(Coord{0, 0, 0});
+  EXPECT_EQ(max_edge_disjoint_paths(t, udr, p, t.node_id(Coord{2, 0, 0})),
+            1);
+  EXPECT_EQ(max_edge_disjoint_paths(t, udr, p, t.node_id(Coord{2, 1, 0})),
+            2);
+  EXPECT_EQ(max_edge_disjoint_paths(t, udr, p, t.node_id(Coord{2, 1, 1})),
+            3);
+}
+
+TEST(Disjoint, AdaptiveMatchesUdrWithoutTies) {
+  // Without tie dimensions the source still has only s usable outgoing
+  // links, so fully adaptive routing cannot beat s either.
+  Torus t(2, 5);
+  AdaptiveMinimalRouter adaptive;
+  UdrRouter udr;
+  const NodeId p = t.node_id(Coord{0, 0});
+  const NodeId q = t.node_id(Coord{2, 1});
+  EXPECT_EQ(max_edge_disjoint_paths(t, adaptive, p, q), 2);
+  EXPECT_EQ(max_edge_disjoint_paths(t, udr, p, q), 2);
+}
+
+TEST(Disjoint, TiesDoubleTheAdaptiveConnectivity) {
+  // A tie dimension contributes both directions: with both coordinates at
+  // distance k/2 the adaptive set has 2s disjoint routes.
+  Torus t(2, 4);
+  AdaptiveMinimalRouter adaptive;
+  const NodeId p = t.node_id(Coord{0, 0});
+  const NodeId q = t.node_id(Coord{2, 2});  // ties in both dimensions
+  EXPECT_EQ(max_edge_disjoint_paths(t, adaptive, p, q), 4);
+  // UDR with the canonical tie-break keeps one direction per dim: still 2.
+  UdrRouter udr;
+  EXPECT_EQ(max_edge_disjoint_paths(t, udr, p, q), 2);
+  // ... and with both directions allowed it matches adaptive.
+  UdrRouter both(TieBreak::BothDirections);
+  EXPECT_EQ(max_edge_disjoint_paths(t, both, p, q), 4);
+}
+
+TEST(Disjoint, SelfPairIsZero) {
+  Torus t(2, 4);
+  OdrRouter odr;
+  EXPECT_EQ(max_edge_disjoint_paths(t, odr, 3, 3), 0);
+}
+
+TEST(Disjoint, PlacementConnectivity) {
+  // Two distinct processors of a 2-D linear placement can never share a
+  // coordinate (sharing one forces equality through the placement
+  // equation), so every pair differs in both dimensions: UDR's guaranteed
+  // survivable failure count over the whole placement is 2, while ODR's
+  // single path yields 1.  In 3-D pairs *can* share one coordinate, so
+  // the worst case stays 2.
+  for (i32 k : {4, 5}) {
+    Torus t(2, k);
+    const Placement p = linear_placement(t);
+    EXPECT_EQ(placement_disjoint_connectivity(t, p, OdrRouter()), 1);
+    EXPECT_EQ(placement_disjoint_connectivity(t, p, UdrRouter()), 2);
+  }
+  Torus t3(3, 4);
+  EXPECT_EQ(
+      placement_disjoint_connectivity(t3, linear_placement(t3), UdrRouter()),
+      2);
+}
+
+TEST(Disjoint, Validation) {
+  Torus t(2, 4);
+  OdrRouter odr;
+  EXPECT_THROW(max_edge_disjoint_paths(t, odr, -1, 0), Error);
+  const Placement single(t, {0}, "one");
+  EXPECT_THROW(placement_disjoint_connectivity(t, single, odr), Error);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,108 @@
+// Tests for graph algorithms over tori: BFS distances, components, and
+// connectivity under link removal.
+
+#include <gtest/gtest.h>
+
+#include "src/torus/graph.h"
+#include "src/torus/torus.h"
+
+namespace tp {
+namespace {
+
+TEST(Graph, BfsDistancesEqualLeeDistances) {
+  Torus t(2, 5);
+  const auto dist = bfs_distances(t, 0);
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    EXPECT_EQ(dist[static_cast<std::size_t>(n)], t.lee_distance(0, n));
+}
+
+TEST(Graph, BfsDistancesEqualLeeDistances3D) {
+  Torus t(3, 4);
+  const NodeId src = t.node_id(Coord{1, 2, 3});
+  const auto dist = bfs_distances(t, src);
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    EXPECT_EQ(dist[static_cast<std::size_t>(n)], t.lee_distance(src, n));
+}
+
+TEST(Graph, TorusIsConnected) {
+  EXPECT_TRUE(is_connected(Torus(2, 3)));
+  EXPECT_TRUE(is_connected(Torus(3, 3)));
+  EXPECT_TRUE(is_connected(Torus(Radices{2, 5})));
+}
+
+TEST(Graph, SingleRemovedLinkKeepsConnectivity) {
+  Torus t(2, 4);
+  EdgeSet removed(t);
+  removed.insert(t.edge_id(0, 0, Dir::Pos));
+  removed.insert(t.reverse_edge(t.edge_id(0, 0, Dir::Pos)));
+  EXPECT_TRUE(is_connected(t, &removed));
+}
+
+TEST(Graph, RingCutIntoTwoArcs) {
+  // Removing two opposite wires of a ring makes two components.
+  Torus t(1, 6);
+  EdgeSet removed(t);
+  for (NodeId n : {NodeId{0}, NodeId{3}}) {
+    const EdgeId e = t.edge_id(n, 0, Dir::Pos);
+    removed.insert(e);
+    removed.insert(t.reverse_edge(e));
+  }
+  EXPECT_EQ(num_components(t, &removed), 2);
+}
+
+TEST(Graph, IsolatingANode) {
+  Torus t(2, 3);
+  EdgeSet removed(t);
+  for (i32 d = 0; d < 2; ++d)
+    for (Dir dir : {Dir::Pos, Dir::Neg}) {
+      const EdgeId e = t.edge_id(0, d, dir);
+      removed.insert(e);
+      removed.insert(t.reverse_edge(e));
+    }
+  EXPECT_EQ(num_components(t, &removed), 2);
+  const auto dist = bfs_distances(t, 0, &removed);
+  for (NodeId n = 1; n < t.num_nodes(); ++n)
+    EXPECT_EQ(dist[static_cast<std::size_t>(n)], -1);
+}
+
+TEST(Graph, ComponentsLabelsAreDense) {
+  Torus t(1, 4);
+  EdgeSet removed(t);
+  for (NodeId n : {NodeId{0}, NodeId{2}}) {
+    const EdgeId e = t.edge_id(n, 0, Dir::Pos);
+    removed.insert(e);
+    removed.insert(t.reverse_edge(e));
+  }
+  const auto label = components(t, &removed);
+  EXPECT_EQ(num_components(t, &removed), 2);
+  for (i32 l : label) EXPECT_TRUE(l == 0 || l == 1);
+}
+
+TEST(Graph, EdgeSetSizeAndMembership) {
+  Torus t(2, 3);
+  EdgeSet s(t);
+  EXPECT_EQ(s.size(), 0);
+  s.insert(5);
+  s.insert(7);
+  s.insert(5);  // idempotent
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(6));
+  s.erase(5);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(Graph, BfsRespectsDirectedRemoval) {
+  // Removing only one direction of a ring wire still leaves the long way
+  // around: all nodes reachable but distances grow.
+  Torus t(1, 5);
+  EdgeSet removed(t);
+  removed.insert(t.edge_id(0, 0, Dir::Pos));
+  const auto dist = bfs_distances(t, 0, &removed);
+  EXPECT_EQ(dist[1], 4);  // must go the long way
+  EXPECT_EQ(dist[4], 1);
+}
+
+}  // namespace
+}  // namespace tp

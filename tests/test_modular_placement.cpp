@@ -1,0 +1,159 @@
+// Tests for the Section 8 generalizations: modular placements (including
+// the perfect Lee code), mixed-radix diagonal placements, and their load
+// behavior.
+
+#include <gtest/gtest.h>
+
+#include "src/load/complete_exchange.h"
+#include "src/load/formulas.h"
+#include "src/placement/modular.h"
+#include "src/placement/uniformity.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(ModularPlacement, SizeIsNOverM) {
+  Torus t(2, 10);
+  const Placement p = modular_placement(t, SmallVec<i32>{1, 1}, 5);
+  EXPECT_EQ(p.size(), t.num_nodes() / 5);
+}
+
+TEST(ModularPlacement, ModulusEqualKRecoversLinearPlacement) {
+  Torus t(3, 4);
+  const Placement mod = modular_placement(t, SmallVec<i32>{1, 1, 1}, 4, 2);
+  const Placement lin = linear_placement(t, 2);
+  EXPECT_EQ(mod.nodes(), lin.nodes());
+}
+
+TEST(ModularPlacement, MembersSatisfyTheCongruence) {
+  Torus t(2, 15);
+  const Placement p = modular_placement(t, SmallVec<i32>{1, 2}, 5, 3);
+  for (NodeId n : p.nodes())
+    EXPECT_EQ(mod_norm(t.coord_of(n, 0) + 2 * t.coord_of(n, 1), 5), 3);
+}
+
+TEST(ModularPlacement, Validation) {
+  Torus t(2, 10);
+  // m must divide every radix.
+  EXPECT_THROW(modular_placement(t, SmallVec<i32>{1, 1}, 3), Error);
+  // Needs a coefficient coprime to m.
+  EXPECT_THROW(modular_placement(t, SmallVec<i32>{5, 10}, 5), Error);
+  // Arity check.
+  EXPECT_THROW(modular_placement(t, SmallVec<i32>{1}, 5), Error);
+  EXPECT_THROW(modular_placement(t, SmallVec<i32>{1, 1}, 1), Error);
+}
+
+TEST(ModularPlacement, WorksOnMixedRadixWhenModulusDividesAll) {
+  Torus t(Radices{10, 15});
+  const Placement p = modular_placement(t, SmallVec<i32>{1, 2}, 5);
+  EXPECT_EQ(p.size(), t.num_nodes() / 5);
+  EXPECT_TRUE(is_uniform(t, p));
+}
+
+TEST(ModularPlacement, IsUniform) {
+  Torus t(2, 10);
+  EXPECT_TRUE(is_uniform(t, modular_placement(t, SmallVec<i32>{1, 2}, 5)));
+  EXPECT_TRUE(is_uniform(t, modular_placement(t, SmallVec<i32>{1, 1}, 2)));
+}
+
+TEST(PerfectLee, IsAPerfectDominatingSet) {
+  for (i32 k : {5, 10, 15}) {
+    Torus t(2, k);
+    const Placement p = perfect_lee_placement(t);
+    EXPECT_EQ(p.size(), t.num_nodes() / 5) << "k=" << k;
+    EXPECT_TRUE(is_perfect_dominating(t, p, 1)) << "k=" << k;
+    EXPECT_TRUE(is_dominating(t, p, 1)) << "k=" << k;
+  }
+}
+
+TEST(PerfectLee, RequiresFiveDividesK) {
+  EXPECT_THROW(perfect_lee_placement(Torus(2, 4)), Error);
+  EXPECT_THROW(perfect_lee_placement(Torus(3, 5)), Error);
+}
+
+TEST(PerfectLee, LinearPlacementIsNotPerfect) {
+  Torus t(2, 5);
+  EXPECT_FALSE(is_perfect_dominating(t, linear_placement(t), 1));
+}
+
+TEST(Dominating, RadiusZeroMeansFullPopulation) {
+  Torus t(2, 4);
+  EXPECT_TRUE(is_dominating(t, full_population(t), 0));
+  EXPECT_FALSE(is_dominating(t, linear_placement(t), 0));
+  // On T_4^2 the node (0,2) sits at Lee distance 2 from every diagonal
+  // processor, so the linear placement dominates at radius 2 but not 1.
+  EXPECT_FALSE(is_dominating(t, linear_placement(t), 1));
+  EXPECT_TRUE(is_dominating(t, linear_placement(t), 2));
+}
+
+TEST(DiagonalMixed, SizeAndUniformity) {
+  Torus t(Radices{4, 6, 3});
+  for (i32 dim = 0; dim < 3; ++dim) {
+    const Placement p = diagonal_placement_mixed(t, dim);
+    EXPECT_EQ(p.size(), t.num_nodes() / t.radix(dim)) << "dim=" << dim;
+    // Uniform along every dimension other than the defining one — the
+    // single uniform dimension the generalized Theorem 1 needs.
+    for (i32 other = 0; other < 3; ++other) {
+      if (other == dim) continue;
+      EXPECT_TRUE(is_uniform_along(t, p, other))
+          << "dim=" << dim << " other=" << other;
+    }
+  }
+  // Along the defining dimension, uniformity holds iff some other radix is
+  // a multiple of it: true for dim 2 (radix 3 divides radix 6), false for
+  // dims 0 and 1 here.
+  EXPECT_FALSE(is_uniform_along(t, diagonal_placement_mixed(t, 0), 0));
+  EXPECT_FALSE(is_uniform_along(t, diagonal_placement_mixed(t, 1), 1));
+  EXPECT_TRUE(is_uniform_along(t, diagonal_placement_mixed(t, 2), 2));
+}
+
+TEST(DiagonalMixed, MembersSatisfyTheEquation) {
+  Torus t(Radices{3, 4});
+  const Placement p = diagonal_placement_mixed(t, 1, 2);
+  for (NodeId n : p.nodes())
+    EXPECT_EQ(t.coord_of(n, 1), mod_norm(2 + t.coord_of(n, 0), 4));
+}
+
+TEST(DiagonalMixed, ReducesToLinearOnUniformRadix) {
+  // On T_k^d with dim = d-1 the defining equation p_{d-1} = c + sum others
+  // is the linear placement's sum == c rearranged... with coefficient -1.
+  // Verify it has the same size and uniformity (not identical node sets).
+  Torus t(2, 5);
+  const Placement diag = diagonal_placement_mixed(t, 1, 0);
+  EXPECT_EQ(diag.size(), linear_placement(t).size());
+  EXPECT_TRUE(is_uniform(t, diag));
+}
+
+TEST(DiagonalMixed, OdrLoadStaysLinearAcrossMixedRadixSweep) {
+  // The paper's program carried to unequal radices: E_max/|P| bounded.
+  double worst_ratio = 0.0;
+  for (i32 base : {4, 6, 8}) {
+    Torus t(Radices{base, base + 2});
+    const Placement p = diagonal_placement_mixed(t, 1);
+    const double ratio = odr_loads(t, p).max_load() /
+                         static_cast<double>(p.size());
+    worst_ratio = std::max(worst_ratio, ratio);
+  }
+  EXPECT_LE(worst_ratio, 0.75);
+}
+
+TEST(DiagonalMixed, ConservationOnMixedRadix) {
+  Torus t(Radices{4, 6});
+  const Placement p = diagonal_placement_mixed(t, 1);
+  const double expected = expected_total_load(t, p);
+  EXPECT_NEAR(odr_loads(t, p).total_load(), expected, 1e-9);
+  EXPECT_NEAR(udr_loads(t, p).total_load(), expected, 1e-9);
+}
+
+TEST(DiagonalMixed, Theorem1CutAppliesOnMixedRadix) {
+  // Uniform along at least one dimension, which is what the generalized
+  // Theorem 1 needs for its layer-boundary bisection.
+  Torus t(Radices{4, 6});
+  const Placement p = diagonal_placement_mixed(t, 0);
+  EXPECT_FALSE(uniform_dimensions(t, p).empty());
+  EXPECT_TRUE(is_uniform_along(t, p, 1));
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,91 @@
+// Tests for the placement search (E15): exhaustive optimum on tiny tori,
+// annealing sanity, and the optimality of linear placements among all
+// same-size placements where enumeration is feasible.
+
+#include <gtest/gtest.h>
+
+#include "src/core/optimize.h"
+#include "src/load/complete_exchange.h"
+#include "src/load/formulas.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(Exhaustive, LinearPlacementIsOptimalOnT3_2) {
+  // Every 3-subset of T_3^2's nodes: none beats the linear placement.
+  Torus t(2, 3);
+  const SearchResult best =
+      exhaustive_best_placement(t, 3, RouterKind::Odr);
+  const double linear = odr_loads(t, linear_placement(t)).max_load();
+  EXPECT_EQ(best.evaluated, binomial(9, 3));
+  EXPECT_LE(best.emax, linear + 1e-9);
+  EXPECT_GE(best.emax, blaum_lower_bound(3, 2) - 1e-9);
+  // ... and in fact it cannot do better: linear achieves the optimum.
+  EXPECT_NEAR(best.emax, linear, 1e-9);
+}
+
+TEST(Exhaustive, LinearPlacementIsOptimalOnT4_2) {
+  Torus t(2, 4);
+  const SearchResult best =
+      exhaustive_best_placement(t, 4, RouterKind::Odr);
+  const double linear = odr_loads(t, linear_placement(t)).max_load();
+  EXPECT_EQ(best.evaluated, binomial(16, 4));
+  EXPECT_NEAR(best.emax, linear, 1e-9);  // 2.0: the diagonal is optimal
+}
+
+TEST(Exhaustive, FindsStrictlyBetterThanClustered) {
+  Torus t(2, 4);
+  const SearchResult best =
+      exhaustive_best_placement(t, 4, RouterKind::Odr);
+  const double clustered =
+      odr_loads(t, clustered_placement(t, 4)).max_load();
+  EXPECT_LT(best.emax, clustered);
+}
+
+TEST(Exhaustive, GuardsAgainstBlowup) {
+  Torus t(3, 4);  // C(64, 16) is astronomical
+  EXPECT_THROW(exhaustive_best_placement(t, 16, RouterKind::Odr), Error);
+  Torus small(2, 3);
+  EXPECT_THROW(exhaustive_best_placement(small, 1, RouterKind::Odr), Error);
+}
+
+TEST(Anneal, ReachesTheExhaustiveOptimumOnT4_2) {
+  Torus t(2, 4);
+  const SearchResult exact =
+      exhaustive_best_placement(t, 4, RouterKind::Odr);
+  const SearchResult annealed =
+      anneal_placement(t, 4, RouterKind::Odr, 800, 7);
+  EXPECT_NEAR(annealed.emax, exact.emax, 1e-9);
+  EXPECT_EQ(annealed.placement.size(), 4);
+}
+
+TEST(Anneal, NeverBeatsTheLowerBoundAndIsDeterministic) {
+  Torus t(2, 6);
+  const SearchResult a = anneal_placement(t, 6, RouterKind::Odr, 400, 11);
+  const SearchResult b = anneal_placement(t, 6, RouterKind::Odr, 400, 11);
+  EXPECT_EQ(a.placement.nodes(), b.placement.nodes());
+  EXPECT_GE(a.emax, blaum_lower_bound(6, 2) - 1e-9);
+  // The annealed result is at least as good as a random placement.
+  const double random = odr_loads(t, random_placement(t, 6, 11)).max_load();
+  EXPECT_LE(a.emax, random + 1e-9);
+}
+
+TEST(Anneal, CanSearchUnderUdrToo) {
+  Torus t(2, 4);
+  const SearchResult result =
+      anneal_placement(t, 4, RouterKind::Udr, 300, 3);
+  EXPECT_GT(result.emax, 0.0);
+  EXPECT_LE(result.emax,
+            udr_loads(t, linear_placement(t)).max_load() + 1e-9);
+}
+
+TEST(Anneal, ValidatesArguments) {
+  Torus t(2, 4);
+  EXPECT_THROW(anneal_placement(t, 1, RouterKind::Odr, 10, 1), Error);
+  EXPECT_THROW(anneal_placement(t, 4, RouterKind::Odr, 0, 1), Error);
+  EXPECT_THROW(anneal_placement(t, 99, RouterKind::Odr, 10, 1), Error);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,104 @@
+// Tests for ODR with a custom dimension-correction order, and the
+// order-invariance of E_max on linear placements.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/load/complete_exchange.h"
+#include "src/placement/placement.h"
+#include "src/routing/odr.h"
+#include "src/util/combinatorics.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(OrderedOdr, ReversedOrderCorrectsLastDimensionFirst) {
+  Torus t(3, 5);
+  OdrRouter reversed(SmallVec<i32>{2, 1, 0});
+  const NodeId p = t.node_id(Coord{0, 0, 0});
+  const NodeId q = t.node_id(Coord{1, 1, 1});
+  const Path path = reversed.canonical_path(t, p, q);
+  path.verify_minimal(t);
+  ASSERT_EQ(path.length(), 3);
+  // Dimension sequence along the path must be 2, 1, 0.
+  EXPECT_EQ(t.link(path.edges[0]).dim, 2);
+  EXPECT_EQ(t.link(path.edges[1]).dim, 1);
+  EXPECT_EQ(t.link(path.edges[2]).dim, 0);
+}
+
+TEST(OrderedOdr, NameIncludesOrder) {
+  OdrRouter reversed(SmallVec<i32>{1, 0});
+  EXPECT_EQ(reversed.name(), "ODR[1,0]");
+}
+
+TEST(OrderedOdr, InvalidOrdersRejected) {
+  Torus t(2, 4);
+  EXPECT_THROW(OdrRouter(SmallVec<i32>{0}).canonical_path(t, 0, 1), Error);
+  EXPECT_THROW(OdrRouter(SmallVec<i32>{0, 0}).canonical_path(t, 0, 1),
+               Error);
+  EXPECT_THROW(OdrRouter(SmallVec<i32>{0, 2}).canonical_path(t, 0, 1),
+               Error);
+}
+
+TEST(OrderedOdr, IdentityOrderMatchesDefault) {
+  Torus t(2, 5);
+  OdrRouter explicit_identity(SmallVec<i32>{0, 1});
+  OdrRouter def;
+  for (NodeId p = 0; p < t.num_nodes(); p += 3)
+    for (NodeId q = 0; q < t.num_nodes(); q += 2)
+      EXPECT_EQ(explicit_identity.canonical_path(t, p, q).edges,
+                def.canonical_path(t, p, q).edges);
+}
+
+TEST(OrderedOdr, EveryOrderYieldsMinimalPaths) {
+  Torus t(3, 4);
+  SmallVec<i32> dims{0, 1, 2};
+  const NodeId p = t.node_id(Coord{0, 3, 2});
+  const NodeId q = t.node_id(Coord{2, 1, 0});
+  for_each_permutation(dims, [&](const SmallVec<i32>& order) {
+    OdrRouter router{SmallVec<i32>(order.begin(), order.end())};
+    router.canonical_path(t, p, q).verify_minimal(t);
+  });
+}
+
+TEST(OrderedOdr, EmaxInvariantUnderOrderOnLinearPlacements) {
+  // The all-ones linear placement is symmetric under coordinate
+  // permutation, so E_max cannot depend on the correction order.
+  for (i32 k : {4, 5, 6}) {
+    Torus t(3, k);
+    const Placement p = linear_placement(t);
+    const double base = odr_loads(t, p).max_load();
+    SmallVec<i32> dims{0, 1, 2};
+    for_each_permutation(dims, [&](const SmallVec<i32>& order) {
+      const double emax =
+          odr_loads_ordered(t, p, SmallVec<i32>(order.begin(), order.end()))
+              .max_load();
+      EXPECT_NEAR(emax, base, 1e-9) << "k=" << k;
+    });
+  }
+}
+
+TEST(OrderedOdr, LoadDistributionDiffersEvenIfMaxDoesNot) {
+  // The per-link distribution shifts with the order (different dimensions
+  // carry the boundary roles), even though the maximum is invariant.
+  Torus t(3, 4);
+  const Placement p = linear_placement(t);
+  const LoadMap identity = odr_loads(t, p);
+  const LoadMap reversed =
+      odr_loads_ordered(t, p, SmallVec<i32>{2, 1, 0});
+  EXPECT_GT(identity.max_abs_diff(reversed), 0.5);
+  EXPECT_NEAR(identity.total_load(), reversed.total_load(), 1e-9);
+}
+
+TEST(OrderedOdr, OrderedLoadsConserve) {
+  Torus t(Radices{3, 4});  // mixed radix works too
+  const Placement p(t, {0, 5, 7, 10}, "manual");
+  const double expected = expected_total_load(t, p);
+  EXPECT_NEAR(odr_loads_ordered(t, p, SmallVec<i32>{1, 0}).total_load(),
+              expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,98 @@
+// Tests for the thread-parallel load analyzers and the block partitioner.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "src/load/complete_exchange.h"
+#include "src/placement/placement.h"
+#include "src/util/error.h"
+#include "src/util/parallel.h"
+
+namespace tp {
+namespace {
+
+TEST(ParallelFor, CoversTheRangeExactlyOnce) {
+  for (i32 threads : {1, 2, 3, 7}) {
+    for (i64 count : {0, 1, 5, 20, 21}) {
+      std::mutex mu;
+      std::set<i64> seen;
+      parallel_for_blocks(count, threads, [&](i32, i64 lo, i64 hi) {
+        std::scoped_lock lock(mu);
+        for (i64 i = lo; i < hi; ++i)
+          EXPECT_TRUE(seen.insert(i).second) << "index covered twice";
+      });
+      EXPECT_EQ(static_cast<i64>(seen.size()), count)
+          << "threads=" << threads << " count=" << count;
+    }
+  }
+}
+
+TEST(ParallelFor, WorkerIndicesAreDistinct) {
+  std::mutex mu;
+  std::set<i32> workers;
+  parallel_for_blocks(100, 4, [&](i32 w, i64, i64) {
+    std::scoped_lock lock(mu);
+    workers.insert(w);
+  });
+  EXPECT_EQ(workers.size(), 4u);
+}
+
+TEST(ParallelFor, Validation) {
+  EXPECT_THROW(parallel_for_blocks(-1, 1, [](i32, i64, i64) {}), Error);
+  EXPECT_THROW(parallel_for_blocks(1, 0, [](i32, i64, i64) {}), Error);
+}
+
+TEST(ParallelFor, DefaultThreadsIsPositive) {
+  EXPECT_GE(default_threads(), 1);
+}
+
+TEST(ParallelLoads, OdrBitIdenticalToSerial) {
+  for (i32 threads : {1, 2, 4}) {
+    Torus t(3, 5);
+    const Placement p = linear_placement(t);
+    const LoadMap serial = odr_loads(t, p);
+    const LoadMap parallel = odr_loads_parallel(t, p, threads);
+    EXPECT_EQ(serial.max_abs_diff(parallel), 0.0) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelLoads, OdrBitIdenticalWithTieSplitting) {
+  Torus t(2, 6);
+  const Placement p = multiple_linear_placement(t, 2);
+  const LoadMap serial = odr_loads(t, p, TieBreak::BothDirections);
+  const LoadMap parallel =
+      odr_loads_parallel(t, p, 3, TieBreak::BothDirections);
+  EXPECT_EQ(serial.max_abs_diff(parallel), 0.0);
+}
+
+TEST(ParallelLoads, UdrMatchesSerialToReductionPrecision) {
+  // UDR weights like 1/3 are not exactly representable, so the per-worker
+  // partial sums can differ from the serial order by an ulp or two.
+  for (i32 threads : {2, 5}) {
+    Torus t(3, 4);
+    const Placement p = linear_placement(t);
+    const LoadMap serial = udr_loads(t, p);
+    const LoadMap parallel = udr_loads_parallel(t, p, threads);
+    EXPECT_LT(serial.max_abs_diff(parallel), 1e-12) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelLoads, MoreThreadsThanSources) {
+  Torus t(2, 3);
+  const Placement p = linear_placement(t);  // 3 processors
+  const LoadMap parallel = odr_loads_parallel(t, p, 16);
+  EXPECT_EQ(parallel.max_abs_diff(odr_loads(t, p)), 0.0);
+}
+
+TEST(ParallelLoads, RandomPlacementAgreement) {
+  Torus t(Radices{4, 5});
+  const Placement p = random_placement(t, 9, 31);
+  EXPECT_LT(udr_loads_parallel(t, p, 3).max_abs_diff(udr_loads(t, p)),
+            1e-12);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,93 @@
+// Tests for placement serialization and the "file:" factory spec.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/placement/factory.h"
+#include "src/placement/io.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(PlacementIo, RoundTripThroughAStream) {
+  Torus t(3, 5);
+  const Placement original = linear_placement(t, 2);
+  std::stringstream ss;
+  write_placement(ss, t, original);
+  const Placement loaded = read_placement(ss, t);
+  EXPECT_EQ(loaded.nodes(), original.nodes());
+  EXPECT_EQ(loaded.name(), original.name());
+}
+
+TEST(PlacementIo, RoundTripThroughAFile) {
+  Torus t(2, 4);
+  const Placement original = random_placement(t, 7, 42);
+  const std::string path = ::testing::TempDir() + "/tp_placement.txt";
+  save_placement(path, t, original);
+  const Placement loaded = load_placement(path, t);
+  EXPECT_EQ(loaded.nodes(), original.nodes());
+  // ... and via the factory spec.
+  const Placement via_factory = make_placement(t, "file:" + path);
+  EXPECT_EQ(via_factory.nodes(), original.nodes());
+}
+
+TEST(PlacementIo, RejectsWrongTorus) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  std::stringstream ss;
+  write_placement(ss, t, p);
+  Torus other(2, 5);
+  EXPECT_THROW(read_placement(ss, other), Error);
+}
+
+TEST(PlacementIo, RejectsWrongDimensionality) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  std::stringstream ss;
+  write_placement(ss, t, p);
+  Torus other(3, 4);
+  EXPECT_THROW(read_placement(ss, other), Error);
+}
+
+TEST(PlacementIo, RejectsGarbage) {
+  Torus t(2, 4);
+  {
+    std::stringstream ss("not a placement\n");
+    EXPECT_THROW(read_placement(ss, t), Error);
+  }
+  {
+    std::stringstream ss(
+        "torusplace-placement v1\nradices 4 4\nname x\nnodes 2\n0 0\n");
+    EXPECT_THROW(read_placement(ss, t), Error);  // truncated
+  }
+  {
+    std::stringstream ss(
+        "torusplace-placement v1\nradices 4 4\nname x\nnodes 1\n0 9\n");
+    EXPECT_THROW(read_placement(ss, t), Error);  // coordinate out of range
+  }
+  {
+    std::stringstream ss(
+        "torusplace-placement v1\nradices 4 4\nname x\nnodes 2\n0 0\n0 0\n");
+    EXPECT_THROW(read_placement(ss, t), Error);  // duplicate node
+  }
+}
+
+TEST(PlacementIo, MissingFile) {
+  Torus t(2, 4);
+  EXPECT_THROW(load_placement("/nonexistent/nowhere.txt", t), Error);
+  EXPECT_THROW(make_placement(t, "file:/nonexistent/nowhere.txt"), Error);
+}
+
+TEST(PlacementIo, EmptyPlacementSurvives) {
+  Torus t(2, 3);
+  const Placement empty(t, {}, "empty");
+  std::stringstream ss;
+  write_placement(ss, t, empty);
+  const Placement loaded = read_placement(ss, t);
+  EXPECT_EQ(loaded.size(), 0);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,193 @@
+// Parameterized property sweeps over (d, k): the paper's invariants that
+// must hold for *every* torus in the family, checked wholesale.
+//
+//   P1  load conservation: sum_l E(l) == sum of Lee distances      (all routers)
+//   P2  every lower bound <= measured E_max                         (all routers)
+//   P3  ODR specifies exactly one minimal path per pair
+//   P4  UDR specifies exactly s! minimal paths per pair
+//   P5  UDR max load <= ODR max load; adaptive <= UDR
+//   P6  Theorem 1 cut: balance + exactly 4 k^{d-1} links (k even)
+//   P7  hyperplane sweep: balance + Appendix bound on crossings
+//   P8  Theorem 2/4 upper bounds hold
+//   P9  linear placements are uniform; sizes are k^{d-1}
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/bisection/dimension_cut.h"
+#include "src/bisection/hyperplane_sweep.h"
+#include "src/bounds/lower_bounds.h"
+#include "src/load/complete_exchange.h"
+#include "src/load/formulas.h"
+#include "src/placement/uniformity.h"
+#include "src/routing/odr.h"
+#include "src/routing/udr.h"
+
+namespace tp {
+namespace {
+
+class TorusSweep : public ::testing::TestWithParam<std::tuple<i32, i32>> {
+ protected:
+  i32 d() const { return std::get<0>(GetParam()); }
+  i32 k() const { return std::get<1>(GetParam()); }
+};
+
+std::string torus_sweep_name(
+    const ::testing::TestParamInfo<std::tuple<i32, i32>>& param_info) {
+  std::string name = "d";
+  name += std::to_string(std::get<0>(param_info.param));
+  name += "_k";
+  name += std::to_string(std::get<1>(param_info.param));
+  return name;
+}
+
+std::string mult_sweep_name(
+    const ::testing::TestParamInfo<std::tuple<i32, i32, i32>>& param_info) {
+  std::string name = torus_sweep_name(
+      {std::tuple<i32, i32>{std::get<0>(param_info.param),
+                            std::get<1>(param_info.param)},
+       param_info.index});
+  name += "_t";
+  name += std::to_string(std::get<2>(param_info.param));
+  return name;
+}
+
+TEST_P(TorusSweep, P1_LoadConservation) {
+  Torus t(d(), k());
+  const Placement p = linear_placement(t);
+  const double expected = expected_total_load(t, p);
+  EXPECT_NEAR(odr_loads(t, p).total_load(), expected, 1e-6 * expected + 1e-9);
+  EXPECT_NEAR(udr_loads(t, p).total_load(), expected, 1e-6 * expected + 1e-9);
+}
+
+TEST_P(TorusSweep, P2_LowerBoundsRespected) {
+  Torus t(d(), k());
+  const Placement p = linear_placement(t);
+  const double bound = best_lower_bound(t, p);
+  EXPECT_GE(odr_loads(t, p).max_load(), bound - 1e-9);
+  EXPECT_GE(udr_loads(t, p).max_load(), bound - 1e-9);
+}
+
+TEST_P(TorusSweep, P3_OdrSinglePathMinimal) {
+  Torus t(d(), k());
+  OdrRouter odr;
+  const Placement p = linear_placement(t);
+  // Check a deterministic subsample of pairs to bound runtime.
+  const auto& nodes = p.nodes();
+  for (std::size_t i = 0; i < nodes.size(); i += 3)
+    for (std::size_t j = 0; j < nodes.size(); j += 2) {
+      if (nodes[i] == nodes[j]) continue;
+      EXPECT_EQ(odr.num_paths(t, nodes[i], nodes[j]), 1);
+      odr.canonical_path(t, nodes[i], nodes[j]).verify_minimal(t);
+    }
+}
+
+TEST_P(TorusSweep, P4_UdrFactorialPaths) {
+  Torus t(d(), k());
+  UdrRouter udr;
+  const Placement p = linear_placement(t);
+  const auto& nodes = p.nodes();
+  for (std::size_t i = 0; i < nodes.size(); i += 4)
+    for (std::size_t j = 1; j < nodes.size(); j += 3) {
+      if (nodes[i] == nodes[j]) continue;
+      const i64 s = static_cast<i64>(
+          UdrRouter::differing_dims(t, nodes[i], nodes[j]).size());
+      EXPECT_EQ(udr.num_paths(t, nodes[i], nodes[j]), factorial(s));
+    }
+}
+
+TEST_P(TorusSweep, P5_MorePathsFlattenLoad) {
+  Torus t(d(), k());
+  const Placement p = linear_placement(t);
+  EXPECT_LE(udr_loads(t, p).max_load(), odr_loads(t, p).max_load() + 1e-9);
+}
+
+TEST_P(TorusSweep, P6_Theorem1Cut) {
+  Torus t(d(), k());
+  const Placement p = linear_placement(t);
+  const auto result = best_dimension_cut(t, p);
+  EXPECT_EQ(result.directed_edges, uniform_bisection_width(k(), d()));
+  if (k() % 2 == 0) {
+    EXPECT_EQ(result.imbalance, 0);
+    EXPECT_TRUE(result.cut.bisects(t, p));
+  } else {
+    // Odd k: layers cannot split evenly; imbalance is one layer.
+    EXPECT_LE(result.imbalance, p.size() / k());
+  }
+}
+
+TEST_P(TorusSweep, P7_SweepBisection) {
+  Torus t(d(), k());
+  const Placement p = linear_placement(t);
+  const auto result = hyperplane_sweep_bisection(t, p);
+  EXPECT_TRUE(result.cut.bisects(t, p));
+  EXPECT_LE(result.array_crossings, sweep_separator_upper_bound(k(), d()));
+  EXPECT_LE(result.directed_edges, bisection_width_upper_bound(k(), d()));
+}
+
+TEST_P(TorusSweep, P8_UpperBoundsHold) {
+  Torus t(d(), k());
+  const Placement p = linear_placement(t);
+  EXPECT_LE(odr_loads(t, p).max_load(), odr_linear_emax_upper(k(), d()) + 1e-9);
+  EXPECT_LT(udr_loads(t, p).max_load(), udr_linear_emax_upper(k(), d()));
+}
+
+TEST_P(TorusSweep, P9_LinearPlacementShape) {
+  Torus t(d(), k());
+  const Placement p = linear_placement(t);
+  EXPECT_EQ(p.size(), powi(k(), d() - 1));
+  EXPECT_TRUE(is_uniform(t, p));
+  // Exact ODR maxima match the reproduction formulas.
+  const LoadMap loads = odr_loads(t, p);
+  EXPECT_NEAR(loads.max_load(), odr_linear_emax_overall(k(), d()), 1e-9);
+  if (d() >= 3) {
+    EXPECT_NEAR(loads.max_load_in_dim(t, 1), odr_linear_emax(k(), d()), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimensionAndRadix, TorusSweep,
+    ::testing::Values(std::tuple<i32, i32>{2, 3}, std::tuple<i32, i32>{2, 4},
+                      std::tuple<i32, i32>{2, 5}, std::tuple<i32, i32>{2, 6},
+                      std::tuple<i32, i32>{2, 7}, std::tuple<i32, i32>{2, 8},
+                      std::tuple<i32, i32>{2, 9}, std::tuple<i32, i32>{2, 10},
+                      std::tuple<i32, i32>{3, 3}, std::tuple<i32, i32>{3, 4},
+                      std::tuple<i32, i32>{3, 5}, std::tuple<i32, i32>{3, 6},
+                      std::tuple<i32, i32>{3, 7}, std::tuple<i32, i32>{3, 8},
+                      std::tuple<i32, i32>{4, 3}, std::tuple<i32, i32>{4, 4},
+                      std::tuple<i32, i32>{4, 5}, std::tuple<i32, i32>{5, 3}),
+    torus_sweep_name);
+
+// --- multiplicity sweep -------------------------------------------------------
+
+class MultiplicitySweep
+    : public ::testing::TestWithParam<std::tuple<i32, i32, i32>> {};
+
+TEST_P(MultiplicitySweep, TheoremBoundsAndConservation) {
+  const i32 d = std::get<0>(GetParam());
+  const i32 k = std::get<1>(GetParam());
+  const i32 t_mult = std::get<2>(GetParam());
+  Torus torus(d, k);
+  const Placement p = multiple_linear_placement(torus, t_mult);
+  EXPECT_EQ(p.size(), t_mult * powi(k, d - 1));
+  EXPECT_TRUE(is_uniform(torus, p));
+
+  const LoadMap odr = odr_loads(torus, p);
+  const LoadMap udr = udr_loads(torus, p);
+  EXPECT_LE(odr.max_load(), multiple_odr_upper(t_mult, k, d) + 1e-9);
+  EXPECT_LT(udr.max_load(), multiple_udr_upper(t_mult, k, d));
+  const double expected = expected_total_load(torus, p);
+  EXPECT_NEAR(odr.total_load(), expected, 1e-6 * expected + 1e-9);
+  EXPECT_NEAR(udr.total_load(), expected, 1e-6 * expected + 1e-9);
+  EXPECT_GE(odr.max_load(), blaum_lower_bound(p.size(), d) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TKSweep, MultiplicitySweep,
+    ::testing::Combine(::testing::Values(2, 3), ::testing::Values(4, 5, 6),
+                       ::testing::Values(1, 2, 3)),
+    mult_sweep_name);
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,123 @@
+// Tests for exact rational arithmetic and the exact load analyzers.
+
+#include <gtest/gtest.h>
+
+#include "src/load/complete_exchange.h"
+#include "src/load/exact_loads.h"
+#include "src/load/formulas.h"
+#include "src/util/error.h"
+#include "src/util/rational.h"
+
+namespace tp {
+namespace {
+
+// --- Rational ---------------------------------------------------------------
+
+TEST(Rational, NormalizationAndAccessors) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(6, 3).num(), 2);
+  EXPECT_EQ(Rational(6, 3).den(), 1);
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+  EXPECT_THROW(Rational(1) / Rational(0), Error);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(7, 7), Rational(1));
+}
+
+TEST(Rational, StringAndDouble) {
+  EXPECT_EQ(Rational(3, 2).str(), "3/2");
+  EXPECT_EQ(Rational(4, 2).str(), "2");
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+TEST(Rational, SumOfHarmonicLikeSeriesIsExact) {
+  // 1/1 + 1/2 + ... + 1/10 = 7381/2520.
+  Rational sum;
+  for (i64 i = 1; i <= 10; ++i) sum += Rational(1, i);
+  EXPECT_EQ(sum, Rational(7381, 2520));
+}
+
+TEST(Rational, CrossCancellationDelaysOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow intermediate products.
+  const Rational big(1LL << 40, 3);
+  const Rational inv(3, 1LL << 40);
+  EXPECT_EQ(big * inv, Rational(1));
+}
+
+// --- exact loads -------------------------------------------------------------
+
+TEST(ExactLoads, OdrMatchesDoubleAnalyzerExactly) {
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {3, 4, 5}) {
+      Torus t(d, k);
+      const Placement p = linear_placement(t);
+      const LoadMap exact = odr_loads_exact(t, p).to_load_map(t);
+      EXPECT_EQ(exact.max_abs_diff(odr_loads(t, p)), 0.0)
+          << "d=" << d << " k=" << k;
+    }
+}
+
+TEST(ExactLoads, UdrMatchesDoubleAnalyzerToFloatPrecision) {
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {3, 4, 5}) {
+      Torus t(d, k);
+      const Placement p = linear_placement(t);
+      const LoadMap exact = udr_loads_exact(t, p).to_load_map(t);
+      EXPECT_LT(exact.max_abs_diff(udr_loads(t, p)), 1e-12)
+          << "d=" << d << " k=" << k;
+    }
+}
+
+TEST(ExactLoads, ConservationIsExactlyAnInteger) {
+  Torus t(3, 4);
+  const Placement p = linear_placement(t);
+  const Rational expected = expected_total_load_exact(t, p);
+  EXPECT_EQ(expected.den(), 1);  // sum of Lee distances is an integer
+  EXPECT_EQ(odr_loads_exact(t, p).total_load(), expected);
+  EXPECT_EQ(udr_loads_exact(t, p).total_load(), expected);
+}
+
+TEST(ExactLoads, ConservationWithTieSplitting) {
+  Torus t(2, 4);  // even k exercises the 1/2 weights
+  const Placement p = linear_placement(t);
+  const Rational expected = expected_total_load_exact(t, p);
+  EXPECT_EQ(odr_loads_exact(t, p, TieBreak::BothDirections).total_load(),
+            expected);
+  EXPECT_EQ(udr_loads_exact(t, p, TieBreak::BothDirections).total_load(),
+            expected);
+}
+
+TEST(ExactLoads, UdrMaximaAreExactRationals) {
+  // d=3, k=4: the golden value 11/3 — now provably exact, not a float.
+  Torus t(3, 4);
+  const Placement p = linear_placement(t);
+  EXPECT_EQ(udr_loads_exact(t, p).max_load(), Rational(11, 3));
+  // d=3, k=6: (5*36+12)/24 = 8 (the conjectured closed form).
+  Torus t6(3, 6);
+  EXPECT_EQ(udr_loads_exact(t6, linear_placement(t6)).max_load(),
+            Rational(8));
+}
+
+TEST(ExactLoads, OdrMaximaMatchClosedFormsExactly) {
+  Torus t(3, 8);
+  const Placement p = linear_placement(t);
+  EXPECT_EQ(odr_loads_exact(t, p).max_load(), Rational(32));  // floor(k/2)k
+}
+
+}  // namespace
+}  // namespace tp

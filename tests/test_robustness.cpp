@@ -1,0 +1,141 @@
+// Error-path coverage: every public API must reject malformed input with
+// tp::Error rather than crash or mis-compute.  Grouped by module.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/grid_render.h"
+#include "src/core/torusplace.h"
+#include "src/simulate/wormhole.h"
+
+namespace tp {
+namespace {
+
+TEST(Robustness, TorusApi) {
+  Torus t(2, 4);
+  EXPECT_THROW(t.radix(-1), Error);
+  EXPECT_THROW(t.radix(2), Error);
+  EXPECT_THROW(t.coord_of(-1, 0), Error);
+  EXPECT_THROW(t.coord_of(0, 9), Error);
+  EXPECT_THROW(t.neighbor(99, 0, Dir::Pos), Error);
+  EXPECT_THROW(t.edge_id(0, 5, Dir::Pos), Error);
+  EXPECT_THROW(t.link(-1), Error);
+  EXPECT_THROW(t.link(t.num_directed_edges()), Error);
+  EXPECT_THROW(t.lee_distance(0, 999), Error);
+  EXPECT_THROW(t.cyclic_dist(7, 0, 0), Error);
+  EXPECT_THROW(t.principal_subtorus(0, 4), Error);
+  EXPECT_THROW(t.principal_subtorus(2, 0), Error);
+}
+
+TEST(Robustness, GraphApi) {
+  Torus t(2, 3);
+  EXPECT_THROW(bfs_distances(t, -1), Error);
+  EdgeSet s(t);
+  EXPECT_THROW(s.insert(-1), std::exception);          // bitmap at() throws
+  EXPECT_THROW(s.contains(t.num_directed_edges()), std::exception);
+}
+
+TEST(Robustness, LoadMapApi) {
+  Torus t(2, 3);
+  LoadMap m(t);
+  EXPECT_THROW(m.histogram(0), Error);
+  EXPECT_THROW(m.max_load_in_dim(t, 5), Error);
+  EXPECT_THROW(m.add(-1, 1.0), std::exception);
+}
+
+TEST(Robustness, RouterApi) {
+  Torus t(2, 4);
+  OdrRouter odr;
+  UdrRouter udr;
+  EXPECT_THROW(odr.canonical_path(t, -1, 0), Error);
+  EXPECT_THROW(odr.paths(t, 0, 99), Error);
+  EXPECT_THROW(udr.paths(t, -2, 0), Error);
+  EXPECT_THROW(udr.num_paths(t, 0, 16), Error);
+  AdaptiveMinimalRouter adaptive;
+  EXPECT_THROW(adaptive.paths(t, 0, -1), Error);
+}
+
+TEST(Robustness, LoadAnalyzersRejectForeignPlacements) {
+  Torus t(2, 4);
+  Torus other(2, 5);
+  const Placement p = linear_placement(other);
+  EXPECT_THROW(odr_loads(t, p), Error);
+  EXPECT_THROW(udr_loads(t, p), Error);
+  EXPECT_THROW(adaptive_loads(t, p), Error);
+  EXPECT_THROW(expected_total_load(t, p), Error);
+  EXPECT_THROW(reference_loads(t, p, OdrRouter()), Error);
+}
+
+TEST(Robustness, BisectionApi) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  EXPECT_THROW(dimension_cut(t, p, 9), Error);
+  Torus big(2, 6);
+  EXPECT_THROW(exact_bisection(big, full_population(big)), Error);  // 36 > 24
+  EXPECT_THROW(Cut(t, std::vector<bool>(3, false)), Error);
+}
+
+TEST(Robustness, BoundsApi) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  EXPECT_THROW(separator_bound(t, p, {NodeId{-1}}), Error);
+  Torus mixed(Radices{3, 4});
+  EXPECT_THROW(placement_size_ceiling(mixed, 1.0), Error);
+}
+
+TEST(Robustness, SimulatorApi) {
+  Torus t(2, 4);
+  NetworkSim sim(t);
+  SimMessage bad;
+  bad.path.source = 0;
+  bad.path.target = 1;
+  bad.path.edges = {t.edge_id(5, 0, Dir::Pos)};  // does not start at source
+  EXPECT_THROW(sim.run({bad}), Error);
+  SimMessage negative;
+  negative.inject_cycle = -5;
+  EXPECT_THROW(sim.run({negative}), Error);
+}
+
+TEST(Robustness, WormholeApi) {
+  Torus t(1, 4);
+  WormholeConfig config;
+  config.stall_threshold = 0;
+  EXPECT_THROW(WormholeSim(t, config), Error);
+}
+
+TEST(Robustness, PlannerAndVerifier) {
+  Torus t(2, 4);
+  EXPECT_THROW(plan_placement(t, -1), Error);
+  const auto family = [](const Torus& torus) {
+    return linear_placement(torus);
+  };
+  EXPECT_THROW(verify_linear_load(2, {}, family, RouterKind::Odr), Error);
+}
+
+TEST(Robustness, GridRenderRejectsForeignPlacement) {
+  Torus t(2, 4);
+  Torus other(2, 5);
+  EXPECT_THROW(render_placement(t, linear_placement(other)), Error);
+}
+
+TEST(Robustness, TrafficGenerators) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  EXPECT_THROW(h_relation_traffic(t, p, odr, -1, 1), Error);
+  const Placement single(t, {0}, "one");
+  EXPECT_THROW(h_relation_traffic(t, single, odr, 1, 1), Error);
+  EXPECT_THROW(sample_wire_faults(t, t.num_undirected_edges() + 1, 1),
+               Error);
+}
+
+TEST(Robustness, SmallVecAndNdRange) {
+  EXPECT_THROW((SmallVec<i32>{1, 2, 3, 4, 5, 6, 7, 8, 9}), Error);
+  NdRange r(Radices{2});
+  r.next();
+  r.next();
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.next(), Error);
+}
+
+}  // namespace
+}  // namespace tp

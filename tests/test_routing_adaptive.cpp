@@ -1,0 +1,126 @@
+// Tests for the fully adaptive minimal router: enumeration matches the
+// multinomial count, every path is minimal and distinct, sampling is
+// uniform, and UDR/ODR path sets are subsets of the adaptive set.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/routing/adaptive.h"
+#include "src/routing/odr.h"
+#include "src/routing/udr.h"
+#include "src/torus/torus.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(Adaptive, EnumerationMatchesCount) {
+  Torus t(3, 5);
+  AdaptiveMinimalRouter router;
+  const NodeId p = t.node_id(Coord{0, 0, 0});
+  for (NodeId q = 0; q < t.num_nodes(); q += 13) {
+    const auto paths = router.paths(t, p, q);
+    EXPECT_EQ(static_cast<i64>(paths.size()), router.num_paths(t, p, q))
+        << t.node_str(q);
+  }
+}
+
+TEST(Adaptive, AllPathsMinimalAndDistinct) {
+  Torus t(2, 6);
+  AdaptiveMinimalRouter router;
+  const NodeId p = t.node_id(Coord{0, 0});
+  const NodeId q = t.node_id(Coord{2, 3});  // dim 1 is a tie
+  const auto paths = router.paths(t, p, q);
+  EXPECT_EQ(static_cast<i64>(paths.size()), t.num_minimal_paths(p, q));
+  std::set<std::vector<EdgeId>> distinct;
+  for (const Path& path : paths) {
+    path.verify_minimal(t);
+    distinct.insert(path.edges);
+  }
+  EXPECT_EQ(distinct.size(), paths.size());
+}
+
+TEST(Adaptive, CountMatchesMultinomialByHand) {
+  Torus t(2, 7);
+  AdaptiveMinimalRouter router;
+  const NodeId p = t.node_id(Coord{0, 0});
+  // Distances (3, 2): C(5,3) = 10 paths.
+  EXPECT_EQ(router.num_paths(t, p, t.node_id(Coord{3, 2})), 10);
+  // Distances (3, 3) using wrap: C(6,3) = 20.
+  EXPECT_EQ(router.num_paths(t, p, t.node_id(Coord{3, 4})), 20);
+}
+
+TEST(Adaptive, UdrPathsAreASubset) {
+  Torus t(3, 5);
+  AdaptiveMinimalRouter adaptive;
+  UdrRouter udr;
+  const NodeId p = t.node_id(Coord{0, 0, 0});
+  const NodeId q = t.node_id(Coord{1, 1, 2});
+  std::set<std::vector<EdgeId>> all;
+  for (const Path& path : adaptive.paths(t, p, q)) all.insert(path.edges);
+  for (const Path& path : udr.paths(t, p, q))
+    EXPECT_TRUE(all.count(path.edges));
+  // And ODR's single path too.
+  EXPECT_TRUE(all.count(OdrRouter().canonical_path(t, p, q).edges));
+}
+
+TEST(Adaptive, GuardsAgainstBlowup) {
+  Torus t(8, 4);
+  AdaptiveMinimalRouter router;
+  router.set_max_paths(100);
+  const NodeId p = 0;
+  // The farthest corner has an astronomical path count.
+  NodeId q = p;
+  for (i32 d = 0; d < t.dims(); ++d) q = t.neighbor(q, d, Dir::Pos);
+  for (i32 d = 0; d < t.dims(); ++d) q = t.neighbor(q, d, Dir::Pos);
+  EXPECT_THROW(router.paths(t, p, q), Error);
+}
+
+TEST(Adaptive, SampleIsUniform) {
+  Torus t(2, 7);
+  AdaptiveMinimalRouter router;
+  const NodeId p = t.node_id(Coord{0, 0});
+  const NodeId q = t.node_id(Coord{2, 1});  // 3 paths
+  Xoshiro256SS rng(5);
+  std::map<std::vector<EdgeId>, int> counts;
+  const int draws = 3000;
+  for (int i = 0; i < draws; ++i)
+    ++counts[router.sample_path(t, p, q, rng).edges];
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [edges, c] : counts) {
+    EXPECT_GT(c, draws / 3 - 150);
+    EXPECT_LT(c, draws / 3 + 150);
+  }
+}
+
+TEST(Adaptive, SampleCoversTieDirections) {
+  Torus t(1, 8);
+  AdaptiveMinimalRouter router;
+  Xoshiro256SS rng(17);
+  std::set<NodeId> first_hops;
+  for (int i = 0; i < 100; ++i)
+    first_hops.insert(router.sample_path(t, 0, 4, rng).nodes(t)[1]);
+  EXPECT_EQ(first_hops.size(), 2u);
+}
+
+TEST(Adaptive, SamplePathsAreMinimal) {
+  Torus t(3, 6);
+  AdaptiveMinimalRouter router;
+  Xoshiro256SS rng(8);
+  for (NodeId q = 1; q < t.num_nodes(); q += 31)
+    router.sample_path(t, 0, q, rng).verify_minimal(t);
+}
+
+TEST(Adaptive, SelfPair) {
+  Torus t(2, 4);
+  AdaptiveMinimalRouter router;
+  EXPECT_EQ(router.num_paths(t, 3, 3), 1);
+  const auto paths = router.paths(t, 3, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), 0);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,169 @@
+// Tests for Ordered Dimensional Routing (Section 6): canonical path shape,
+// minimality, tie handling, and the dimension-order invariant.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/routing/odr.h"
+#include "src/torus/torus.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(Odr, CanonicalPathIsMinimal) {
+  Torus t(3, 5);
+  OdrRouter odr;
+  for (NodeId p : {NodeId{0}, NodeId{31}, NodeId{124}})
+    for (NodeId q = 0; q < t.num_nodes(); q += 7) {
+      const Path path = odr.canonical_path(t, p, q);
+      path.verify_minimal(t);
+      EXPECT_EQ(path.source, p);
+      EXPECT_EQ(path.target, q);
+    }
+}
+
+TEST(Odr, ExactlyOnePathWithCanonicalTieBreak) {
+  Torus t(2, 4);  // even k: ties exist
+  OdrRouter odr;
+  for (NodeId p = 0; p < t.num_nodes(); ++p)
+    for (NodeId q = 0; q < t.num_nodes(); ++q) {
+      EXPECT_EQ(odr.num_paths(t, p, q), 1);
+      EXPECT_EQ(odr.paths(t, p, q).size(), 1u);
+    }
+}
+
+TEST(Odr, PathsMatchCanonicalPath) {
+  Torus t(2, 5);
+  OdrRouter odr;
+  for (NodeId p = 0; p < t.num_nodes(); ++p)
+    for (NodeId q = 0; q < t.num_nodes(); ++q)
+      EXPECT_EQ(odr.paths(t, p, q)[0].edges,
+                odr.canonical_path(t, p, q).edges);
+}
+
+TEST(Odr, CorrectsDimensionsInOrder) {
+  // The node sequence must fix dimension 0 first, then dimension 1, ...
+  Torus t(3, 5);
+  OdrRouter odr;
+  const NodeId p = t.node_id(Coord{0, 0, 0});
+  const NodeId q = t.node_id(Coord{2, 3, 1});
+  const Path path = odr.canonical_path(t, p, q);
+  const auto nodes = path.nodes(t);
+  // Dimension of each hop must be non-decreasing.
+  i32 last_dim = 0;
+  for (EdgeId e : path.edges) {
+    const Link l = t.link(e);
+    EXPECT_GE(l.dim, last_dim);
+    last_dim = l.dim;
+  }
+  EXPECT_EQ(nodes.back(), q);
+}
+
+TEST(Odr, TieGoesPositive) {
+  // k = 6, distance exactly 3: the canonical rule corrects in +.
+  Torus t(1, 6);
+  OdrRouter odr;
+  const Path path = odr.canonical_path(t, 0, 3);
+  ASSERT_EQ(path.length(), 3);
+  const auto nodes = path.nodes(t);
+  EXPECT_EQ(nodes[1], 1);
+  EXPECT_EQ(nodes[2], 2);
+}
+
+TEST(Odr, ShorterDirectionWins) {
+  Torus t(1, 6);
+  OdrRouter odr;
+  // 0 -> 4: distance 2 backwards.
+  const Path path = odr.canonical_path(t, 0, 4);
+  ASSERT_EQ(path.length(), 2);
+  EXPECT_EQ(path.nodes(t)[1], 5);
+}
+
+TEST(Odr, BothDirectionsTieBreakDoublesPaths) {
+  Torus t(2, 4);
+  OdrRouter both(TieBreak::BothDirections);
+  const NodeId p = t.node_id(Coord{0, 0});
+  // One tie dimension (distance 2), one non-tie: 2 paths.
+  EXPECT_EQ(both.num_paths(t, p, t.node_id(Coord{2, 1})), 2);
+  // Two tie dimensions: 4 paths.
+  EXPECT_EQ(both.num_paths(t, p, t.node_id(Coord{2, 2})), 4);
+  // No tie: 1 path.
+  EXPECT_EQ(both.num_paths(t, p, t.node_id(Coord{1, 1})), 1);
+  // paths() agrees with num_paths() and all are minimal + distinct.
+  const auto paths = both.paths(t, p, t.node_id(Coord{2, 2}));
+  EXPECT_EQ(paths.size(), 4u);
+  std::set<std::vector<EdgeId>> distinct;
+  for (const Path& path : paths) {
+    path.verify_minimal(t);
+    distinct.insert(path.edges);
+  }
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(Odr, SampleIsDeterministicWithOnePath) {
+  Torus t(2, 5);
+  OdrRouter odr;
+  Xoshiro256SS rng(3);
+  const Path sampled = odr.sample_path(t, 2, 17, rng);
+  EXPECT_EQ(sampled.edges, odr.canonical_path(t, 2, 17).edges);
+}
+
+TEST(Odr, SampleCoversBothTieDirections) {
+  Torus t(1, 6);
+  OdrRouter both(TieBreak::BothDirections);
+  Xoshiro256SS rng(11);
+  std::set<NodeId> first_hops;
+  for (int i = 0; i < 64; ++i)
+    first_hops.insert(both.sample_path(t, 0, 3, rng).nodes(t)[1]);
+  EXPECT_EQ(first_hops.size(), 2u);  // saw + and - starts
+}
+
+TEST(Odr, SelfPathIsEmpty) {
+  Torus t(2, 4);
+  OdrRouter odr;
+  const Path path = odr.canonical_path(t, 5, 5);
+  EXPECT_EQ(path.length(), 0);
+  path.verify_minimal(t);
+}
+
+TEST(Odr, Name) {
+  EXPECT_EQ(OdrRouter().name(), "ODR");
+  EXPECT_EQ(OdrRouter(TieBreak::BothDirections).name(), "ODR(both)");
+}
+
+TEST(Path, VerifyCatchesBrokenPaths) {
+  Torus t(2, 4);
+  OdrRouter odr;
+  Path path = odr.canonical_path(t, 0, 5);
+  ASSERT_GE(path.length(), 2);
+  std::swap(path.edges[0], path.edges[1]);
+  EXPECT_THROW(path.verify_connected(t), Error);
+}
+
+TEST(Path, VerifyMinimalCatchesDetours) {
+  Torus t(1, 5);
+  // 0 -> 1 the long way round (4 hops) is connected but not minimal.
+  Path path;
+  path.source = 0;
+  path.target = 1;
+  NodeId cur = 0;
+  for (int i = 0; i < 4; ++i) {
+    path.edges.push_back(t.edge_id(cur, 0, Dir::Neg));
+    cur = t.neighbor(cur, 0, Dir::Neg);
+  }
+  path.verify_connected(t);
+  EXPECT_THROW(path.verify_minimal(t), Error);
+}
+
+TEST(Path, UsesFindsEdges) {
+  Torus t(2, 4);
+  OdrRouter odr;
+  const Path path = odr.canonical_path(t, 0, 5);
+  for (EdgeId e : path.edges) EXPECT_TRUE(path.uses(e));
+  EXPECT_FALSE(path.uses(t.num_directed_edges() - 1));
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,166 @@
+// Tests for Unordered Dimensional Routing (Section 7): the s! path count,
+// path structure (one full dimension correction at a time), minimality,
+// and fault-tolerance-relevant path diversity.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/routing/udr.h"
+#include "src/torus/torus.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+i32 differing(const Torus& t, NodeId p, NodeId q) {
+  return static_cast<i32>(UdrRouter::differing_dims(t, p, q).size());
+}
+
+TEST(Udr, PathCountIsSFactorial) {
+  Torus t(3, 5);
+  UdrRouter udr;
+  for (NodeId p : {NodeId{0}, NodeId{62}})
+    for (NodeId q = 0; q < t.num_nodes(); q += 11) {
+      const i32 s = differing(t, p, q);
+      EXPECT_EQ(udr.num_paths(t, p, q), factorial(s))
+          << t.node_str(p) << " -> " << t.node_str(q);
+      EXPECT_EQ(static_cast<i64>(udr.paths(t, p, q).size()), factorial(s));
+    }
+}
+
+TEST(Udr, AllPathsAreMinimalAndDistinct) {
+  Torus t(3, 5);
+  UdrRouter udr;
+  const NodeId p = t.node_id(Coord{0, 0, 0});
+  const NodeId q = t.node_id(Coord{1, 2, 3});
+  const auto paths = udr.paths(t, p, q);
+  ASSERT_EQ(paths.size(), 6u);  // 3! = 6
+  std::set<std::vector<EdgeId>> distinct;
+  for (const Path& path : paths) {
+    path.verify_minimal(t);
+    distinct.insert(path.edges);
+  }
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(Udr, EachPathCorrectsOneDimensionAtATime) {
+  Torus t(3, 5);
+  UdrRouter udr;
+  const NodeId p = t.node_id(Coord{0, 0, 0});
+  const NodeId q = t.node_id(Coord{2, 1, 2});
+  for (const Path& path : udr.paths(t, p, q)) {
+    // The dimension sequence along the path must have no dimension
+    // reappearing after a different one was used.
+    std::set<i32> finished;
+    i32 current = -1;
+    for (EdgeId e : path.edges) {
+      const Link l = t.link(e);
+      if (l.dim != current) {
+        EXPECT_FALSE(finished.count(l.dim)) << "dimension revisited";
+        if (current >= 0) finished.insert(current);
+        current = l.dim;
+      }
+    }
+  }
+}
+
+TEST(Udr, IncludesTheOdrPath) {
+  // ODR's canonical path (dimension order 0, 1, ..., d-1) is one of UDR's.
+  Torus t(3, 5);
+  UdrRouter udr;
+  const NodeId p = t.node_id(Coord{4, 1, 0});
+  const NodeId q = t.node_id(Coord{1, 3, 2});
+  SmallVec<i32> order{0, 1, 2};
+  SmallVec<i32> dirs;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Way w = t.shortest_way(order[i], t.coord_of(p, order[i]),
+                                 t.coord_of(q, order[i]));
+    dirs.push_back(w == Way::Neg ? -1 : +1);
+  }
+  const Path odr_like = udr.path_for_order(t, p, q, order, dirs);
+  bool found = false;
+  for (const Path& path : udr.paths(t, p, q))
+    if (path.edges == odr_like.edges) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Udr, PathForOrderValidatesArguments) {
+  Torus t(2, 5);
+  UdrRouter udr;
+  const NodeId p = 0, q = t.node_id(Coord{1, 2});
+  EXPECT_THROW(udr.path_for_order(t, p, q, SmallVec<i32>{0},
+                                  SmallVec<i32>{+1, +1}),
+               Error);
+  // Wrong direction does not land on the target coordinate - the segment
+  // walks the long way round, so the path is connected but not q-ending
+  // only when distances mismatch; here the walk still ends at q but is
+  // longer than minimal.  path_for_order only guarantees arrival.
+  const Path path = udr.path_for_order(t, p, q, SmallVec<i32>{0, 1},
+                                       SmallVec<i32>{-1, -1});
+  path.verify_connected(t);
+  EXPECT_GT(path.length(), t.lee_distance(p, q));
+}
+
+TEST(Udr, TieBothDirectionsMultipliesCount) {
+  Torus t(2, 4);
+  const NodeId p = t.node_id(Coord{0, 0});
+  const NodeId q = t.node_id(Coord{2, 2});  // two tie dimensions
+  EXPECT_EQ(UdrRouter().num_paths(t, p, q), 2);               // 2!
+  UdrRouter both(TieBreak::BothDirections);
+  EXPECT_EQ(both.num_paths(t, p, q), 8);                      // 2! * 2 * 2
+  const auto paths = both.paths(t, p, q);
+  EXPECT_EQ(paths.size(), 8u);
+  std::set<std::vector<EdgeId>> distinct;
+  for (const Path& path : paths) {
+    path.verify_minimal(t);
+    distinct.insert(path.edges);
+  }
+  EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(Udr, DifferingDims) {
+  Torus t(3, 4);
+  const NodeId p = t.node_id(Coord{1, 2, 3});
+  EXPECT_EQ(UdrRouter::differing_dims(t, p, p).size(), 0u);
+  const NodeId q = t.node_id(Coord{1, 0, 2});
+  const auto diff = UdrRouter::differing_dims(t, p, q);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0], 1);
+  EXPECT_EQ(diff[1], 2);
+}
+
+TEST(Udr, SamplePathIsAlwaysAValidUdrPath) {
+  Torus t(3, 5);
+  UdrRouter udr;
+  Xoshiro256SS rng(21);
+  const NodeId p = t.node_id(Coord{0, 1, 2});
+  const NodeId q = t.node_id(Coord{3, 3, 0});
+  std::set<std::vector<EdgeId>> allowed;
+  for (const Path& path : udr.paths(t, p, q)) allowed.insert(path.edges);
+  std::set<std::vector<EdgeId>> sampled;
+  for (int i = 0; i < 200; ++i) {
+    const Path path = udr.sample_path(t, p, q, rng);
+    EXPECT_TRUE(allowed.count(path.edges));
+    sampled.insert(path.edges);
+  }
+  // With 200 draws over 6 paths, seeing all of them is overwhelming.
+  EXPECT_EQ(sampled.size(), allowed.size());
+}
+
+TEST(Udr, PairDifferingInOneDimHasOnePath) {
+  Torus t(3, 5);
+  UdrRouter udr;
+  const NodeId p = t.node_id(Coord{0, 0, 0});
+  const NodeId q = t.node_id(Coord{0, 2, 0});
+  EXPECT_EQ(udr.num_paths(t, p, q), 1);
+  udr.paths(t, p, q)[0].verify_minimal(t);
+}
+
+TEST(Udr, Name) {
+  EXPECT_EQ(UdrRouter().name(), "UDR");
+  EXPECT_EQ(UdrRouter(TieBreak::BothDirections).name(), "UDR(both)");
+}
+
+}  // namespace
+}  // namespace tp

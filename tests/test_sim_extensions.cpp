@@ -1,0 +1,200 @@
+// Tests for the simulator extensions: multi-flit messages, hotspot
+// traffic, and BSP h-relations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/load/complete_exchange.h"
+#include "src/placement/placement.h"
+#include "src/routing/odr.h"
+#include "src/routing/udr.h"
+#include "src/simulate/network_sim.h"
+#include "src/simulate/traffic.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(MultiFlit, SingleMessageTakesFlitsTimesHops) {
+  Torus t(2, 5);
+  OdrRouter odr;
+  const NodeId src = 0, dst = t.node_id(Coord{2, 1});
+  const i64 hops = t.lee_distance(src, dst);
+  for (i64 flits : {1, 2, 4}) {
+    NetworkSim sim(t, nullptr, SimConfig{flits});
+    const SimMetrics m =
+        sim.run({SimMessage{odr.canonical_path(t, src, dst), 0}});
+    EXPECT_EQ(m.cycles, hops * flits) << "flits=" << flits;
+    EXPECT_EQ(m.delivered, 1);
+  }
+}
+
+TEST(MultiFlit, ContentionScalesWithFlits) {
+  // Two messages sharing their first link: the second waits a full
+  // message-transmission time.
+  Torus t(1, 8);
+  OdrRouter odr;
+  std::vector<SimMessage> msgs{{odr.canonical_path(t, 0, 2), 0},
+                               {odr.canonical_path(t, 0, 3), 0}};
+  NetworkSim sim(t, nullptr, SimConfig{3});
+  const SimMetrics m = sim.run(msgs);
+  // Unblocked: 3 hops * 3 flits = 9; +3 for the serialized first link.
+  EXPECT_EQ(m.cycles, 12);
+  EXPECT_EQ(m.delivered, 2);
+}
+
+TEST(MultiFlit, CompleteExchangeMakespanScalesRoughlyLinearly) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  const auto traffic = complete_exchange_traffic(t, p, odr, 3);
+  const SimMetrics one = NetworkSim(t).run(traffic.messages);
+  const SimMetrics four =
+      NetworkSim(t, nullptr, SimConfig{4}).run(traffic.messages);
+  EXPECT_GE(four.cycles, 3 * one.cycles);
+  EXPECT_LE(four.cycles, 5 * one.cycles);
+}
+
+TEST(MultiFlit, ConfigValidated) {
+  Torus t(2, 3);
+  EXPECT_THROW(NetworkSim(t, nullptr, SimConfig{0}), Error);
+}
+
+TEST(Hotspot, AllMessagesTargetTheHotspot) {
+  Torus t(2, 5);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  const NodeId target = p.nodes()[2];
+  const auto traffic = hotspot_traffic(t, p, odr, target, 9);
+  EXPECT_EQ(static_cast<i64>(traffic.messages.size()), p.size() - 1);
+  for (const SimMessage& m : traffic.messages) {
+    EXPECT_EQ(m.path.target, target);
+    m.path.verify_minimal(t);
+  }
+}
+
+TEST(Hotspot, TargetMustBeAProcessor) {
+  Torus t(2, 5);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  NodeId non_proc = 0;
+  while (p.contains(non_proc)) ++non_proc;
+  EXPECT_THROW(hotspot_traffic(t, p, odr, non_proc, 1), Error);
+}
+
+TEST(Hotspot, MakespanBoundedByDegreeSerialization) {
+  // All |P|-1 messages drain into the target through its 2d incoming
+  // links: makespan >= ceil((|P|-1)/2d).
+  Torus t(2, 8);
+  const Placement p = linear_placement(t);
+  UdrRouter udr;
+  const NodeId target = p.nodes()[0];
+  const auto traffic = hotspot_traffic(t, p, udr, target, 5);
+  const SimMetrics m = NetworkSim(t).run(traffic.messages);
+  EXPECT_EQ(m.delivered, p.size() - 1);
+  EXPECT_GE(m.cycles, (p.size() - 1 + 3) / 4);
+}
+
+TEST(HRelation, EveryProcessorSendsExactlyH) {
+  Torus t(2, 5);
+  const Placement p = linear_placement(t);
+  UdrRouter udr;
+  const i64 h = 3;
+  const auto traffic = h_relation_traffic(t, p, udr, h, 17);
+  EXPECT_EQ(static_cast<i64>(traffic.messages.size()), h * p.size());
+  // Count per source.
+  std::map<NodeId, i64> per_source;
+  for (const SimMessage& m : traffic.messages) {
+    ++per_source[m.path.source];
+    EXPECT_NE(m.path.source, m.path.target);
+    m.path.verify_minimal(t);
+    EXPECT_TRUE(p.contains(m.path.target));
+  }
+  for (NodeId src : p.nodes()) EXPECT_EQ(per_source[src], h);
+}
+
+TEST(HRelation, ZeroHIsEmpty) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  EXPECT_TRUE(h_relation_traffic(t, p, odr, 0, 1).messages.empty());
+}
+
+TEST(HRelation, MakespanGrowsWithH) {
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);
+  UdrRouter udr;
+  i64 prev = 0;
+  for (i64 h : {1, 4, 16}) {
+    const auto traffic = h_relation_traffic(t, p, udr, h, 23);
+    const SimMetrics m = NetworkSim(t).run(traffic.messages);
+    EXPECT_EQ(m.delivered, static_cast<i64>(traffic.messages.size()));
+    EXPECT_GT(m.cycles, prev);
+    prev = m.cycles;
+  }
+}
+
+TEST(RandomRate, InjectionCountMatchesRateStatistically) {
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  const double rate = 0.25;
+  const i64 horizon = 400;
+  const auto traffic = random_rate_traffic(t, p, odr, rate, horizon, 3);
+  const double expected =
+      rate * static_cast<double>(p.size()) * static_cast<double>(horizon);
+  EXPECT_GT(static_cast<double>(traffic.messages.size()), 0.8 * expected);
+  EXPECT_LT(static_cast<double>(traffic.messages.size()), 1.2 * expected);
+  for (const SimMessage& m : traffic.messages) {
+    EXPECT_GE(m.inject_cycle, 0);
+    EXPECT_LT(m.inject_cycle, horizon);
+    m.path.verify_minimal(t);
+    EXPECT_TRUE(p.contains(m.path.source));
+    EXPECT_TRUE(p.contains(m.path.target));
+  }
+}
+
+TEST(RandomRate, ZeroRateIsSilenceFullRateIsEveryCycle) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  EXPECT_TRUE(random_rate_traffic(t, p, odr, 0.0, 10, 1).messages.empty());
+  const auto full = random_rate_traffic(t, p, odr, 1.0, 10, 1);
+  EXPECT_EQ(static_cast<i64>(full.messages.size()), p.size() * 10);
+}
+
+TEST(RandomRate, RunsThroughTheSimulator) {
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);
+  UdrRouter udr;
+  const auto traffic = random_rate_traffic(t, p, udr, 0.3, 100, 9);
+  const SimMetrics m = NetworkSim(t).run(traffic.messages);
+  EXPECT_EQ(m.delivered, static_cast<i64>(traffic.messages.size()));
+}
+
+TEST(RandomRate, Validation) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  EXPECT_THROW(random_rate_traffic(t, p, odr, 1.5, 10, 1), Error);
+  EXPECT_THROW(random_rate_traffic(t, p, odr, -0.1, 10, 1), Error);
+  EXPECT_THROW(random_rate_traffic(t, p, odr, 0.5, 0, 1), Error);
+}
+
+TEST(HRelation, GapEstimateIsStableForLargeH) {
+  // makespan/h approaches the BSP gap of the design; it should not blow
+  // up between h=8 and h=32.
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);
+  UdrRouter udr;
+  const auto t8 = h_relation_traffic(t, p, udr, 8, 29);
+  const auto t32 = h_relation_traffic(t, p, udr, 32, 29);
+  const double g8 = static_cast<double>(NetworkSim(t).run(t8.messages).cycles) / 8.0;
+  const double g32 =
+      static_cast<double>(NetworkSim(t).run(t32.messages).cycles) / 32.0;
+  EXPECT_LE(g32, 1.5 * g8);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,252 @@
+// Tests for the cycle-accurate store-and-forward simulator, the traffic
+// generators, and fault injection.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/fault_router.h"
+#include "src/load/complete_exchange.h"
+#include "src/placement/placement.h"
+#include "src/routing/odr.h"
+#include "src/routing/udr.h"
+#include "src/simulate/fault.h"
+#include "src/simulate/network_sim.h"
+#include "src/simulate/traffic.h"
+
+namespace tp {
+namespace {
+
+TEST(NetworkSim, SingleMessageTakesLeeDistanceCycles) {
+  Torus t(2, 5);
+  OdrRouter odr;
+  const NodeId src = 0, dst = t.node_id(Coord{2, 1});
+  SimMessage m{odr.canonical_path(t, src, dst), 0};
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run({m});
+  EXPECT_EQ(metrics.delivered, 1);
+  EXPECT_EQ(metrics.cycles, t.lee_distance(src, dst));
+  EXPECT_DOUBLE_EQ(metrics.mean_latency,
+                   static_cast<double>(t.lee_distance(src, dst)));
+}
+
+TEST(NetworkSim, TwoMessagesContendOnASharedLink) {
+  // Both messages need link (0,0)->(0,1) first: one waits a cycle.
+  Torus t(1, 8);
+  OdrRouter odr;
+  std::vector<SimMessage> msgs{{odr.canonical_path(t, 0, 2), 0},
+                               {odr.canonical_path(t, 0, 3), 0}};
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run(msgs);
+  EXPECT_EQ(metrics.delivered, 2);
+  // Unblocked makespan would be 3; serialization on the first link makes
+  // the second message one cycle late.
+  EXPECT_EQ(metrics.cycles, 4);
+  EXPECT_EQ(metrics.max_queue_depth, 2);
+}
+
+TEST(NetworkSim, ParallelMessagesDoNotInterfere) {
+  Torus t(2, 4);
+  OdrRouter odr;
+  std::vector<SimMessage> msgs{
+      {odr.canonical_path(t, t.node_id(Coord{0, 0}), t.node_id(Coord{0, 1})), 0},
+      {odr.canonical_path(t, t.node_id(Coord{1, 0}), t.node_id(Coord{1, 1})), 0},
+      {odr.canonical_path(t, t.node_id(Coord{2, 0}), t.node_id(Coord{2, 1})), 0}};
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run(msgs);
+  EXPECT_EQ(metrics.cycles, 1);
+  EXPECT_EQ(metrics.delivered, 3);
+}
+
+TEST(NetworkSim, StaggeredInjection) {
+  Torus t(1, 8);
+  OdrRouter odr;
+  std::vector<SimMessage> msgs{{odr.canonical_path(t, 0, 1), 5}};
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run(msgs);
+  EXPECT_EQ(metrics.cycles, 6);
+  EXPECT_DOUBLE_EQ(metrics.mean_latency, 1.0);
+}
+
+TEST(NetworkSim, LinkForwardCountsMatchPathEdges) {
+  Torus t(2, 4);
+  OdrRouter odr;
+  const Path path = odr.canonical_path(t, 0, t.node_id(Coord{1, 2}));
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run({SimMessage{path, 0}});
+  i64 total = std::accumulate(metrics.link_forwards.begin(),
+                              metrics.link_forwards.end(), i64{0});
+  EXPECT_EQ(total, path.length());
+  for (EdgeId e : path.edges)
+    EXPECT_EQ(metrics.link_forwards[static_cast<std::size_t>(e)], 1);
+}
+
+TEST(NetworkSim, CompleteExchangeDeliversEverything) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  const auto traffic = complete_exchange_traffic(t, p, odr, 7);
+  EXPECT_EQ(static_cast<i64>(traffic.messages.size()),
+            p.size() * (p.size() - 1));
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run(traffic.messages);
+  EXPECT_EQ(metrics.delivered, p.size() * (p.size() - 1));
+  EXPECT_EQ(metrics.unroutable, 0);
+}
+
+TEST(NetworkSim, MakespanAtLeastMaxLoad) {
+  // The busiest link must transmit its entire load one message per cycle,
+  // so the makespan is at least E_max (ODR's loads are deterministic).
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  const auto traffic = complete_exchange_traffic(t, p, odr, 3);
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run(traffic.messages);
+  const double emax = odr_loads(t, p).max_load();
+  EXPECT_GE(metrics.cycles, static_cast<i64>(emax));
+  EXPECT_GE(static_cast<double>(metrics.max_link_forwards), emax - 1e-9);
+}
+
+TEST(NetworkSim, SimulatedLinkTrafficMatchesAnalyticLoadsForOdr) {
+  // ODR has one path per pair, so the simulator's per-link forward counts
+  // must equal Definition 4's loads exactly.
+  Torus t(2, 5);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  const auto traffic = complete_exchange_traffic(t, p, odr, 11);
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run(traffic.messages);
+  const LoadMap loads = odr_loads(t, p);
+  for (EdgeId e = 0; e < t.num_directed_edges(); ++e)
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(metrics.link_forwards[static_cast<std::size_t>(e)]),
+        loads[e])
+        << t.edge_str(e);
+}
+
+TEST(NetworkSim, FaultedPathIsDropped) {
+  Torus t(1, 6);
+  OdrRouter odr;
+  const Path path = odr.canonical_path(t, 0, 2);
+  EdgeSet faults(t);
+  faults.insert(path.edges[1]);
+  NetworkSim sim(t, &faults);
+  const SimMetrics metrics = sim.run({SimMessage{path, 0}});
+  EXPECT_EQ(metrics.delivered, 0);
+  EXPECT_EQ(metrics.unroutable, 1);
+}
+
+TEST(Traffic, PermutationTrafficSendsAtMostOnePerProcessor) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  UdrRouter udr;
+  const auto traffic = permutation_traffic(t, p, udr, 19);
+  EXPECT_LE(static_cast<i64>(traffic.messages.size()), p.size());
+  for (const SimMessage& m : traffic.messages) m.path.verify_minimal(t);
+}
+
+TEST(Traffic, FaultAwareGenerationAvoidsFailedLinks) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  UdrRouter udr;
+  const EdgeSet faults = sample_wire_faults(t, 3, 23);
+  const auto traffic = complete_exchange_traffic(t, p, udr, 5, &faults);
+  for (const SimMessage& m : traffic.messages)
+    for (EdgeId e : m.path.edges) EXPECT_FALSE(faults.contains(e));
+  // Everything that was generated also gets delivered under faults.
+  NetworkSim sim(t, &faults);
+  const SimMetrics metrics = sim.run(traffic.messages);
+  EXPECT_EQ(metrics.delivered,
+            static_cast<i64>(traffic.messages.size()));
+}
+
+TEST(Fault, SampleWireFaultsTakesBothDirections) {
+  Torus t(2, 4);
+  const EdgeSet faults = sample_wire_faults(t, 5, 31);
+  EXPECT_EQ(faults.size(), 10);  // 5 wires, 2 directions each
+  for (EdgeId e = 0; e < t.num_directed_edges(); ++e)
+    if (faults.contains(e)) {
+      EXPECT_TRUE(faults.contains(t.reverse_edge(e)));
+    }
+}
+
+TEST(Fault, OdrLosesPairsUdrKeeps) {
+  // The paper's fault-tolerance claim: UDR's s! paths keep pairs connected
+  // where ODR's single path fails.  Find a fault set that hits some ODR
+  // path; UDR must still route every pair when few wires fail.
+  Torus t(2, 5);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  UdrRouter udr;
+  bool found_demonstration = false;
+  for (u64 seed = 0; seed < 10 && !found_demonstration; ++seed) {
+    const EdgeSet faults = sample_wire_faults(t, 2, seed);
+    const double odr_frac = routable_pair_fraction(t, p, odr, faults);
+    const double udr_frac = routable_pair_fraction(t, p, udr, faults);
+    EXPECT_GE(udr_frac, odr_frac - 1e-12);
+    if (odr_frac < 1.0 && udr_frac == 1.0) found_demonstration = true;
+  }
+  EXPECT_TRUE(found_demonstration);
+}
+
+TEST(Fault, CountUnroutablePairsZeroWithoutFaults) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  const EdgeSet none(t);
+  EXPECT_EQ(count_unroutable_pairs(t, p, UdrRouter(), none), 0);
+  EXPECT_DOUBLE_EQ(routable_pair_fraction(t, p, OdrRouter(), none), 1.0);
+}
+
+TEST(FaultRouter, FiltersFaultedPaths) {
+  Torus t(2, 5);
+  UdrRouter udr;
+  const NodeId src = 0, dst = t.node_id(Coord{1, 1});
+  const auto all = udr.paths(t, src, dst);
+  ASSERT_EQ(all.size(), 2u);
+  EdgeSet faults(t);
+  faults.insert(all[0].edges[0]);
+  FaultTolerantRouter ft(udr, faults);
+  const auto surviving = ft.paths(t, src, dst);
+  ASSERT_EQ(surviving.size(), 1u);
+  EXPECT_EQ(surviving[0].edges, all[1].edges);
+  EXPECT_EQ(ft.num_paths(t, src, dst), 1);
+  EXPECT_EQ(ft.name(), "UDR+faults");
+  Xoshiro256SS rng(2);
+  EXPECT_EQ(ft.sample_path(t, src, dst, rng).edges, all[1].edges);
+}
+
+TEST(FaultRouter, ThrowsWhenNoPathSurvives) {
+  Torus t(2, 5);
+  OdrRouter odr;
+  const NodeId src = 0, dst = t.node_id(Coord{0, 1});
+  EdgeSet faults(t);
+  faults.insert(odr.canonical_path(t, src, dst).edges[0]);
+  FaultTolerantRouter ft(odr, faults);
+  EXPECT_EQ(ft.num_paths(t, src, dst), 0);
+  Xoshiro256SS rng(2);
+  EXPECT_THROW(ft.sample_path(t, src, dst, rng), Error);
+}
+
+TEST(NetworkSim, EmptyRun) {
+  Torus t(2, 3);
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run({});
+  EXPECT_EQ(metrics.cycles, 0);
+  EXPECT_EQ(metrics.delivered, 0);
+  EXPECT_DOUBLE_EQ(metrics.bottleneck_utilization(), 0.0);
+}
+
+TEST(NetworkSim, BottleneckUtilizationIsHighUnderCompleteExchange) {
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  const auto traffic = complete_exchange_traffic(t, p, odr, 1);
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run(traffic.messages);
+  EXPECT_GT(metrics.bottleneck_utilization(), 0.3);
+  EXPECT_LE(metrics.bottleneck_utilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,125 @@
+// Tests for the slab-search separator bound and the placement factory.
+
+#include <gtest/gtest.h>
+
+#include "src/bounds/slab_search.h"
+#include "src/load/complete_exchange.h"
+#include "src/load/formulas.h"
+#include "src/placement/factory.h"
+#include "src/placement/modular.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+// --- slab search ---------------------------------------------------------
+
+TEST(SlabSearch, HalfTorusSlabRecoversTheImprovedBound) {
+  // For the uniform linear placement the best slab is (close to) the
+  // half-torus, whose Lemma 1 value is the Section 4 bound c^2 k^{d-1}/8.
+  Torus t(3, 8);
+  const Placement p = linear_placement(t);
+  const SlabBound best = best_slab_bound(t, p);
+  EXPECT_GE(best.value, improved_lower_bound(1.0, 8, 3) - 1e-9);
+  // Slab widths near k/2 are optimal for a uniform layer profile.
+  EXPECT_NEAR(best.len, 4, 1);
+}
+
+TEST(SlabSearch, BoundHoldsAgainstMeasuredLoads) {
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {4, 5, 6}) {
+      Torus t(d, k);
+      const Placement p = linear_placement(t);
+      const SlabBound best = best_slab_bound(t, p);
+      EXPECT_GE(odr_loads(t, p).max_load(), best.value - 1e-9)
+          << "d=" << d << " k=" << k;
+      EXPECT_GE(udr_loads(t, p).max_load(), best.value - 1e-9)
+          << "d=" << d << " k=" << k;
+    }
+}
+
+TEST(SlabSearch, BeatsSingletonBoundOnSkewedPlacements) {
+  // Cluster all processors into two adjacent layers: a 2-layer slab holds
+  // everything... a 1-layer slab splits them and its boundary is tiny
+  // compared to the pair product, beating (|P|-1)/2d.
+  Torus t(2, 8);
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    if (t.coord_of(n, 0) <= 1) nodes.push_back(n);
+  const Placement p(t, std::move(nodes), "two-layers");
+  const SlabBound best = best_slab_bound(t, p);
+  EXPECT_GT(best.value, blaum_lower_bound(p.size(), 2));
+}
+
+TEST(SlabSearch, ReportsTheAchievingSlab) {
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);
+  const SlabBound best = best_slab_bound(t, p);
+  EXPECT_GE(best.dim, 0);
+  EXPECT_LT(best.dim, 2);
+  EXPECT_GE(best.len, 1);
+  EXPECT_LT(best.len, 6);
+  EXPECT_GT(best.procs_in, 0);
+  EXPECT_LT(best.procs_in, p.size());
+  EXPECT_EQ(best.boundary, 4 * (t.num_nodes() / 6));
+}
+
+TEST(SlabSearch, NeedsTwoProcessors) {
+  Torus t(2, 4);
+  EXPECT_THROW(best_slab_bound(t, Placement(t, {0}, "one")), Error);
+}
+
+// --- placement factory ------------------------------------------------------
+
+TEST(Factory, BuildsEveryFamily) {
+  Torus t(2, 10);
+  EXPECT_EQ(make_placement(t, "linear").nodes(),
+            linear_placement(t).nodes());
+  EXPECT_EQ(make_placement(t, "linear:3").nodes(),
+            linear_placement(t, 3).nodes());
+  EXPECT_EQ(make_placement(t, "multiple:2").size(), 20);
+  EXPECT_EQ(make_placement(t, "diagonal:1").nodes(),
+            shifted_diagonal_placement(t, 1).nodes());
+  EXPECT_EQ(make_placement(t, "full").size(), 100);
+  EXPECT_EQ(make_placement(t, "random:7:42").nodes(),
+            random_placement(t, 7, 42).nodes());
+  EXPECT_EQ(make_placement(t, "clustered:5").size(), 5);
+  EXPECT_EQ(make_placement(t, "subtorus:0:3").size(), 10);
+  EXPECT_EQ(make_placement(t, "perfect_lee").size(), 20);
+  EXPECT_EQ(make_placement(t, "modular:5:1").size(), 20);
+}
+
+TEST(Factory, RejectsMalformedSpecs) {
+  Torus t(2, 10);
+  EXPECT_THROW(make_placement(t, "nonsense"), Error);
+  EXPECT_THROW(make_placement(t, "multiple"), Error);     // missing t
+  EXPECT_THROW(make_placement(t, "random"), Error);       // missing n
+  EXPECT_THROW(make_placement(t, "linear:1:2"), Error);   // too many args
+  EXPECT_THROW(make_placement(t, "clustered:abc"), Error);
+  EXPECT_THROW(make_placement(t, "full:1"), Error);
+}
+
+TEST(Factory, FamilyPreconditionsPropagate) {
+  Torus t(2, 4);  // 5 does not divide 4
+  EXPECT_THROW(make_placement(t, "perfect_lee"), Error);
+  EXPECT_THROW(make_placement(t, "modular:3"), Error);
+  EXPECT_THROW(make_placement(t, "multiple:9"), Error);
+}
+
+TEST(Factory, NamesListIsComplete) {
+  Torus t(2, 10);
+  for (const std::string& name : placement_family_names()) {
+    if (name == "file") continue;  // exercised in test_placement_io
+    // Every listed family must be constructible with *some* spec.
+    std::string spec = name;
+    if (name == "multiple") spec += ":2";
+    if (name == "random") spec += ":5";
+    if (name == "clustered") spec += ":5";
+    if (name == "subtorus") spec += ":0:0";
+    if (name == "modular") spec += ":5";
+    EXPECT_GT(make_placement(t, spec).size(), 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tp

@@ -1,0 +1,231 @@
+// Unit tests for the torus substrate: node/edge indexing, neighbors,
+// distances, minimal path counts, and principal subtori (Definition 1).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/torus/torus.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+TEST(Torus, BasicCounts) {
+  Torus t(3, 4);
+  EXPECT_EQ(t.dims(), 3);
+  EXPECT_EQ(t.radix(0), 4);
+  EXPECT_EQ(t.num_nodes(), 64);
+  EXPECT_EQ(t.num_directed_edges(), 64 * 6);
+  EXPECT_EQ(t.num_undirected_edges(), 64 * 3);
+  EXPECT_TRUE(t.is_uniform_radix());
+}
+
+TEST(Torus, MixedRadix) {
+  Torus t(Radices{2, 3, 5});
+  EXPECT_EQ(t.num_nodes(), 30);
+  EXPECT_FALSE(t.is_uniform_radix());
+  EXPECT_EQ(t.radix(0), 2);
+  EXPECT_EQ(t.radix(2), 5);
+}
+
+TEST(Torus, RejectsBadParameters) {
+  EXPECT_THROW(Torus(0, 4), Error);
+  EXPECT_THROW(Torus(9, 4), Error);  // > kMaxDims
+  EXPECT_THROW(Torus(2, 1), Error);
+  EXPECT_THROW(Torus(Radices{}), Error);
+}
+
+TEST(Torus, NodeCoordRoundTrip) {
+  Torus t(Radices{3, 4, 5});
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    EXPECT_EQ(t.node_id(t.coord(n)), n);
+    const Coord c = t.coord(n);
+    for (i32 d = 0; d < t.dims(); ++d)
+      EXPECT_EQ(t.coord_of(n, d), c[static_cast<std::size_t>(d)]);
+  }
+}
+
+TEST(Torus, CoordValidation) {
+  Torus t(2, 3);
+  EXPECT_THROW(t.node_id(Coord{0}), Error);         // wrong arity
+  EXPECT_THROW(t.node_id(Coord{0, 3}), Error);      // out of range
+  EXPECT_THROW(t.node_id(Coord{-1, 0}), Error);
+  EXPECT_THROW(t.coord(-1), Error);
+  EXPECT_THROW(t.coord(9), Error);
+}
+
+TEST(Torus, NeighborsWrapAround) {
+  Torus t(2, 4);
+  const NodeId n = t.node_id(Coord{0, 3});
+  EXPECT_EQ(t.neighbor(n, 1, Dir::Pos), t.node_id(Coord{0, 0}));
+  EXPECT_EQ(t.neighbor(n, 1, Dir::Neg), t.node_id(Coord{0, 2}));
+  EXPECT_EQ(t.neighbor(n, 0, Dir::Neg), t.node_id(Coord{3, 3}));
+}
+
+TEST(Torus, NeighborInvolution) {
+  Torus t(3, 3);
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    for (i32 d = 0; d < t.dims(); ++d) {
+      EXPECT_EQ(t.neighbor(t.neighbor(n, d, Dir::Pos), d, Dir::Neg), n);
+      EXPECT_EQ(t.neighbor(t.neighbor(n, d, Dir::Neg), d, Dir::Pos), n);
+    }
+}
+
+TEST(Torus, EveryNodeHas2dNeighbors) {
+  Torus t(3, 4);
+  for (NodeId n : {NodeId{0}, NodeId{17}, NodeId{63}}) {
+    std::set<NodeId> nbrs;
+    for (i32 d = 0; d < t.dims(); ++d) {
+      nbrs.insert(t.neighbor(n, d, Dir::Pos));
+      nbrs.insert(t.neighbor(n, d, Dir::Neg));
+    }
+    EXPECT_EQ(nbrs.size(), 6u);  // distinct for k >= 3
+    EXPECT_FALSE(nbrs.count(n));
+  }
+}
+
+TEST(Torus, EdgeIdRoundTrip) {
+  Torus t(Radices{3, 4});
+  for (EdgeId e = 0; e < t.num_directed_edges(); ++e) {
+    const Link l = t.link(e);
+    EXPECT_EQ(t.edge_id(l.tail, l.dim, l.dir), e);
+    EXPECT_EQ(l.head, t.neighbor(l.tail, l.dim, l.dir));
+  }
+}
+
+TEST(Torus, ReverseEdgeIsInvolution) {
+  Torus t(2, 5);
+  for (EdgeId e = 0; e < t.num_directed_edges(); ++e) {
+    const EdgeId r = t.reverse_edge(e);
+    EXPECT_NE(r, e);
+    EXPECT_EQ(t.reverse_edge(r), e);
+    const Link le = t.link(e), lr = t.link(r);
+    EXPECT_EQ(le.tail, lr.head);
+    EXPECT_EQ(le.head, lr.tail);
+  }
+}
+
+TEST(Torus, UndirectedIdPairsLinks) {
+  Torus t(2, 4);
+  std::set<EdgeId> canonical;
+  for (EdgeId e = 0; e < t.num_directed_edges(); ++e)
+    canonical.insert(t.undirected_id(e));
+  EXPECT_EQ(static_cast<i64>(canonical.size()), t.num_undirected_edges());
+}
+
+TEST(Torus, Radix2ParallelLinksAreDistinct) {
+  // With k = 2 both directions reach the same neighbor but are separate
+  // links (parallel wires).
+  Torus t(1, 2);
+  EXPECT_EQ(t.num_directed_edges(), 4);
+  const EdgeId pos = t.edge_id(0, 0, Dir::Pos);
+  const EdgeId neg = t.edge_id(0, 0, Dir::Neg);
+  EXPECT_NE(pos, neg);
+  EXPECT_EQ(t.link(pos).head, t.link(neg).head);
+}
+
+TEST(Torus, LeeDistanceMatchesDefinition) {
+  Torus t(2, 5);
+  const NodeId a = t.node_id(Coord{0, 0});
+  EXPECT_EQ(t.lee_distance(a, t.node_id(Coord{0, 1})), 1);
+  EXPECT_EQ(t.lee_distance(a, t.node_id(Coord{0, 4})), 1);
+  EXPECT_EQ(t.lee_distance(a, t.node_id(Coord{2, 2})), 4);
+  EXPECT_EQ(t.lee_distance(a, t.node_id(Coord{3, 3})), 4);
+  EXPECT_EQ(t.lee_distance(a, a), 0);
+}
+
+TEST(Torus, LeeDistanceIsAMetric) {
+  Torus t(2, 4);
+  for (NodeId a = 0; a < t.num_nodes(); ++a)
+    for (NodeId b = 0; b < t.num_nodes(); ++b) {
+      EXPECT_EQ(t.lee_distance(a, b), t.lee_distance(b, a));
+      if (a != b) {
+        EXPECT_GT(t.lee_distance(a, b), 0);
+      }
+      for (NodeId c = 0; c < t.num_nodes(); ++c)
+        EXPECT_LE(t.lee_distance(a, c),
+                  t.lee_distance(a, b) + t.lee_distance(b, c));
+    }
+}
+
+TEST(Torus, LeeDistanceDiameter) {
+  // Diameter of T_k^d is d * floor(k/2).
+  Torus t(3, 4);
+  i64 diameter = 0;
+  for (NodeId b = 0; b < t.num_nodes(); ++b)
+    diameter = std::max(diameter, t.lee_distance(0, b));
+  EXPECT_EQ(diameter, 3 * 2);
+}
+
+TEST(Torus, ShortestWayAllCases) {
+  Torus t(1, 6);
+  EXPECT_EQ(t.shortest_way(0, 2, 2), Way::None);
+  EXPECT_EQ(t.shortest_way(0, 0, 2), Way::Pos);
+  EXPECT_EQ(t.shortest_way(0, 0, 4), Way::Neg);
+  EXPECT_EQ(t.shortest_way(0, 0, 3), Way::Tie);  // k even, distance k/2
+  Torus odd(1, 5);
+  EXPECT_EQ(odd.shortest_way(0, 0, 2), Way::Pos);
+  EXPECT_EQ(odd.shortest_way(0, 0, 3), Way::Neg);  // never a tie for odd k
+}
+
+TEST(Torus, NumMinimalPathsSimpleCases) {
+  Torus t(2, 5);
+  const NodeId a = t.node_id(Coord{0, 0});
+  // Straight line: one path.
+  EXPECT_EQ(t.num_minimal_paths(a, t.node_id(Coord{0, 2})), 1);
+  // L-shape (1,1): two interleavings.
+  EXPECT_EQ(t.num_minimal_paths(a, t.node_id(Coord{1, 1})), 2);
+  // (2,1): C(3,1) = 3.
+  EXPECT_EQ(t.num_minimal_paths(a, t.node_id(Coord{2, 1})), 3);
+  // (2,2): C(4,2) = 6.
+  EXPECT_EQ(t.num_minimal_paths(a, t.node_id(Coord{2, 2})), 6);
+  EXPECT_EQ(t.num_minimal_paths(a, a), 1);
+}
+
+TEST(Torus, NumMinimalPathsTieDoubling) {
+  Torus t(2, 4);  // distance 2 is a tie
+  const NodeId a = t.node_id(Coord{0, 0});
+  // One tie dimension, one unit dimension: 2 * C(3,1) = 6.
+  EXPECT_EQ(t.num_minimal_paths(a, t.node_id(Coord{2, 1})), 6);
+  // Two tie dimensions: 4 * C(4,2) = 24.
+  EXPECT_EQ(t.num_minimal_paths(a, t.node_id(Coord{2, 2})), 24);
+}
+
+TEST(Torus, PrincipalSubtorus) {
+  Torus t(3, 4);
+  for (i32 d = 0; d < 3; ++d)
+    for (i32 v = 0; v < 4; ++v) {
+      const auto nodes = t.principal_subtorus(d, v);
+      EXPECT_EQ(static_cast<i64>(nodes.size()), 16);
+      for (NodeId n : nodes) EXPECT_EQ(t.coord_of(n, d), v);
+    }
+}
+
+TEST(Torus, PrincipalSubtoriPartitionNodes) {
+  Torus t(2, 3);
+  std::set<NodeId> all;
+  for (i32 v = 0; v < 3; ++v)
+    for (NodeId n : t.principal_subtorus(0, v)) {
+      EXPECT_TRUE(all.insert(n).second) << "node in two subtori";
+    }
+  EXPECT_EQ(static_cast<i64>(all.size()), t.num_nodes());
+}
+
+TEST(Torus, NodeAndEdgeStrings) {
+  Torus t(2, 3);
+  EXPECT_EQ(t.node_str(t.node_id(Coord{1, 2})), "(1,2)");
+  const EdgeId e = t.edge_id(t.node_id(Coord{0, 2}), 1, Dir::Pos);
+  EXPECT_EQ(t.edge_str(e), "(0,2)->(0,0)");
+}
+
+TEST(Torus, AllNodesIsDense) {
+  Torus t(2, 3);
+  const auto nodes = t.all_nodes();
+  ASSERT_EQ(static_cast<i64>(nodes.size()), 9);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    EXPECT_EQ(nodes[i], static_cast<NodeId>(i));
+}
+
+}  // namespace
+}  // namespace tp

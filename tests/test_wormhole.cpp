@@ -1,0 +1,205 @@
+// Tests for the flit-level wormhole simulator: pipelining, buffering,
+// and — the point — real deadlock that the dateline virtual-channel
+// discipline provably prevents (matching the static CDG analysis).
+
+#include <gtest/gtest.h>
+
+#include "src/placement/placement.h"
+#include "src/routing/odr.h"
+#include "src/simulate/wormhole.h"
+#include "src/util/error.h"
+
+namespace tp {
+namespace {
+
+std::vector<Path> ring_shift_traffic(const Torus& t, i64 shift) {
+  // Every node sends to node + shift around the ring (canonical ODR).
+  OdrRouter odr;
+  std::vector<Path> paths;
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    paths.push_back(
+        odr.canonical_path(t, n, mod_norm(n + shift, t.num_nodes())));
+  return paths;
+}
+
+TEST(Wormhole, SingleMessagePipelines) {
+  // One message of L flits over h hops: head takes h cycles, then one
+  // flit ejects per cycle: total = h + L (the wormhole pipeline).
+  Torus t(1, 8);
+  OdrRouter odr;
+  WormholeConfig config;
+  config.message_flits = 6;
+  config.policy = VcPolicy::Dateline;
+  WormholeSim sim(t, config);
+  const auto result = sim.run({odr.canonical_path(t, 0, 3)});
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 1);
+  EXPECT_EQ(result.cycles, 3 + 6);
+}
+
+TEST(Wormhole, SingleHopMessage) {
+  Torus t(1, 4);
+  OdrRouter odr;
+  WormholeConfig config;
+  config.message_flits = 3;
+  WormholeSim sim(t, config);
+  const auto result = sim.run({odr.canonical_path(t, 0, 1)});
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 1);
+  EXPECT_EQ(result.cycles, 1 + 3);
+}
+
+TEST(Wormhole, RingCyclicTrafficDeadlocksWithOneVc) {
+  // The classic: all nodes send halfway around the ring; every message
+  // holds its first link's only VC while waiting for the next message's —
+  // a cyclic wait that small buffers cannot absorb.
+  Torus t(1, 4);
+  WormholeConfig config;
+  config.vcs_per_link = 1;
+  config.buffer_flits = 2;
+  config.message_flits = 8;
+  config.policy = VcPolicy::SingleVc;
+  config.stall_threshold = 200;
+  WormholeSim sim(t, config);
+  const auto result = sim.run(ring_shift_traffic(t, 2));
+  EXPECT_TRUE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 0);
+  EXPECT_EQ(result.stuck_messages, 4);
+}
+
+TEST(Wormhole, DatelineVcsDrainTheSameTraffic) {
+  Torus t(1, 4);
+  WormholeConfig config;
+  config.vcs_per_link = 2;
+  config.buffer_flits = 2;
+  config.message_flits = 8;
+  config.policy = VcPolicy::Dateline;
+  config.stall_threshold = 2000;
+  WormholeSim sim(t, config);
+  const auto result = sim.run(ring_shift_traffic(t, 2));
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 4);
+}
+
+TEST(Wormhole, AnyFreeWithTwoVcsDeadlocksOnLongerMessages) {
+  // Undisciplined VC selection deadlocks once messages span three links
+  // (k = 6, shift 3): each message grabs mixed VC classes around the ring
+  // and the cyclic wait closes over both channels.  More VCs without a
+  // discipline are not deadlock freedom.
+  Torus t(1, 6);
+  WormholeConfig config;
+  config.vcs_per_link = 2;
+  config.buffer_flits = 2;
+  config.message_flits = 8;
+  config.policy = VcPolicy::AnyFree;
+  config.stall_threshold = 500;
+  WormholeSim sim(t, config);
+  const auto result = sim.run(ring_shift_traffic(t, 3));
+  EXPECT_TRUE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 0);
+}
+
+TEST(Wormhole, DatelineSurvivesTheLongerMessages) {
+  Torus t(1, 6);
+  WormholeConfig config;
+  config.vcs_per_link = 2;
+  config.buffer_flits = 2;
+  config.message_flits = 8;
+  config.policy = VcPolicy::Dateline;
+  config.stall_threshold = 5000;
+  WormholeSim sim(t, config);
+  const auto result = sim.run(ring_shift_traffic(t, 3));
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 6);
+}
+
+TEST(Wormhole, CompleteExchangeOnLinearPlacementDrains) {
+  // ODR + dateline VCs on a 2-D torus: the paper's design, wormhole-
+  // routed, completes the all-to-all exchange.
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  OdrRouter odr;
+  std::vector<Path> traffic;
+  for (NodeId src : p.nodes())
+    for (NodeId dst : p.nodes())
+      if (src != dst) traffic.push_back(odr.canonical_path(t, src, dst));
+  WormholeConfig config;
+  config.message_flits = 4;
+  config.policy = VcPolicy::Dateline;
+  config.stall_threshold = 20000;
+  WormholeSim sim(t, config);
+  const auto result = sim.run(traffic);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, static_cast<i64>(traffic.size()));
+  // Every flit crossed every hop exactly once.
+  i64 total_hops = 0;
+  for (const Path& path : traffic) total_hops += path.length();
+  EXPECT_EQ(result.flits_moved, total_hops * config.message_flits);
+}
+
+TEST(Wormhole, ConfigValidation) {
+  Torus t(1, 4);
+  WormholeConfig config;
+  config.vcs_per_link = 0;
+  EXPECT_THROW(WormholeSim(t, config), Error);
+  config.vcs_per_link = 1;
+  config.policy = VcPolicy::Dateline;
+  EXPECT_THROW(WormholeSim(t, config), Error);  // dateline needs 2 VCs
+  config.policy = VcPolicy::SingleVc;
+  config.buffer_flits = 0;
+  EXPECT_THROW(WormholeSim(t, config), Error);
+  config.buffer_flits = 1;
+  config.message_flits = 0;
+  EXPECT_THROW(WormholeSim(t, config), Error);
+}
+
+TEST(Wormhole, RejectsZeroHopMessages) {
+  Torus t(1, 4);
+  WormholeConfig config;
+  WormholeSim sim(t, config);
+  Path self;
+  self.source = 0;
+  self.target = 0;
+  EXPECT_THROW(sim.run({self}), Error);
+}
+
+TEST(Wormhole, BiggerBuffersDoNotBreakDeadlockOnlyDelayIt) {
+  Torus t(1, 4);
+  WormholeConfig config;
+  config.vcs_per_link = 1;
+  config.buffer_flits = 3;
+  config.message_flits = 16;  // still longer than total buffering
+  config.policy = VcPolicy::SingleVc;
+  config.stall_threshold = 500;
+  WormholeSim sim(t, config);
+  const auto result = sim.run(ring_shift_traffic(t, 2));
+  EXPECT_TRUE(result.deadlocked);
+}
+
+TEST(Wormhole, DeadlockIsIndependentOfMessageLength) {
+  // Even a message that fits entirely inside one VC buffer holds that VC
+  // until its head moves on, so the single-VC cyclic wait persists for
+  // short messages too — channel *ownership*, not buffer depth, is what
+  // deadlocks wormhole networks (and what datelines fix).
+  Torus t(1, 4);
+  WormholeConfig config;
+  config.vcs_per_link = 1;
+  config.buffer_flits = 4;
+  config.message_flits = 2;
+  config.policy = VcPolicy::SingleVc;
+  config.stall_threshold = 500;
+  WormholeSim sim(t, config);
+  const auto result = sim.run(ring_shift_traffic(t, 2));
+  EXPECT_TRUE(result.deadlocked);
+  // The same short messages drain under the dateline discipline.
+  config.vcs_per_link = 2;
+  config.policy = VcPolicy::Dateline;
+  config.stall_threshold = 2000;
+  WormholeSim dateline(t, config);
+  const auto ok = dateline.run(ring_shift_traffic(t, 2));
+  EXPECT_FALSE(ok.deadlocked);
+  EXPECT_EQ(ok.delivered, 4);
+}
+
+}  // namespace
+}  // namespace tp

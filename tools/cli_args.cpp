@@ -1,0 +1,43 @@
+#include "tools/cli_args.h"
+
+#include <cstdlib>
+
+namespace tp::cli {
+
+Args::Args(int argc, char** argv, int first, std::set<std::string> known) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      throw Error("option --" + arg + " needs a value");
+    }
+    if (known.find(arg) == known.end())
+      throw Error("unknown option --" + arg);
+    options_[arg] = value;
+  }
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+i64 Args::get_int(const std::string& name, i64 fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace tp::cli

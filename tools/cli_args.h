@@ -1,0 +1,37 @@
+// Minimal command-line option parsing for the torusplace CLI.
+//
+// Supports "--name value" and "--name=value" options plus positional
+// arguments; unknown options are an error so typos fail loudly.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/error.h"
+#include "src/util/math.h"
+
+namespace tp::cli {
+
+class Args {
+ public:
+  /// Parses argv[first..); `known` lists the accepted option names
+  /// (without the leading "--").
+  Args(int argc, char** argv, int first, std::set<std::string> known);
+
+  bool has(const std::string& name) const { return options_.count(name) > 0; }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  i64 get_int(const std::string& name, i64 fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tp::cli

@@ -1,0 +1,197 @@
+// export_results — regenerate the headline experiment series as CSV.
+//
+//   export_results [output_dir]        (default: ./results)
+//
+// Writes one CSV per experiment family so the numbers in EXPERIMENTS.md
+// can be re-derived, plotted, or diffed without scraping bench stdout:
+//
+//   odr_linear.csv      E7  measured vs closed forms across (d, k)
+//   udr_linear.csv      E9  measured vs Theorem 4 bound and conjecture
+//   multiple_odr.csv    E8  (t, k) grid with the t^2 bound
+//   bounds.csv          E3/E6 all lower bounds vs measured loads
+//   bisection.csv       E4/E5 cut sizes vs paper widths
+//   full_torus.csv      E2  superlinearity series
+//   fault.csv           E11 routability under failures
+//   saturation.csv      E16 latency vs injection rate
+
+#include <filesystem>
+#include <iostream>
+
+#include "src/analysis/csv.h"
+#include "src/analysis/table.h"
+#include "src/core/torusplace.h"
+
+namespace tp {
+namespace {
+
+void export_odr_linear(const std::string& dir) {
+  Table t({"d", "k", "placement_size", "emax", "interior_max",
+           "paper_interior_form", "overall_form", "thm2_bound"});
+  for (i32 d = 2; d <= 4; ++d)
+    for (i32 k = 3; k <= (d == 2 ? 16 : d == 3 ? 12 : 6); ++k) {
+      Torus torus(d, k);
+      const Placement p = linear_placement(torus);
+      const LoadMap loads = odr_loads(torus, p);
+      t.add_row({fmt(d), fmt(k), fmt(p.size()), fmt(loads.max_load(), 6),
+                 d >= 3 ? fmt(loads.max_load_in_dim(torus, 1), 6) : "",
+                 d >= 3 ? fmt(odr_linear_emax(k, d), 6) : "",
+                 fmt(odr_linear_emax_overall(k, d), 6),
+                 fmt(odr_linear_emax_upper(k, d), 6)});
+    }
+  save_csv(dir + "/odr_linear.csv", t);
+}
+
+void export_udr_linear(const std::string& dir) {
+  Table t({"d", "k", "placement_size", "emax", "thm4_bound",
+           "conjectured_form"});
+  for (i32 d = 2; d <= 4; ++d)
+    for (i32 k = 3; k <= (d == 2 ? 12 : d == 3 ? 10 : 5); ++k) {
+      Torus torus(d, k);
+      const Placement p = linear_placement(torus);
+      const double conj = udr_linear_emax_conjectured(k, d);
+      t.add_row({fmt(d), fmt(k), fmt(p.size()),
+                 fmt(udr_loads(torus, p).max_load(), 6),
+                 fmt(udr_linear_emax_upper(k, d), 6),
+                 conj >= 0 ? fmt(conj, 6) : ""});
+    }
+  save_csv(dir + "/udr_linear.csv", t);
+}
+
+void export_multiple_odr(const std::string& dir) {
+  Table t({"d", "k", "t", "placement_size", "emax", "thm3_bound"});
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {4, 6, 8, 10})
+      for (i32 mult = 1; mult <= 4; ++mult) {
+        Torus torus(d, k);
+        const Placement p = multiple_linear_placement(torus, mult);
+        t.add_row({fmt(d), fmt(k), fmt(mult), fmt(p.size()),
+                   fmt(odr_loads(torus, p).max_load(), 6),
+                   fmt(multiple_odr_upper(mult, k, d), 6)});
+      }
+  save_csv(dir + "/multiple_odr.csv", t);
+}
+
+void export_bounds(const std::string& dir) {
+  Table t({"d", "k", "t", "blaum", "bisection", "improved", "slab",
+           "emax_odr", "emax_udr"});
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {4, 6, 8})
+      for (i32 mult = 1; mult <= 2; ++mult) {
+        Torus torus(d, k);
+        const Placement p = multiple_linear_placement(torus, mult);
+        const auto bounds = all_bounds(torus, p);
+        t.add_row({fmt(d), fmt(k), fmt(mult), fmt(bounds[0].value, 6),
+                   fmt(bounds[1].value, 6), fmt(bounds[2].value, 6),
+                   fmt(best_slab_bound(torus, p).value, 6),
+                   fmt(odr_loads(torus, p).max_load(), 6),
+                   fmt(udr_loads(torus, p).max_load(), 6)});
+      }
+  save_csv(dir + "/bounds.csv", t);
+}
+
+void export_bisection(const std::string& dir) {
+  Table t({"d", "k", "placement", "dim_cut_links", "paper_4k",
+           "sweep_array_wires", "sweep_bound", "sweep_directed",
+           "corollary1_bound"});
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {4, 6, 8}) {
+      Torus torus(d, k);
+      for (const Placement& p :
+           {linear_placement(torus),
+            random_placement(torus, torus.num_nodes() / 3, 5)}) {
+        const auto cut = best_dimension_cut(torus, p);
+        const auto sweep = hyperplane_sweep_bisection(torus, p);
+        t.add_row({fmt(d), fmt(k), p.name(), fmt(cut.directed_edges),
+                   fmt(uniform_bisection_width(k, d)),
+                   fmt(sweep.array_crossings),
+                   fmt(sweep_separator_upper_bound(k, d)),
+                   fmt(sweep.directed_edges),
+                   fmt(bisection_width_upper_bound(k, d))});
+      }
+    }
+  save_csv(dir + "/bisection.csv", t);
+}
+
+void export_full_torus(const std::string& dir) {
+  Table t({"d", "k", "full_size", "full_emax", "paper_lb",
+           "full_ratio", "linear_ratio"});
+  for (i32 d = 2; d <= 3; ++d)
+    for (i32 k : {4, 6, 8}) {
+      Torus torus(d, k);
+      const Placement full = full_population(torus);
+      const Placement lin = linear_placement(torus);
+      const double fe = odr_loads(torus, full).max_load();
+      const double le = odr_loads(torus, lin).max_load();
+      t.add_row({fmt(d), fmt(k), fmt(full.size()), fmt(fe, 6),
+                 fmt(full_torus_load_lower_bound(k, d), 6),
+                 fmt(fe / static_cast<double>(full.size()), 6),
+                 fmt(le / static_cast<double>(lin.size()), 6)});
+    }
+  save_csv(dir + "/full_torus.csv", t);
+}
+
+void export_fault(const std::string& dir) {
+  Table t({"d", "k", "failed_wires", "odr_routable", "udr_routable"});
+  OdrRouter odr;
+  UdrRouter udr;
+  for (const auto& [d, k] : std::vector<std::pair<i32, i32>>{{2, 8}, {3, 5}}) {
+    Torus torus(d, k);
+    const Placement p = linear_placement(torus);
+    for (i64 f : {1, 2, 4, 8, 16}) {
+      double odr_sum = 0.0, udr_sum = 0.0;
+      const int samples = 5;
+      for (int s = 0; s < samples; ++s) {
+        const EdgeSet faults =
+            sample_wire_faults(torus, f, static_cast<u64>(s));
+        odr_sum += routable_pair_fraction(torus, p, odr, faults);
+        udr_sum += routable_pair_fraction(torus, p, udr, faults);
+      }
+      t.add_row({fmt(d), fmt(k), fmt(f), fmt(odr_sum / samples, 6),
+                 fmt(udr_sum / samples, 6)});
+    }
+  }
+  save_csv(dir + "/fault.csv", t);
+}
+
+void export_saturation(const std::string& dir) {
+  Table t({"rate", "linear_odr_latency", "linear_udr_latency",
+           "full_odr_latency"});
+  Torus torus(2, 8);
+  const Placement lin = linear_placement(torus);
+  const Placement full = full_population(torus);
+  OdrRouter odr;
+  UdrRouter udr;
+  auto latency = [&](const Placement& p, const Router& r, double rate) {
+    const auto traffic = random_rate_traffic(torus, p, r, rate, 400, 71);
+    return NetworkSim(torus).run(traffic.messages).mean_latency;
+  };
+  for (double rate : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    t.add_row({fmt(rate, 2), fmt(latency(lin, odr, rate), 4),
+               fmt(latency(lin, udr, rate), 4),
+               fmt(latency(full, odr, rate), 4)});
+  }
+  save_csv(dir + "/saturation.csv", t);
+}
+
+}  // namespace
+}  // namespace tp
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "results";
+  std::filesystem::create_directories(dir);
+  try {
+    tp::export_odr_linear(dir);
+    tp::export_udr_linear(dir);
+    tp::export_multiple_odr(dir);
+    tp::export_bounds(dir);
+    tp::export_bisection(dir);
+    tp::export_full_torus(dir);
+    tp::export_fault(dir);
+    tp::export_saturation(dir);
+  } catch (const tp::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "wrote 8 CSV files to " << dir << "/\n";
+  return 0;
+}

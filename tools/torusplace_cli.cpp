@@ -1,0 +1,433 @@
+// torusplace — command-line interface to the library.
+//
+//   torusplace analyze   --d 3 --k 8 --t 1 --router odr
+//       plan + exact loads + all lower bounds for a design
+//   torusplace bisect    --d 3 --k 8 --t 1
+//       Theorem 1 cut, hyperplane sweep, and (tiny tori) the exact optimum
+//   torusplace routes    --d 3 --k 5 --src 0,0,0 --dst 2,3,1 --router udr
+//       enumerate the path set C_{p->q} of a pair
+//   torusplace simulate  --d 2 --k 8 --t 1 --router udr --faults 4 --flits 2
+//       cycle-accurate complete exchange on the (possibly degraded) network
+//   torusplace verify    --d 2 --ks 4,6,8,10 --router odr
+//       certify linear load across a k sweep (the optimality criterion)
+//   torusplace deadlock  --d 2 --k 4 --router udr
+//       channel-dependency-graph analysis with and without datelines
+//   torusplace sweep     --d 3 --ks 4,6,8 --router odr
+//       E_max table across k with the paper's formulas
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/grid_render.h"
+#include "src/analysis/table.h"
+#include "src/core/torusplace.h"
+#include "src/routing/deadlock.h"
+#include "tools/cli_args.h"
+
+namespace tp::cli {
+namespace {
+
+RouterKind parse_router(const std::string& s) {
+  if (s == "udr") return RouterKind::Udr;
+  if (s == "adaptive") return RouterKind::Adaptive;
+  if (s == "odr" || s.empty()) return RouterKind::Odr;
+  throw Error("unknown router '" + s + "' (odr|udr|adaptive)");
+}
+
+std::vector<i32> parse_int_list(const std::string& s) {
+  std::vector<i32> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    out.push_back(static_cast<i32>(std::strtol(item.c_str(), nullptr, 10)));
+  return out;
+}
+
+Coord parse_coord(const std::string& s) {
+  const auto ints = parse_int_list(s);
+  Coord c;
+  for (i32 v : ints) c.push_back(v);
+  return c;
+}
+
+int cmd_analyze(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 3));
+  const i32 k = static_cast<i32>(args.get_int("k", 8));
+  const i32 t = static_cast<i32>(args.get_int("t", 1));
+  const RouterKind kind = parse_router(args.get("router"));
+  Torus torus(d, k);
+  const Placement placement = make_placement(
+      torus, args.get("placement", "multiple:" + std::to_string(t)));
+  std::cout << placement.name() << " + " << make_router(kind)->name()
+            << " on T_" << k << "^" << d << ", |P| = " << placement.size()
+            << "\n\n";
+
+  const LoadMap loads = measure_loads(torus, placement, kind);
+  Table table({"quantity", "value"});
+  table.add_row({"measured E_max", fmt(loads.max_load())});
+  table.add_row({"E_max / |P|", fmt(loads.max_load() /
+                                    static_cast<double>(placement.size()))});
+  table.add_row({"mean link load", fmt(loads.mean_load())});
+  table.add_row({"loaded links",
+                 fmt(static_cast<long long>(loads.num_loaded_edges()))});
+  table.print(std::cout);
+
+  std::cout << "\nlower bounds:\n";
+  Table bounds({"bound", "value", "applicable", "note"});
+  for (const BoundValue& b : all_bounds(torus, placement))
+    bounds.add_row({b.name, fmt(b.value), fmt_bool(b.applicable), b.note});
+  if (placement.size() >= 2) {
+    const SlabBound slab = best_slab_bound(torus, placement);
+    bounds.add_row({"slab search", fmt(slab.value), "yes",
+                    "dim " + std::to_string(slab.dim) + ", layers [" +
+                        std::to_string(slab.lo) + "," +
+                        std::to_string(slab.lo + slab.len) + ")"});
+  }
+  bounds.print(std::cout);
+
+  if (d == 2 && k <= 12) {
+    std::cout << "\n" << render_loads(torus, placement, loads);
+  }
+  return 0;
+}
+
+int cmd_render(const Args& args) {
+  const i32 k = static_cast<i32>(args.get_int("k", 8));
+  const RouterKind kind = parse_router(args.get("router"));
+  Torus torus(2, k);
+  const Placement placement =
+      make_placement(torus, args.get("placement", "linear"));
+  std::cout << placement.name() << " on T_" << k << "^2:\n\n"
+            << render_placement(torus, placement) << "\n";
+  const LoadMap loads = measure_loads(torus, placement, kind);
+  std::cout << "loads under " << make_router(kind)->name() << ":\n\n"
+            << render_loads(torus, placement, loads);
+  return 0;
+}
+
+int cmd_save(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 2));
+  const i32 k = static_cast<i32>(args.get_int("k", 8));
+  const std::string out = args.get("out");
+  TP_REQUIRE(!out.empty(), "save needs --out <path>");
+  Torus torus(d, k);
+  const Placement placement =
+      make_placement(torus, args.get("placement", "linear"));
+  save_placement(out, torus, placement);
+  std::cout << "wrote " << placement.size() << " processors ("
+            << placement.name() << ") to " << out << "\n";
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 2));
+  const i32 k = static_cast<i32>(args.get_int("k", 4));
+  const i64 size = args.get_int("size", powi(k, d - 1));
+  const RouterKind kind = parse_router(args.get("router"));
+  const i64 iters = args.get_int("iters", 2000);
+  Torus torus(d, k);
+
+  const double linear =
+      torus.is_uniform_radix() && size == powi(k, d - 1)
+          ? measure_loads(torus, linear_placement(torus), kind).max_load()
+          : -1.0;
+
+  SearchResult result =
+      binomial(torus.num_nodes(), size) <= 200000
+          ? exhaustive_best_placement(torus, size, kind)
+          : anneal_placement(torus, size, kind, iters,
+                             static_cast<u64>(args.get_int("seed", 17)));
+  std::cout << "searched " << result.evaluated << " placements of size "
+            << size << " on T_" << k << "^" << d << " ("
+            << make_router(kind)->name() << ")\n";
+  std::cout << "best E_max = " << result.emax;
+  if (linear >= 0.0) std::cout << "  (linear placement: " << linear << ")";
+  std::cout << "\nbest placement:";
+  for (NodeId n : result.placement.nodes())
+    std::cout << " " << torus.node_str(n);
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 3));
+  const i32 k = static_cast<i32>(args.get_int("k", 6));
+  const RouterKind kind = parse_router(args.get("router"));
+  Torus torus(d, k);
+  const Placement placement =
+      make_placement(torus, args.get("placement", "linear"));
+  const LoadMap loads = measure_loads(torus, placement, kind);
+
+  Table table({"dim", "dir", "max load", "mean load", "total"});
+  for (const DirectionProfile& prof : load_profile(torus, loads))
+    table.add_row({fmt(prof.dim), prof.dir == Dir::Pos ? "+" : "-",
+                   fmt(prof.max_load), fmt(prof.mean_load),
+                   fmt(prof.total_load)});
+  table.print(std::cout);
+  std::cout << "\ndirection asymmetry (+/-):";
+  for (i32 dim = 0; dim < d; ++dim)
+    std::cout << "  dim " << dim << ": "
+              << fmt(direction_asymmetry(torus, loads, dim), 3);
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_tables(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 2));
+  const i32 k = static_cast<i32>(args.get_int("k", 6));
+  Torus torus(d, k);
+  const Placement placement =
+      make_placement(torus, args.get("placement", "linear"));
+  Table table({"router", "table entries", "worst node", "per pair paths"});
+  for (RouterKind kind :
+       {RouterKind::Odr, RouterKind::Udr, RouterKind::Adaptive}) {
+    const auto router = make_router(kind);
+    RoutingTable rt(torus, placement, *router);
+    rt.verify(torus);
+    // Representative path count: the farthest pair.
+    NodeId far_a = placement.nodes().front(), far_b = far_a;
+    i64 far_dist = 0;
+    for (NodeId a : placement.nodes())
+      for (NodeId b : placement.nodes())
+        if (torus.lee_distance(a, b) > far_dist) {
+          far_dist = torus.lee_distance(a, b);
+          far_a = a;
+          far_b = b;
+        }
+    table.add_row({router->name(), fmt(rt.num_entries()),
+                   fmt(rt.max_entries_per_node()),
+                   fmt(router->num_paths(torus, far_a, far_b))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_bisect(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 3));
+  const i32 k = static_cast<i32>(args.get_int("k", 8));
+  const i32 t = static_cast<i32>(args.get_int("t", 1));
+  Torus torus(d, k);
+  const Placement p = multiple_linear_placement(torus, t);
+
+  const auto cut = best_dimension_cut(torus, p);
+  std::cout << "Theorem 1 dimension cut: dim " << cut.dim << ", boundaries "
+            << cut.first_boundary << "|" << cut.first_boundary + 1 << " and "
+            << cut.second_boundary << "|"
+            << (cut.second_boundary + 1) % k << ", " << cut.directed_edges
+            << " directed links (paper: " << uniform_bisection_width(k, d)
+            << "), imbalance " << cut.imbalance << "\n";
+
+  const auto sweep = hyperplane_sweep_bisection(torus, p);
+  std::cout << "Hyperplane sweep (gamma = "
+            << static_cast<double>(sweep.gamma) << "): "
+            << sweep.array_crossings << " array + " << sweep.wrap_crossings
+            << " wrap wires crossed, " << sweep.directed_edges
+            << " directed links (bounds: " << sweep_separator_upper_bound(k, d)
+            << " array wires, " << bisection_width_upper_bound(k, d)
+            << " directed links)\n";
+
+  if (torus.num_nodes() <= 24) {
+    const auto exact = exact_bisection(torus, p);
+    std::cout << "Exact optimum (brute force): " << exact.directed_edges
+              << " directed links\n";
+  }
+  return 0;
+}
+
+int cmd_routes(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 3));
+  const i32 k = static_cast<i32>(args.get_int("k", 5));
+  const RouterKind kind = parse_router(args.get("router", "udr"));
+  Torus torus(d, k);
+  const NodeId src = torus.node_id(parse_coord(args.get("src", "0,0,0")));
+  const NodeId dst = torus.node_id(parse_coord(args.get("dst", "1,2,3")));
+  const auto router = make_router(kind);
+
+  std::cout << router->name() << " paths " << torus.node_str(src) << " -> "
+            << torus.node_str(dst) << " (Lee distance "
+            << torus.lee_distance(src, dst) << "):\n";
+  const auto paths = router->paths(torus, src, dst);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::cout << "  " << i + 1 << ": ";
+    const auto nodes = paths[i].nodes(torus);
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      if (j > 0) std::cout << " -> ";
+      std::cout << torus.node_str(nodes[j]);
+    }
+    std::cout << "\n";
+  }
+  std::cout << paths.size() << " path(s)\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 2));
+  const i32 k = static_cast<i32>(args.get_int("k", 8));
+  const i32 t = static_cast<i32>(args.get_int("t", 1));
+  const i64 n_faults = args.get_int("faults", 0);
+  const i64 flits = args.get_int("flits", 1);
+  const u64 seed = static_cast<u64>(args.get_int("seed", 1));
+  const RouterKind kind = parse_router(args.get("router"));
+
+  Torus torus(d, k);
+  const Placement p = multiple_linear_placement(torus, t);
+  const auto router = make_router(kind);
+  const EdgeSet faults = sample_wire_faults(torus, n_faults, seed);
+
+  const auto traffic = complete_exchange_traffic(
+      torus, p, *router, seed, n_faults > 0 ? &faults : nullptr);
+  NetworkSim sim(torus, n_faults > 0 ? &faults : nullptr,
+                 SimConfig{flits});
+  const SimMetrics m = sim.run(traffic.messages);
+
+  Table table({"metric", "value"});
+  table.add_row({"processors", fmt(static_cast<long long>(p.size()))});
+  table.add_row({"messages injected", fmt(static_cast<long long>(m.injected))});
+  table.add_row({"delivered", fmt(static_cast<long long>(m.delivered))});
+  table.add_row({"unroutable pairs",
+                 fmt(static_cast<long long>(traffic.unroutable_pairs))});
+  table.add_row({"makespan (cycles)", fmt(static_cast<long long>(m.cycles))});
+  table.add_row({"mean latency", fmt(m.mean_latency)});
+  table.add_row({"peak queue depth",
+                 fmt(static_cast<long long>(m.max_queue_depth))});
+  table.add_row({"busiest link forwards",
+                 fmt(static_cast<long long>(m.max_link_forwards))});
+  table.add_row({"bottleneck utilization", fmt(m.bottleneck_utilization())});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 2));
+  const auto ks = parse_int_list(args.get("ks", "4,6,8,10"));
+  const RouterKind kind = parse_router(args.get("router"));
+  const i32 t = static_cast<i32>(args.get_int("t", 1));
+
+  const auto family = [t](const Torus& torus) {
+    return multiple_linear_placement(torus, t);
+  };
+  const VerificationReport report = verify_linear_load(d, ks, family, kind);
+
+  std::cout << "family " << report.family_name << " with "
+            << report.router_name << ", d = " << d << ":\n\n";
+  Table table({"k", "|P|", "E_max", "E_max/|P|"});
+  for (const ScalingPoint& pt : report.points)
+    table.add_row({fmt(static_cast<long long>(pt.k)),
+                   fmt(static_cast<long long>(pt.placement_size)),
+                   fmt(pt.emax),
+                   fmt(pt.emax / static_cast<double>(pt.placement_size))});
+  table.print(std::cout);
+  std::cout << "\nfitted c1 = " << report.c1 << ", linear load: "
+            << (report.linear ? "CERTIFIED" : "VIOLATED") << "\n";
+  return report.linear ? 0 : 2;
+}
+
+int cmd_deadlock(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 2));
+  const i32 k = static_cast<i32>(args.get_int("k", 4));
+  const RouterKind kind = parse_router(args.get("router"));
+  Torus torus(d, k);
+  const Placement p = full_population(torus);
+  const auto router = make_router(kind);
+
+  const ChannelGraph physical = physical_channel_graph(torus, p, *router);
+  const ChannelGraph dateline = dateline_channel_graph(torus, p, *router);
+  Table table({"channel model", "channels", "dependencies", "cyclic"});
+  table.add_row({"physical", fmt(static_cast<long long>(physical.adj.size())),
+                 fmt(static_cast<long long>(physical.num_dependencies())),
+                 fmt_bool(has_cycle(physical))});
+  table.add_row({"2 VCs + dateline",
+                 fmt(static_cast<long long>(dateline.adj.size())),
+                 fmt(static_cast<long long>(dateline.num_dependencies())),
+                 fmt_bool(has_cycle(dateline))});
+  table.print(std::cout);
+  std::cout << "\n" << router->name() << " is "
+            << (has_cycle(dateline) ? "NOT " : "")
+            << "deadlock-free under the dateline scheme\n";
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 3));
+  const auto ks = parse_int_list(args.get("ks", "4,6,8"));
+  const RouterKind kind = parse_router(args.get("router"));
+  const i32 t = static_cast<i32>(args.get_int("t", 1));
+
+  Table table({"k", "|P|", "E_max", "E_max/|P|", "best lower bound",
+               "paper prediction"});
+  for (i32 k : ks) {
+    Torus torus(d, k);
+    const PlacementPlan plan = plan_placement(torus, t, kind);
+    const double emax = measure_emax(torus, plan);
+    table.add_row({fmt(static_cast<long long>(k)),
+                   fmt(static_cast<long long>(plan.placement.size())),
+                   fmt(emax),
+                   fmt(emax / static_cast<double>(plan.placement.size())),
+                   fmt(plan.lower_bound),
+                   (plan.prediction_exact ? "= " : "<= ") +
+                       fmt(plan.predicted_emax)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cout <<
+      "torusplace — optimal placements in torus networks\n"
+      "\n"
+      "usage: torusplace <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  analyze   loads + bounds for a design        (--d --k --t --router)\n"
+      "  bisect    bisections w.r.t. the placement    (--d --k --t)\n"
+      "  routes    enumerate C_{p->q} for a pair      (--d --k --src --dst --router)\n"
+      "  simulate  cycle-accurate complete exchange   (--d --k --t --router --faults --flits --seed)\n"
+      "  verify    certify linear load over a k sweep (--d --ks --t --router)\n"
+      "  deadlock  channel-dependency analysis        (--d --k --router)\n"
+      "  sweep     E_max table across k               (--d --ks --t --router)\n"
+      "  tables    compiled routing-table statistics  (--d --k --placement)\n"
+      "  optimize  search same-size placements        (--d --k --size --router --iters --seed)\n"
+      "  profile   per-dimension/direction loads      (--d --k --placement --router)\n"
+      "  render    draw a 2-D torus + loads           (--k --placement --router)\n"
+      "  save      write a placement file             (--d --k --placement --out)\n"
+      "\n"
+      "placements (--placement): linear[:c] multiple:t diagonal[:s] full\n"
+      "  random:n[:seed] clustered:n subtorus:dim:v perfect_lee modular:m[:c]\n";
+  return 1;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::set<std::string> known{"d",    "k",  "t",         "router",
+                                    "src",  "dst", "faults",   "flits",
+                                    "seed", "ks",  "placement", "size",
+                                    "iters", "out"};
+  const Args args(argc, argv, 2, known);
+  if (cmd == "analyze") return cmd_analyze(args);
+  if (cmd == "bisect") return cmd_bisect(args);
+  if (cmd == "routes") return cmd_routes(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "verify") return cmd_verify(args);
+  if (cmd == "deadlock") return cmd_deadlock(args);
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "tables") return cmd_tables(args);
+  if (cmd == "optimize") return cmd_optimize(args);
+  if (cmd == "profile") return cmd_profile(args);
+  if (cmd == "render") return cmd_render(args);
+  if (cmd == "save") return cmd_save(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace tp::cli
+
+int main(int argc, char** argv) {
+  try {
+    return tp::cli::run(argc, argv);
+  } catch (const tp::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,6 +1,9 @@
 #include "src/core/planner.h"
 
+#include <optional>
+
 #include "src/load/complete_exchange.h"
+#include "src/obs/obs.h"
 #include "src/load/formulas.h"
 #include "src/routing/adaptive.h"
 #include "src/routing/odr.h"
@@ -22,37 +25,50 @@ std::unique_ptr<Router> make_router(RouterKind kind) {
 }
 
 PlacementPlan plan_placement(const Torus& torus, i32 t, RouterKind kind) {
+  TP_OBS_SCOPE("plan.plan");
   TP_REQUIRE(torus.is_uniform_radix(),
              "planning requires the paper's T_k^d (uniform radix)");
   const i32 k = torus.radix(0);
   const i32 d = torus.dims();
   TP_REQUIRE(t >= 1 && t <= k, "multiplicity t must be in [1, k]");
 
-  PlacementPlan plan{multiple_linear_placement(torus, t), kind,
-                     make_router(kind), 0.0, false, 0.0, ""};
-
-  switch (kind) {
-    case RouterKind::Odr:
-      if (t == 1 && d >= 3) {
-        plan.predicted_emax = odr_linear_emax(k, d);
-        plan.prediction_exact = true;
-      } else {
-        plan.predicted_emax = multiple_odr_upper(t, k, d);
-        plan.prediction_exact = false;
-      }
-      break;
-    case RouterKind::Udr:
-      plan.predicted_emax = multiple_udr_upper(t, k, d);
-      plan.prediction_exact = false;
-      break;
-    case RouterKind::Adaptive:
-      // No closed form in the paper; UDR's bound still applies since
-      // spreading over more paths can only reduce the worst link.
-      plan.predicted_emax = multiple_udr_upper(t, k, d);
-      plan.prediction_exact = false;
-      break;
+  std::optional<Placement> placement;
+  {
+    TP_OBS_SCOPE("plan.place");
+    placement.emplace(multiple_linear_placement(torus, t));
   }
-  plan.lower_bound = best_lower_bound(torus, plan.placement);
+  PlacementPlan plan{std::move(*placement), kind, nullptr, 0.0, false, 0.0,
+                     ""};
+
+  {
+    TP_OBS_SCOPE("plan.route");
+    plan.router = make_router(kind);
+    switch (kind) {
+      case RouterKind::Odr:
+        if (t == 1 && d >= 3) {
+          plan.predicted_emax = odr_linear_emax(k, d);
+          plan.prediction_exact = true;
+        } else {
+          plan.predicted_emax = multiple_odr_upper(t, k, d);
+          plan.prediction_exact = false;
+        }
+        break;
+      case RouterKind::Udr:
+        plan.predicted_emax = multiple_udr_upper(t, k, d);
+        plan.prediction_exact = false;
+        break;
+      case RouterKind::Adaptive:
+        // No closed form in the paper; UDR's bound still applies since
+        // spreading over more paths can only reduce the worst link.
+        plan.predicted_emax = multiple_udr_upper(t, k, d);
+        plan.prediction_exact = false;
+        break;
+    }
+  }
+  {
+    TP_OBS_SCOPE("plan.bound");
+    plan.lower_bound = best_lower_bound(torus, plan.placement);
+  }
   plan.summary = plan.placement.name() + " + " + plan.router->name() +
                  " on T_" + std::to_string(k) + "^" + std::to_string(d) +
                  ": |P| = " + std::to_string(plan.placement.size()) +
@@ -65,6 +81,7 @@ PlacementPlan plan_placement(const Torus& torus, i32 t, RouterKind kind) {
 
 LoadMap measure_loads(const Torus& torus, const Placement& p,
                       RouterKind kind) {
+  TP_OBS_SCOPE("plan.measure");
   switch (kind) {
     case RouterKind::Odr:
       return odr_loads(torus, p);

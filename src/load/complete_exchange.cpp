@@ -1,5 +1,6 @@
 #include "src/load/complete_exchange.h"
 
+#include "src/obs/obs.h"
 #include "src/routing/odr.h"
 #include "src/routing/udr.h"
 #include "src/util/combinatorics.h"
@@ -68,7 +69,9 @@ void accumulate_udr(const Torus& torus, const Placement& p, TieBreak tie,
 
 LoadMap odr_loads_ordered(const Torus& torus, const Placement& p,
                           const SmallVec<i32>& order, TieBreak tie) {
+  TP_OBS_SCOPE("load.odr");
   p.check_torus(torus);
+  TP_OBS_COUNT("load.pairs_evaluated", p.size() * (p.size() - 1));
   OdrRouter(order, tie).correction_order(torus);  // validate permutation
   LoadMap loads(torus);
   accumulate_odr(torus, p, order, tie, loads, 0, p.size());
@@ -209,7 +212,9 @@ void accumulate_udr(const Torus& torus, const Placement& p, TieBreak tie,
 }  // namespace
 
 LoadMap udr_loads(const Torus& torus, const Placement& p, TieBreak tie) {
+  TP_OBS_SCOPE("load.udr");
   p.check_torus(torus);
+  TP_OBS_COUNT("load.pairs_evaluated", p.size() * (p.size() - 1));
   LoadMap loads(torus);
   accumulate_udr(torus, p, tie, loads, 0, p.size());
   return loads;
@@ -223,7 +228,9 @@ LoadMap udr_loads_enumerated(const Torus& torus, const Placement& p,
 }
 
 LoadMap adaptive_loads(const Torus& torus, const Placement& p) {
+  TP_OBS_SCOPE("load.adaptive");
   p.check_torus(torus);
+  TP_OBS_COUNT("load.pairs_evaluated", p.size() * (p.size() - 1));
   LoadMap loads(torus);
   const std::size_t d = static_cast<std::size_t>(torus.dims());
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/routing/odr.h"
 #include "src/routing/udr.h"
 #include "src/util/combinatorics.h"
@@ -50,7 +51,9 @@ NodeId add_segment(const Torus& torus, ExactLoadMap& loads, NodeId node,
 
 ExactLoadMap odr_loads_exact(const Torus& torus, const Placement& p,
                              TieBreak tie) {
+  TP_OBS_SCOPE("load.exact_odr");
   p.check_torus(torus);
+  TP_OBS_COUNT("load.pairs_evaluated", p.size() * (p.size() - 1));
   ExactLoadMap loads(torus);
   for (NodeId src : p.nodes()) {
     for (NodeId dst : p.nodes()) {
@@ -77,7 +80,9 @@ ExactLoadMap odr_loads_exact(const Torus& torus, const Placement& p,
 
 ExactLoadMap udr_loads_exact(const Torus& torus, const Placement& p,
                              TieBreak tie) {
+  TP_OBS_SCOPE("load.exact_udr");
   p.check_torus(torus);
+  TP_OBS_COUNT("load.pairs_evaluated", p.size() * (p.size() - 1));
   ExactLoadMap loads(torus);
   for (NodeId src : p.nodes()) {
     for (NodeId dst : p.nodes()) {

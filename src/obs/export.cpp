@@ -1,0 +1,91 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "src/util/error.h"
+
+namespace tp::obs {
+
+JsonValue histogram_to_json(const HistogramData& h) {
+  JsonValue obj = JsonValue::object();
+  obj.set("count", JsonValue(h.count));
+  obj.set("sum", JsonValue(h.sum));
+  obj.set("min", JsonValue(h.min));
+  obj.set("max", JsonValue(h.max));
+  obj.set("mean", JsonValue(h.mean()));
+  obj.set("p50", JsonValue(h.percentile(0.50)));
+  obj.set("p95", JsonValue(h.percentile(0.95)));
+  JsonValue bounds = JsonValue::array();
+  for (const i64 b : h.bounds) bounds.push_back(JsonValue(b));
+  obj.set("bounds", std::move(bounds));
+  JsonValue counts = JsonValue::array();
+  for (const i64 c : h.counts) counts.push_back(JsonValue(c));
+  obj.set("counts", std::move(counts));
+  return obj;
+}
+
+JsonValue snapshot_to_json(const MetricsSnapshot& snap) {
+  JsonValue root = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, v] : snap.counters)
+    counters.set(name, JsonValue(v));
+  root.set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, v] : snap.gauges) gauges.set(name, JsonValue(v));
+  root.set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, h] : snap.histograms)
+    histograms.set(name, histogram_to_json(h));
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string stats_json_line(const MetricsSnapshot& snap) {
+  return snapshot_to_json(snap).dump();
+}
+
+void export_json(const MetricsSnapshot& snap, std::ostream& os) {
+  os << stats_json_line(snap) << "\n";
+}
+
+void export_json(const MetricsSnapshot& snap, const std::string& path,
+                 bool append) {
+  std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
+  TP_REQUIRE(out.good(), "cannot open stats output file: " + path);
+  export_json(snap, out);
+  TP_REQUIRE(out.good(), "failed writing stats output file: " + path);
+}
+
+void export_chrome_trace(const Tracer& tr, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  const std::vector<TraceEvent> events = tr.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":" << json_quote(e.name);
+    if (!e.cat.empty()) os << ",\"cat\":" << json_quote(e.cat);
+    os << ",\"ph\":\"" << e.phase << "\"";
+    // trace_event timestamps are microseconds; keep ns resolution via the
+    // fractional part (fixed notation — the default ostream precision
+    // would round large timestamps).
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "%lld.%03lld",
+                  static_cast<long long>(e.ts_ns / 1000),
+                  static_cast<long long>(e.ts_ns % 1000));
+    os << ",\"ts\":" << ts;
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void export_chrome_trace(const Tracer& tr, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  TP_REQUIRE(out.good(), "cannot open trace output file: " + path);
+  export_chrome_trace(tr, out);
+  TP_REQUIRE(out.good(), "failed writing trace output file: " + path);
+}
+
+}  // namespace tp::obs

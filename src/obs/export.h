@@ -1,0 +1,45 @@
+// Structured export of metrics snapshots and traces.
+//
+//   export_json(snapshot, path)        one-line JSON object (JSONL-ready)
+//   export_chrome_trace(tracer, path)  Chrome trace_event JSON for
+//                                      chrome://tracing / Perfetto
+//
+// The stats line serializes counters and gauges as integers and each
+// histogram as {count,sum,min,max,mean,p50,p95,bounds,counts}, so a dump
+// is self-describing and percentile summaries survive without the raw
+// samples.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace tp::obs {
+
+/// The snapshot as a JSON document: {"counters":{...},"gauges":{...},
+/// "histograms":{...}}.
+JsonValue snapshot_to_json(const MetricsSnapshot& snap);
+
+/// One histogram as a JSON object (shared with SimMetrics reporting).
+JsonValue histogram_to_json(const HistogramData& h);
+
+/// Compact single-line serialization of the snapshot.
+std::string stats_json_line(const MetricsSnapshot& snap);
+
+/// Writes the snapshot as one JSON line.  With append = true the line is
+/// added to the end of an existing file, turning repeated dumps into a
+/// JSONL stream; otherwise the file is replaced (a 1-line JSONL).
+void export_json(const MetricsSnapshot& snap, const std::string& path,
+                 bool append = false);
+void export_json(const MetricsSnapshot& snap, std::ostream& os);
+
+/// Writes the tracer's buffer in Chrome trace format:
+/// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+void export_chrome_trace(const Tracer& tracer, const std::string& path);
+void export_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+}  // namespace tp::obs

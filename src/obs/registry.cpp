@@ -1,0 +1,168 @@
+#include "src/obs/registry.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace tp::obs {
+
+std::vector<i64> default_bucket_bounds() {
+  std::vector<i64> bounds;
+  for (i64 b = 1; b <= (i64{1} << 20); b <<= 1) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<i64> duration_bucket_bounds() {
+  std::vector<i64> bounds;
+  for (i64 b = 1; b <= (i64{1} << 26); b <<= 1) bounds.push_back(b);
+  return bounds;
+}
+
+HistogramData::HistogramData(std::vector<i64> bucket_bounds)
+    : bounds(std::move(bucket_bounds)), counts(bounds.size() + 1, 0) {
+  TP_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
+             "histogram bucket bounds must be ascending");
+}
+
+void HistogramData::record(i64 v) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  counts[static_cast<std::size_t>(it - bounds.begin())] += 1;
+  if (count == 0) {
+    min = max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+}
+
+double HistogramData::mean() const {
+  return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+}
+
+double HistogramData::percentile(double q) const {
+  if (count == 0) return 0.0;
+  TP_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  double rank = q * static_cast<double>(count);
+  if (rank < 1.0) rank = 1.0;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cum + in_bucket >= rank) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double hi = i < bounds.size() ? static_cast<double>(bounds[i])
+                                          : static_cast<double>(max);
+      double est = lo + (hi - lo) * (rank - cum) / in_bucket;
+      est = std::max(est, static_cast<double>(min));
+      est = std::min(est, static_cast<double>(max));
+      return est;
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+const i64* MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const i64* MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const HistogramData* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& [n, v] : histograms)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  counter_slots_.reserve(kMaxMetrics);
+  gauge_slots_.reserve(kMaxMetrics);
+  histogram_slots_.reserve(kMaxMetrics);
+}
+
+namespace {
+
+i32 find_or_append(std::vector<std::string>& names, std::string_view name,
+                   std::size_t cap) {
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return static_cast<i32>(i);
+  TP_REQUIRE(names.size() < cap, "metrics registry is full");
+  names.emplace_back(name);
+  return static_cast<i32>(names.size() - 1);
+}
+
+}  // namespace
+
+CounterHandle MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const i32 idx = find_or_append(counter_names_, name, kMaxMetrics);
+  if (static_cast<std::size_t>(idx) == counter_slots_.size())
+    counter_slots_.push_back(0);
+  return CounterHandle{idx};
+}
+
+GaugeHandle MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const i32 idx = find_or_append(gauge_names_, name, kMaxMetrics);
+  if (static_cast<std::size_t>(idx) == gauge_slots_.size())
+    gauge_slots_.push_back(0);
+  return GaugeHandle{idx};
+}
+
+HistogramHandle MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, default_bucket_bounds());
+}
+
+HistogramHandle MetricsRegistry::histogram(std::string_view name,
+                                           std::vector<i64> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const i32 idx = find_or_append(histogram_names_, name, kMaxMetrics);
+  if (static_cast<std::size_t>(idx) == histogram_slots_.size())
+    histogram_slots_.emplace_back(std::move(bounds));
+  return HistogramHandle{idx};
+}
+
+void MetricsRegistry::record_duration_us(std::string_view scope, i64 us) {
+  if (!enabled_) return;
+  std::string name(scope);
+  name += "_us";
+  record(histogram(name, duration_bucket_bounds()), us);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (std::size_t i = 0; i < counter_names_.size(); ++i)
+    snap.counters.emplace_back(counter_names_[i], counter_slots_[i]);
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i)
+    snap.gauges.emplace_back(gauge_names_[i], gauge_slots_[i]);
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i)
+    snap.histograms.emplace_back(histogram_names_[i], histogram_slots_[i]);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counter_slots_.begin(), counter_slots_.end(), 0);
+  std::fill(gauge_slots_.begin(), gauge_slots_.end(), 0);
+  for (HistogramData& h : histogram_slots_) {
+    std::fill(h.counts.begin(), h.counts.end(), 0);
+    h.count = h.sum = h.min = h.max = 0;
+  }
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace tp::obs

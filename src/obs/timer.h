@@ -1,0 +1,62 @@
+// Monotonic wall-time measurement recording into the metrics registry.
+//
+// Stopwatch is a thin steady_clock wrapper; ScopedTimer records its
+// lifetime into a counter (accumulated nanoseconds) so repeated scopes sum
+// up.  For the combined timer + trace-span RAII used by the phase
+// instrumentation, see obs.h (TP_OBS_SCOPE).
+
+#pragma once
+
+#include <chrono>
+
+#include "src/obs/registry.h"
+
+namespace tp::obs {
+
+/// Monotonic nanosecond stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+
+  /// Nanoseconds of steady_clock time since an arbitrary fixed origin.
+  static i64 now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void restart() { start_ = now_ns(); }
+  i64 elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+ private:
+  i64 start_;
+};
+
+/// Adds the scope's elapsed nanoseconds to a registry counter on
+/// destruction.  The handle is resolved by the caller (once), so the
+/// per-scope cost when the registry is disabled is two clock reads at most
+/// — and none at all if constructed with an inactive registry, since
+/// recording is skipped inside MetricsRegistry::add.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry& reg, CounterHandle ns_counter)
+      : reg_(reg), handle_(ns_counter), active_(reg.enabled()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (active_) reg_.add(handle_, watch_.elapsed_ns());
+  }
+
+ private:
+  MetricsRegistry& reg_;
+  CounterHandle handle_;
+  bool active_;
+  Stopwatch watch_;
+};
+
+}  // namespace tp::obs

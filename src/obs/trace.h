@@ -1,0 +1,64 @@
+// Phase tracer emitting Chrome-trace-format events.
+//
+// The tracer records begin/end ("B"/"E") event pairs against a steady
+// clock epoch fixed at process start.  export_chrome_trace() (export.h)
+// serializes the buffer as a Chrome trace that loads directly in
+// chrome://tracing and Perfetto.
+//
+// Like the metrics registry, the tracer is disabled by default; begin/end
+// on a disabled tracer is a single predicted branch.
+
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/math.h"
+
+namespace tp::obs {
+
+/// One trace_event record.  Timestamps are nanoseconds since the tracer's
+/// epoch; the exporter converts to the format's microseconds.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'B';  ///< 'B' begin, 'E' end, 'i' instant
+  i64 ts_ns = 0;
+  i64 tid = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Opens a span.  Every begin() must be matched by an end() with the
+  /// same name (Chrome pairs them per tid by LIFO order).
+  void begin(std::string_view name, std::string_view cat = "phase");
+  void end(std::string_view name);
+
+  /// A zero-duration marker event.
+  void instant(std::string_view name, std::string_view cat = "event");
+
+  /// Copy of the recorded buffer (thread-safe).
+  std::vector<TraceEvent> events() const;
+
+  void clear();
+
+ private:
+  void push(std::string_view name, std::string_view cat, char phase);
+
+  bool enabled_ = false;
+  i64 epoch_ns_ = 0;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The process-wide tracer used by all built-in instrumentation.
+Tracer& tracer();
+
+}  // namespace tp::obs

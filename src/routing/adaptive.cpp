@@ -1,5 +1,6 @@
 #include "src/routing/adaptive.h"
 
+#include "src/obs/obs.h"
 #include "src/util/error.h"
 
 namespace tp {
@@ -91,6 +92,7 @@ std::vector<Path> AdaptiveMinimalRouter::paths(const Torus& torus, NodeId p,
     };
     recurse(recurse, p);
   });
+  TP_OBS_COUNT("router.paths_enumerated", static_cast<i64>(result.size()));
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "src/routing/odr.h"
 
+#include "src/obs/obs.h"
 #include "src/util/error.h"
 
 namespace tp {
@@ -62,6 +63,7 @@ std::vector<Path> OdrRouter::paths(const Torus& torus, NodeId p,
     }
   };
   recurse(recurse, p, 0);
+  TP_OBS_COUNT("router.paths_enumerated", static_cast<i64>(result.size()));
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "src/routing/router.h"
 
+#include "src/obs/obs.h"
 #include "src/util/error.h"
 
 namespace tp {
@@ -30,6 +31,7 @@ SmallVec<i32> allowed_dirs(const Torus& torus, i32 dim, i32 a, i32 b,
       dirs.push_back(-1);
       break;
     case Way::Tie:
+      TP_OBS_COUNT("router.tie_breaks");
       dirs.push_back(+1);
       if (tie == TieBreak::BothDirections) dirs.push_back(-1);
       break;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/util/combinatorics.h"
 #include "src/util/error.h"
 
@@ -79,6 +80,7 @@ std::vector<Path> UdrRouter::paths(const Torus& torus, NodeId p,
       if (i == order.size()) break;
     }
   });
+  TP_OBS_COUNT("router.paths_enumerated", static_cast<i64>(result.size()));
   return result;
 }
 

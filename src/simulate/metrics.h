@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "src/obs/registry.h"
 #include "src/torus/torus.h"
 
 namespace tp {
@@ -13,17 +14,29 @@ struct SimMetrics {
   i64 injected = 0;          ///< messages entering the network
   i64 delivered = 0;         ///< messages that reached their destination
   i64 unroutable = 0;        ///< messages with no fault-free path (dropped at source)
+  i64 flits_per_message = 1; ///< serialization factor the run used
   double mean_latency = 0.0; ///< mean deliver-inject cycle difference
   i64 max_queue_depth = 0;   ///< peak backlog on any single link
   i64 max_link_forwards = 0; ///< busiest link's total transmissions
   std::vector<i64> link_forwards;  ///< per directed link, indexed by EdgeId
 
-  /// Busiest-link transmissions divided by makespan: 1.0 means some link
-  /// was busy every cycle (the network ran at that link's capacity).
+  /// Per-message latency distribution (deliver - inject cycles); filled on
+  /// every run, independent of the global metrics registry.
+  obs::HistogramData latency;
+
+  double latency_p50() const { return latency.percentile(0.50); }
+  double latency_p95() const { return latency.percentile(0.95); }
+  i64 latency_max() const { return latency.max; }
+
+  /// Fraction of the makespan the busiest link spent transmitting: each
+  /// forward occupies the link for flits_per_message cycles, so 1.0 means
+  /// some link was busy every cycle (the network ran at that link's
+  /// capacity).
   double bottleneck_utilization() const {
-    return cycles > 0 ? static_cast<double>(max_link_forwards) /
-                            static_cast<double>(cycles)
-                      : 0.0;
+    return cycles > 0
+               ? static_cast<double>(max_link_forwards * flits_per_message) /
+                     static_cast<double>(cycles)
+               : 0.0;
   }
 };
 

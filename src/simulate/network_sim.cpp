@@ -4,6 +4,7 @@
 #include <deque>
 #include <tuple>
 
+#include "src/obs/obs.h"
 #include "src/util/error.h"
 
 namespace tp {
@@ -26,7 +27,21 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
     std::size_t hop = 0;
   };
 
+  TP_OBS_SCOPE("sim.run");
+  obs::MetricsRegistry& reg = obs::registry();
+  const bool obs_on = reg.enabled();
+  obs::HistogramHandle h_qdepth, h_inj_cycle, h_del_cycle, h_latency;
+  if (obs_on) {
+    h_qdepth = reg.histogram("sim.queue_depth");
+    h_inj_cycle = reg.histogram("sim.injected_per_cycle");
+    h_del_cycle = reg.histogram("sim.delivered_per_cycle");
+    h_latency = reg.histogram("sim.latency");
+  }
+  obs::Tracer& tr = obs::tracer();
+  const bool trace_on = tr.enabled();
+
   SimMetrics metrics;
+  metrics.flits_per_message = config_.flits_per_message;
   metrics.link_forwards.assign(
       static_cast<std::size_t>(torus_.num_directed_edges()), 0);
 
@@ -56,9 +71,10 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
       static_cast<std::size_t>(torus_.num_directed_edges()), false);
   auto enqueue = [&](EdgeId e, MsgState s) {
     queue[static_cast<std::size_t>(e)].push_back(s);
-    metrics.max_queue_depth =
-        std::max(metrics.max_queue_depth,
-                 static_cast<i64>(queue[static_cast<std::size_t>(e)].size()));
+    const i64 depth =
+        static_cast<i64>(queue[static_cast<std::size_t>(e)].size());
+    metrics.max_queue_depth = std::max(metrics.max_queue_depth, depth);
+    if (obs_on) reg.record(h_qdepth, depth);
     if (!is_active[static_cast<std::size_t>(e)]) {
       is_active[static_cast<std::size_t>(e)] = true;
       active.push_back(e);
@@ -74,8 +90,15 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   // Messages in transit across a link, arriving at (cycle + flits).
   std::deque<std::tuple<i64, EdgeId, MsgState>> in_transit;
 
+  // Phase spans: "sim.inject" while sources still have messages to issue,
+  // "sim.drain" once the network is only emptying.
+  if (trace_on) tr.begin("sim.inject", "sim");
+  bool draining = false;
+
   while (next_inject < by_inject.size() || in_flight > 0) {
     TP_REQUIRE(cycle <= max_cycles, "simulation exceeded cycle budget");
+    const i64 injected_before = metrics.injected;
+    const i64 delivered_before = metrics.delivered;
     // Land messages whose link traversal completes now.
     while (!in_transit.empty() && std::get<0>(in_transit.front()) <= cycle) {
       const EdgeId e = std::get<1>(in_transit.front());
@@ -107,6 +130,11 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
       enqueue(m->path.edges.front(), MsgState{m, 0});
       ++in_flight;
     }
+    if (trace_on && !draining && next_inject == by_inject.size()) {
+      tr.end("sim.inject");
+      tr.begin("sim.drain", "sim");
+      draining = true;
+    }
 
     // Every free active link starts forwarding one message; the traversal
     // completes `flits` cycles later.
@@ -131,16 +159,23 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
       if (s.hop == s.msg->path.edges.size()) {
         ++metrics.delivered;
         --in_flight;
-        latency_sum +=
-            static_cast<double>(cycle + flits - s.msg->inject_cycle);
+        const i64 latency = cycle + flits - s.msg->inject_cycle;
+        latency_sum += static_cast<double>(latency);
+        metrics.latency.record(latency);
+        if (obs_on) reg.record(h_latency, latency);
         metrics.cycles = std::max(metrics.cycles, cycle + flits);
       } else {
         in_transit.emplace_back(cycle + flits, s.msg->path.edges[s.hop], s);
       }
       ++ai;
     }
+    if (obs_on) {
+      reg.record(h_inj_cycle, metrics.injected - injected_before);
+      reg.record(h_del_cycle, metrics.delivered - delivered_before);
+    }
     ++cycle;
   }
+  if (trace_on) tr.end(draining ? "sim.drain" : "sim.inject");
 
   metrics.max_link_forwards = metrics.link_forwards.empty()
                                   ? 0
@@ -150,6 +185,15 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   metrics.mean_latency = metrics.delivered > 0
                              ? latency_sum / static_cast<double>(metrics.delivered)
                              : 0.0;
+  if (obs_on) {
+    reg.add(reg.counter("sim.cycles"), metrics.cycles);
+    reg.add(reg.counter("sim.injected"), metrics.injected);
+    reg.add(reg.counter("sim.delivered"), metrics.delivered);
+    reg.add(reg.counter("sim.unroutable"), metrics.unroutable);
+    reg.set_max(reg.gauge("sim.max_queue_depth"), metrics.max_queue_depth);
+    reg.set_max(reg.gauge("sim.max_link_forwards"),
+                metrics.max_link_forwards);
+  }
   return metrics;
 }
 

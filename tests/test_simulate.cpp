@@ -237,6 +237,40 @@ TEST(NetworkSim, EmptyRun) {
   EXPECT_DOUBLE_EQ(metrics.bottleneck_utilization(), 0.0);
 }
 
+TEST(NetworkSim, BottleneckUtilizationAccountsForFlits) {
+  // One message over one link with 3 flits: the link is busy for all 3
+  // cycles of the makespan, so utilization is exactly 1.  (A regression
+  // for the pre-flit formula, which divided forwards by cycles and
+  // reported 1/3.)
+  Torus t(1, 8);
+  OdrRouter odr;
+  SimConfig config;
+  config.flits_per_message = 3;
+  NetworkSim sim(t, nullptr, config);
+  const SimMetrics metrics = sim.run({SimMessage{odr.canonical_path(t, 0, 1), 0}});
+  EXPECT_EQ(metrics.cycles, 3);
+  EXPECT_EQ(metrics.max_link_forwards, 1);
+  EXPECT_EQ(metrics.flits_per_message, 3);
+  EXPECT_DOUBLE_EQ(metrics.bottleneck_utilization(), 1.0);
+}
+
+TEST(NetworkSim, LatencyPercentilesComeFromTheHistogram) {
+  // Two messages with known latencies 1 and 2 on disjoint links.
+  Torus t(2, 4);
+  OdrRouter odr;
+  std::vector<SimMessage> msgs{
+      {odr.canonical_path(t, t.node_id(Coord{0, 0}), t.node_id(Coord{0, 1})), 0},
+      {odr.canonical_path(t, t.node_id(Coord{1, 0}), t.node_id(Coord{1, 2})), 0}};
+  NetworkSim sim(t);
+  const SimMetrics metrics = sim.run(msgs);
+  EXPECT_EQ(metrics.latency.count, 2);
+  EXPECT_EQ(metrics.latency.min, 1);
+  EXPECT_EQ(metrics.latency_max(), 2);
+  EXPECT_GE(metrics.latency_p50(), 1.0);
+  EXPECT_LE(metrics.latency_p95(), 2.0);
+  EXPECT_LE(metrics.latency_p50(), metrics.latency_p95());
+}
+
 TEST(NetworkSim, BottleneckUtilizationIsHighUnderCompleteExchange) {
   Torus t(2, 6);
   const Placement p = linear_placement(t);

@@ -1,6 +1,6 @@
 // export_results — regenerate the headline experiment series as CSV.
 //
-//   export_results [output_dir]        (default: ./results)
+//   export_results [output_dir] [--stats-json dump.json ...]
 //
 // Writes one CSV per experiment family so the numbers in EXPERIMENTS.md
 // can be re-derived, plotted, or diffed without scraping bench stdout:
@@ -13,13 +13,21 @@
 //   full_torus.csv      E2  superlinearity series
 //   fault.csv           E11 routability under failures
 //   saturation.csv      E16 latency vs injection rate
+//
+// Any --stats-json arguments (or bare *.json positionals) are parsed as
+// stats dumps written by `torusplace --stats-json` / TP_OBS_STATS (one
+// JSON object per line) and merged into stats.csv: one row per metric
+// with histogram summaries flattened into columns.
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "src/analysis/csv.h"
 #include "src/analysis/table.h"
 #include "src/core/torusplace.h"
+#include "src/obs/obs.h"
 
 namespace tp {
 namespace {
@@ -173,11 +181,66 @@ void export_saturation(const std::string& dir) {
   save_csv(dir + "/saturation.csv", t);
 }
 
+void merge_stats_dumps(const std::string& dir,
+                       const std::vector<std::string>& inputs) {
+  Table t({"source", "record", "kind", "metric", "value", "count", "sum",
+           "min", "max", "mean", "p50", "p95"});
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    TP_REQUIRE(in.good(), "cannot open stats dump: " + path);
+    std::string line;
+    i64 record = 0;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const obs::JsonValue root = obs::parse_json(line);
+      if (const obs::JsonValue* counters = root.find("counters"))
+        for (const auto& [name, v] : counters->members())
+          t.add_row({path, fmt(record), "counter", name, fmt(v.as_int()),
+                     "", "", "", "", "", "", ""});
+      if (const obs::JsonValue* gauges = root.find("gauges"))
+        for (const auto& [name, v] : gauges->members())
+          t.add_row({path, fmt(record), "gauge", name, fmt(v.as_int()),
+                     "", "", "", "", "", "", ""});
+      if (const obs::JsonValue* hists = root.find("histograms"))
+        for (const auto& [name, h] : hists->members()) {
+          const auto field = [&](const char* key) -> const obs::JsonValue& {
+            const obs::JsonValue* v = h.find(key);
+            TP_REQUIRE(v != nullptr, "stats dump histogram missing field '" +
+                                         std::string(key) + "': " + path);
+            return *v;
+          };
+          t.add_row({path, fmt(record), "histogram", name, "",
+                     fmt(field("count").as_int()), fmt(field("sum").as_int()),
+                     fmt(field("min").as_int()), fmt(field("max").as_int()),
+                     fmt(field("mean").as_number(), 6),
+                     fmt(field("p50").as_number(), 6),
+                     fmt(field("p95").as_number(), 6)});
+        }
+      ++record;
+    }
+  }
+  save_csv(dir + "/stats.csv", t);
+}
+
 }  // namespace
 }  // namespace tp
 
 int main(int argc, char** argv) {
-  const std::string dir = argc > 1 ? argv[1] : "results";
+  std::string dir = "results";
+  bool dir_set = false;
+  std::vector<std::string> stats_inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats-json") {
+      if (i + 1 < argc) stats_inputs.push_back(argv[++i]);
+    } else if (arg.size() > 5 &&
+               arg.compare(arg.size() - 5, 5, ".json") == 0) {
+      stats_inputs.push_back(arg);
+    } else if (!dir_set) {
+      dir = arg;
+      dir_set = true;
+    }
+  }
   std::filesystem::create_directories(dir);
   try {
     tp::export_odr_linear(dir);
@@ -188,10 +251,12 @@ int main(int argc, char** argv) {
     tp::export_full_torus(dir);
     tp::export_fault(dir);
     tp::export_saturation(dir);
+    if (!stats_inputs.empty()) tp::merge_stats_dumps(dir, stats_inputs);
   } catch (const tp::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  std::cout << "wrote 8 CSV files to " << dir << "/\n";
+  std::cout << "wrote " << (8 + (stats_inputs.empty() ? 0 : 1))
+            << " CSV files to " << dir << "/\n";
   return 0;
 }

@@ -16,12 +16,14 @@
 //       E_max table across k with the paper's formulas
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "src/analysis/grid_render.h"
 #include "src/analysis/table.h"
 #include "src/core/torusplace.h"
+#include "src/obs/obs.h"
 #include "src/routing/deadlock.h"
 #include "tools/cli_args.h"
 
@@ -270,16 +272,26 @@ int cmd_simulate(const Args& args) {
   const u64 seed = static_cast<u64>(args.get_int("seed", 1));
   const RouterKind kind = parse_router(args.get("router"));
 
+  // Phase spans: plan (design construction) -> route (path assignment)
+  // -> sim (cycle-accurate execution).
+  std::optional<obs::Scope> phase;
+  phase.emplace("plan");
   Torus torus(d, k);
   const Placement p = multiple_linear_placement(torus, t);
   const auto router = make_router(kind);
   const EdgeSet faults = sample_wire_faults(torus, n_faults, seed);
+  phase.reset();
 
+  phase.emplace("route");
   const auto traffic = complete_exchange_traffic(
       torus, p, *router, seed, n_faults > 0 ? &faults : nullptr);
+  phase.reset();
+
   NetworkSim sim(torus, n_faults > 0 ? &faults : nullptr,
                  SimConfig{flits});
+  phase.emplace("sim");
   const SimMetrics m = sim.run(traffic.messages);
+  phase.reset();
 
   Table table({"metric", "value"});
   table.add_row({"processors", fmt(static_cast<long long>(p.size()))});
@@ -289,6 +301,10 @@ int cmd_simulate(const Args& args) {
                  fmt(static_cast<long long>(traffic.unroutable_pairs))});
   table.add_row({"makespan (cycles)", fmt(static_cast<long long>(m.cycles))});
   table.add_row({"mean latency", fmt(m.mean_latency)});
+  table.add_row({"latency p50", fmt(m.latency_p50())});
+  table.add_row({"latency p95", fmt(m.latency_p95())});
+  table.add_row({"latency max",
+                 fmt(static_cast<long long>(m.latency_max()))});
   table.add_row({"peak queue depth",
                  fmt(static_cast<long long>(m.max_queue_depth))});
   table.add_row({"busiest link forwards",
@@ -393,18 +409,15 @@ int usage() {
       "  save      write a placement file             (--d --k --placement --out)\n"
       "\n"
       "placements (--placement): linear[:c] multiple:t diagonal[:s] full\n"
-      "  random:n[:seed] clustered:n subtorus:dim:v perfect_lee modular:m[:c]\n";
+      "  random:n[:seed] clustered:n subtorus:dim:v perfect_lee modular:m[:c]\n"
+      "\n"
+      "global flags (all commands):\n"
+      "  --stats-json <path>  dump counters/histograms as one JSON line\n"
+      "  --trace <path>       write Chrome-trace phase spans (Perfetto)\n";
   return 1;
 }
 
-int run(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  const std::set<std::string> known{"d",    "k",  "t",         "router",
-                                    "src",  "dst", "faults",   "flits",
-                                    "seed", "ks",  "placement", "size",
-                                    "iters", "out"};
-  const Args args(argc, argv, 2, known);
+int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "bisect") return cmd_bisect(args);
   if (cmd == "routes") return cmd_routes(args);
@@ -418,6 +431,32 @@ int run(int argc, char** argv) {
   if (cmd == "render") return cmd_render(args);
   if (cmd == "save") return cmd_save(args);
   return usage();
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::set<std::string> known{
+      "d",    "k",  "t",         "router", "src",   "dst",
+      "faults", "flits", "seed", "ks",     "placement", "size",
+      "iters", "out", "stats-json", "trace"};
+  const Args args(argc, argv, 2, known);
+
+  // Global observability flags: turn the registry/tracer on before the
+  // command runs, export after it finishes (even a failing command leaves
+  // no partial file: export happens only on normal return).
+  const std::string stats_path = args.get("stats-json");
+  const std::string trace_path = args.get("trace");
+  if (!stats_path.empty()) obs::registry().set_enabled(true);
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
+
+  const int rc = dispatch(cmd, args);
+
+  if (!stats_path.empty())
+    obs::export_json(obs::registry().snapshot(), stats_path);
+  if (!trace_path.empty())
+    obs::export_chrome_trace(obs::tracer(), trace_path);
+  return rc;
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+#include "src/analysis/imbalance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace tp {
+
+ImbalanceReport analyze_imbalance(const Torus& torus, const LoadMap& loads,
+                                  std::size_t top_n) {
+  TP_REQUIRE(loads.num_edges() == torus.num_directed_edges(),
+             "load map sized for a different torus");
+
+  ImbalanceReport report;
+  report.total_links = loads.num_edges();
+  report.by_dim.resize(static_cast<std::size_t>(torus.dims()));
+  for (i32 dim = 0; dim < torus.dims(); ++dim)
+    report.by_dim[static_cast<std::size_t>(dim)].dim = dim;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::vector<EdgeId> ranked;
+  for (EdgeId e = 0; e < loads.num_edges(); ++e) {
+    const double w = loads[e];
+    sum += w;
+    sum_sq += w * w;
+    report.max_load = std::max(report.max_load, w);
+    if (w > 1e-12) {
+      ++report.loaded_links;
+      ranked.push_back(e);
+    }
+    const Link link = torus.link(e);
+    DimLoadSummary& d = report.by_dim[static_cast<std::size_t>(link.dim)];
+    d.total += w;
+    d.max = std::max(d.max, w);
+    (link.dir == Dir::Pos ? d.pos_total : d.neg_total) += w;
+  }
+
+  const auto n = static_cast<double>(loads.num_edges());
+  report.mean_load = n > 0.0 ? sum / n : 0.0;
+  if (report.mean_load > 0.0) {
+    // Population variance; clamp tiny negative rounding residue.
+    const double var =
+        std::max(0.0, sum_sq / n - report.mean_load * report.mean_load);
+    report.cov = std::sqrt(var) / report.mean_load;
+    report.max_to_mean = report.max_load / report.mean_load;
+  }
+
+  std::sort(ranked.begin(), ranked.end(), [&](EdgeId a, EdgeId b) {
+    if (loads[a] != loads[b]) return loads[a] > loads[b];
+    return a < b;
+  });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+  report.hotspots.reserve(ranked.size());
+  for (EdgeId e : ranked) {
+    const Link link = torus.link(e);
+    report.hotspots.push_back(
+        {e, loads[e], link.dim, link.dir, torus.edge_str(e)});
+  }
+  return report;
+}
+
+std::vector<ResidualEntry> load_residuals(const Torus& torus,
+                                          const LoadMap& measured,
+                                          const LoadMap& predicted,
+                                          std::size_t top_n) {
+  TP_REQUIRE(measured.num_edges() == torus.num_directed_edges() &&
+                 predicted.num_edges() == torus.num_directed_edges(),
+             "load maps sized for a different torus");
+
+  std::vector<EdgeId> ranked;
+  for (EdgeId e = 0; e < measured.num_edges(); ++e)
+    if (std::abs(measured[e] - predicted[e]) > 1e-12) ranked.push_back(e);
+  std::sort(ranked.begin(), ranked.end(), [&](EdgeId a, EdgeId b) {
+    const double ra = std::abs(measured[a] - predicted[a]);
+    const double rb = std::abs(measured[b] - predicted[b]);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+
+  std::vector<ResidualEntry> out;
+  out.reserve(ranked.size());
+  for (EdgeId e : ranked)
+    out.push_back({e, measured[e], predicted[e], measured[e] - predicted[e],
+                   torus.edge_str(e)});
+  return out;
+}
+
+LoadMap probe_load_map(const Torus& torus, const obs::LinkProbe& probe,
+                       double scale) {
+  TP_REQUIRE(probe.num_links() == torus.num_directed_edges(),
+             "link probe sized for a different torus");
+  LoadMap loads(torus);
+  for (EdgeId e = 0; e < torus.num_directed_edges(); ++e) {
+    const i64 f = probe.link(e).forwards;
+    if (f != 0) loads.add(e, static_cast<double>(f) * scale);
+  }
+  return loads;
+}
+
+Table hotspot_table(const ImbalanceReport& report) {
+  Table table({"rank", "link", "dim", "dir", "load"});
+  i64 rank = 1;
+  for (const LinkLoadEntry& h : report.hotspots) {
+    table.add_row({fmt(rank++), h.label, fmt(h.dim),
+                   h.dir == Dir::Pos ? "+" : "-", fmt(h.load)});
+  }
+  return table;
+}
+
+Table residual_table(const std::vector<ResidualEntry>& residuals) {
+  Table table({"link", "measured", "predicted", "residual"});
+  for (const ResidualEntry& r : residuals)
+    table.add_row(
+        {r.label, fmt(r.measured), fmt(r.predicted), fmt(r.residual)});
+  return table;
+}
+
+}  // namespace tp

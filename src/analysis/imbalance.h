@@ -1,0 +1,97 @@
+// Hotspot and imbalance analysis of per-link loads.
+//
+// The paper's lower bounds speak about E_max, the busiest link; this
+// module answers the follow-up questions an experimenter asks next:
+// WHICH links are the busy ones (coordinates, dimension, direction), how
+// unbalanced is the whole load distribution (coefficient of variation,
+// max-to-mean ratio), and how far does a measured simulation load deviate
+// from the analytic E(l) prediction (residual table).
+//
+// probe_load_map() is the bridge from the runtime telemetry layer
+// (obs::LinkProbe, which is deliberately torus-free — see obs/linkprobe.h)
+// back into the analytic LoadMap domain, so measured loads flow through
+// the same rendering and analysis paths as predicted ones.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/table.h"
+#include "src/load/load_map.h"
+#include "src/obs/linkprobe.h"
+#include "src/torus/torus.h"
+
+namespace tp {
+
+/// One link in the hotspot ranking.
+struct LinkLoadEntry {
+  EdgeId edge = 0;
+  double load = 0.0;
+  i32 dim = 0;
+  Dir dir = Dir::Pos;
+  std::string label;  ///< torus.edge_str(edge): "(x,y) ->+d (x',y')" style
+};
+
+/// Aggregate loads of one dimension (both directions).
+struct DimLoadSummary {
+  i32 dim = 0;
+  double total = 0.0;      ///< sum of E(l) over the dimension's links
+  double max = 0.0;        ///< busiest link in the dimension
+  double pos_total = 0.0;  ///< + direction share of `total`
+  double neg_total = 0.0;  ///< - direction share of `total`
+};
+
+/// Everything analyze_imbalance() computes about a load map.
+struct ImbalanceReport {
+  /// Top-N links by load, descending; ties broken by edge id (ascending)
+  /// so the ranking is deterministic.
+  std::vector<LinkLoadEntry> hotspots;
+  std::vector<DimLoadSummary> by_dim;  ///< one entry per dimension
+
+  double max_load = 0.0;   ///< E_max
+  double mean_load = 0.0;  ///< mean over ALL links, idle ones included
+  /// Coefficient of variation (stddev / mean) over ALL links; 0 when the
+  /// map carries no load.  A perfectly balanced placement has CoV 0.
+  double cov = 0.0;
+  double max_to_mean = 0.0;  ///< E_max / mean; 0 when the map is empty
+  i64 loaded_links = 0;      ///< links with load > 1e-12
+  i64 total_links = 0;
+};
+
+/// Ranks links and summarizes the load distribution.  `top_n` bounds the
+/// hotspot list; links with zero load are never listed.
+ImbalanceReport analyze_imbalance(const Torus& torus, const LoadMap& loads,
+                                  std::size_t top_n = 10);
+
+/// One row of the measured-vs-predicted comparison.
+struct ResidualEntry {
+  EdgeId edge = 0;
+  double measured = 0.0;
+  double predicted = 0.0;
+  double residual = 0.0;  ///< measured - predicted
+  std::string label;
+};
+
+/// Top-N links by |measured - predicted|, descending (ties by edge id).
+/// Both maps must describe the same torus.
+std::vector<ResidualEntry> load_residuals(const Torus& torus,
+                                          const LoadMap& measured,
+                                          const LoadMap& predicted,
+                                          std::size_t top_n = 10);
+
+/// Converts probe forward counts into a LoadMap: load(l) = forwards(l) *
+/// scale.  Use scale = 1/flits_per_message to compare a flit-serialized
+/// simulation against the paper's unit-load E(l).  The probe must be sized
+/// for `torus`.
+LoadMap probe_load_map(const Torus& torus, const obs::LinkProbe& probe,
+                       double scale = 1.0);
+
+/// Renders the hotspot ranking as an aligned text table
+/// (rank / link / dim / dir / load columns).
+Table hotspot_table(const ImbalanceReport& report);
+
+/// Renders a residual list as an aligned text table.
+Table residual_table(const std::vector<ResidualEntry>& residuals);
+
+}  // namespace tp

@@ -1,0 +1,35 @@
+// Merging TP_OBS stats dumps (JSONL) into one flat metrics table.
+//
+// `torusplace --stats-json` and TP_OBS_STATS write one JSON object per
+// line (counters / gauges / histograms — see obs/export.h).  This module
+// merges any number of such dumps into a single table with one row per
+// metric, histogram summaries flattened into columns, ready for
+// save_csv().
+//
+// Output order is deterministic: rows are sorted by (source, record,
+// kind, metric), independent of the order the inputs were listed in and
+// of member order inside the JSON objects.  That makes stats.csv diffable
+// across regenerations.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/analysis/table.h"
+
+namespace tp {
+
+/// Parses one stats dump from `in` (JSONL; blank lines skipped) and
+/// appends rows to `rows`, tagged with `source`.  Each row has the merged
+/// table's 12 cells: source, record, kind, metric, value, count, sum,
+/// min, max, mean, p50, p95.  Throws tp::Error on malformed input.
+void append_stats_rows(std::vector<std::vector<std::string>>& rows,
+                       const std::string& source, std::istream& in);
+
+/// Reads every dump file and returns the merged, sorted table.
+/// Throws tp::Error if a file cannot be opened or parsed.
+Table merge_stats_dumps(const std::vector<std::string>& inputs);
+
+}  // namespace tp

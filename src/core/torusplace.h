@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include "src/analysis/imbalance.h"
 #include "src/analysis/load_profile.h"
 #include "src/bisection/cut.h"
 #include "src/bisection/dimension_cut.h"

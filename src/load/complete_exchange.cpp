@@ -80,15 +80,24 @@ LoadMap odr_loads_ordered(const Torus& torus, const Placement& p,
 
 LoadMap odr_loads_parallel(const Torus& torus, const Placement& p,
                            i32 threads, TieBreak tie) {
+  TP_OBS_SCOPE("load.odr");
   p.check_torus(torus);
   SmallVec<i32> order;
   for (i32 dim = 0; dim < torus.dims(); ++dim) order.push_back(dim);
   std::vector<LoadMap> partial(static_cast<std::size_t>(threads),
                                LoadMap(torus));
+  // Registry counters are not atomic (obs/registry.h): workers tally into
+  // their own slot and the total is recorded once after the join, so
+  // load.pairs_evaluated is exact for any thread count.
+  std::vector<i64> pairs(static_cast<std::size_t>(threads), 0);
   parallel_for_blocks(p.size(), threads, [&](i32 worker, i64 lo, i64 hi) {
     accumulate_odr(torus, p, order, tie,
                    partial[static_cast<std::size_t>(worker)], lo, hi);
+    pairs[static_cast<std::size_t>(worker)] += (hi - lo) * (p.size() - 1);
   });
+  i64 total_pairs = 0;
+  for (i64 n : pairs) total_pairs += n;
+  TP_OBS_COUNT("load.pairs_evaluated", total_pairs);
   LoadMap loads(torus);
   for (const LoadMap& part : partial)
     for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
@@ -98,13 +107,20 @@ LoadMap odr_loads_parallel(const Torus& torus, const Placement& p,
 
 LoadMap udr_loads_parallel(const Torus& torus, const Placement& p,
                            i32 threads, TieBreak tie) {
+  TP_OBS_SCOPE("load.udr");
   p.check_torus(torus);
   std::vector<LoadMap> partial(static_cast<std::size_t>(threads),
                                LoadMap(torus));
+  // Same per-worker tally + post-join reduce as odr_loads_parallel.
+  std::vector<i64> pairs(static_cast<std::size_t>(threads), 0);
   parallel_for_blocks(p.size(), threads, [&](i32 worker, i64 lo, i64 hi) {
     accumulate_udr(torus, p, tie, partial[static_cast<std::size_t>(worker)],
                    lo, hi);
+    pairs[static_cast<std::size_t>(worker)] += (hi - lo) * (p.size() - 1);
   });
+  i64 total_pairs = 0;
+  for (i64 n : pairs) total_pairs += n;
+  TP_OBS_COUNT("load.pairs_evaluated", total_pairs);
   LoadMap loads(torus);
   for (const LoadMap& part : partial)
     for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)

@@ -76,6 +76,8 @@ void export_chrome_trace(const Tracer& tr, std::ostream& os) {
                   static_cast<long long>(e.ts_ns % 1000));
     os << ",\"ts\":" << ts;
     if (e.phase == 'i') os << ",\"s\":\"t\"";
+    if (e.phase == 'C')
+      os << ",\"args\":{\"value\":" << e.value << "}";
     os << ",\"pid\":1,\"tid\":" << e.tid << "}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}\n";
@@ -86,6 +88,83 @@ void export_chrome_trace(const Tracer& tr, const std::string& path) {
   TP_REQUIRE(out.good(), "cannot open trace output file: " + path);
   export_chrome_trace(tr, out);
   TP_REQUIRE(out.good(), "failed writing trace output file: " + path);
+}
+
+namespace {
+
+JsonValue window_stats_to_json(const WindowStats& w) {
+  JsonValue obj = JsonValue::object();
+  obj.set("count", JsonValue(w.count));
+  obj.set("sum", JsonValue(w.sum));
+  obj.set("min", JsonValue(w.count > 0 ? w.min : 0));
+  obj.set("max", JsonValue(w.count > 0 ? w.max : 0));
+  return obj;
+}
+
+}  // namespace
+
+void export_link_jsonl(const LinkProbe& probe, const LinkExportMeta& meta,
+                       std::ostream& os) {
+  JsonValue header = JsonValue::object();
+  header.set("type", JsonValue("run"));
+  header.set("run", JsonValue(meta.run));
+  header.set("cycles", JsonValue(meta.cycles));
+  header.set("flits_per_message", JsonValue(meta.flits_per_message));
+  header.set("links", JsonValue(probe.num_links()));
+  header.set("active_links", JsonValue(probe.active_links()));
+  header.set("dims", JsonValue(static_cast<i64>(probe.dims())));
+  header.set("window_width",
+             JsonValue(probe.forwards_series().window_width()));
+  header.set("windows",
+             JsonValue(static_cast<i64>(probe.forwards_series().num_windows())));
+  os << header.dump() << "\n";
+
+  for (i64 e = 0; e < probe.num_links(); ++e) {
+    const LinkCounters& c = probe.link(e);
+    if (c.forwards == 0 && c.busy_cycles == 0 && c.peak_queue == 0 &&
+        c.stalls == 0)
+      continue;
+    JsonValue line = JsonValue::object();
+    line.set("type", JsonValue("link"));
+    line.set("edge", JsonValue(e));
+    line.set("dim", JsonValue(static_cast<i64>(probe.dim_of(e))));
+    line.set("dir", JsonValue(probe.is_positive(e) ? "+" : "-"));
+    if (static_cast<std::size_t>(e) < meta.edge_labels.size())
+      line.set("label", JsonValue(meta.edge_labels[static_cast<std::size_t>(e)]));
+    line.set("forwards", JsonValue(c.forwards));
+    line.set("busy_cycles", JsonValue(c.busy_cycles));
+    line.set("peak_queue", JsonValue(c.peak_queue));
+    line.set("stalls", JsonValue(c.stalls));
+    os << line.dump() << "\n";
+  }
+
+  const TimeSeries& fw = probe.forwards_series();
+  const TimeSeries& qd = probe.queue_series();
+  const TimeSeries& st = probe.stall_series();
+  for (std::size_t i = 0; i < fw.num_windows(); ++i) {
+    JsonValue line = JsonValue::object();
+    line.set("type", JsonValue("window"));
+    line.set("index", JsonValue(static_cast<i64>(i)));
+    line.set("start", JsonValue(fw.window_start(i)));
+    line.set("width", JsonValue(fw.window_width()));
+    line.set("forwards", window_stats_to_json(fw.window(i)));
+    // The three series share tick = cycle but can merge at different
+    // moments; report the companions only while their widths agree (they
+    // re-converge after each record past the buffer).
+    if (qd.window_width() == fw.window_width() && i < qd.num_windows())
+      line.set("queue", window_stats_to_json(qd.window(i)));
+    if (st.window_width() == fw.window_width() && i < st.num_windows())
+      line.set("stalls", window_stats_to_json(st.window(i)));
+    os << line.dump() << "\n";
+  }
+}
+
+void export_link_jsonl(const LinkProbe& probe, const LinkExportMeta& meta,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  TP_REQUIRE(out.good(), "cannot open link stats output file: " + path);
+  export_link_jsonl(probe, meta, out);
+  TP_REQUIRE(out.good(), "failed writing link stats output file: " + path);
 }
 
 }  // namespace tp::obs

@@ -13,8 +13,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "src/obs/json.h"
+#include "src/obs/linkprobe.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
 
@@ -41,5 +43,25 @@ void export_json(const MetricsSnapshot& snap, std::ostream& os);
 /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
 void export_chrome_trace(const Tracer& tracer, const std::string& path);
 void export_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+/// Run context for a link-probe export (the probe itself carries no torus
+/// knowledge; the caller supplies human-readable labels when it has them).
+struct LinkExportMeta {
+  std::string run;            ///< free-form run description
+  i64 cycles = 0;             ///< makespan of the run
+  i64 flits_per_message = 1;  ///< serialization factor
+  /// Optional "(tail)->(head)" label per edge id; empty = no labels.
+  std::vector<std::string> edge_labels;
+};
+
+/// Writes a LinkProbe as JSONL (schema in docs/observability.md): one
+/// "run" header line, one "link" line per link with recorded activity
+/// (idle links are skipped; the header carries the total and active
+/// counts), and one "window" line per time-series window.  Every line is
+/// a self-contained JSON object that parse_json() round-trips.
+void export_link_jsonl(const LinkProbe& probe, const LinkExportMeta& meta,
+                       const std::string& path);
+void export_link_jsonl(const LinkProbe& probe, const LinkExportMeta& meta,
+                       std::ostream& os);
 
 }  // namespace tp::obs

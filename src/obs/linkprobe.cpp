@@ -1,0 +1,63 @@
+#include "src/obs/linkprobe.h"
+
+#include "src/util/error.h"
+
+namespace tp::obs {
+
+LinkProbe::LinkProbe(i64 num_directed_edges, i32 dims, i64 window_width,
+                     std::size_t window_capacity)
+    : dims_(dims),
+      links_(static_cast<std::size_t>(num_directed_edges)),
+      forwards_series_(window_width, window_capacity),
+      queue_series_(window_width, window_capacity),
+      stall_series_(window_width, window_capacity) {
+  TP_REQUIRE(num_directed_edges >= 0, "negative link count");
+  TP_REQUIRE(dims >= 1, "link probe needs at least one dimension");
+  TP_REQUIRE(num_directed_edges % (2 * dims) == 0,
+             "link count is not 2 * dims * nodes");
+}
+
+std::vector<double> LinkProbe::forwards_table() const {
+  std::vector<double> out(links_.size(), 0.0);
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    out[i] = static_cast<double>(links_[i].forwards);
+  return out;
+}
+
+std::vector<double> LinkProbe::utilization_table(i64 cycles) const {
+  const double denom = static_cast<double>(cycles > 0 ? cycles : 1);
+  std::vector<double> out(links_.size(), 0.0);
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    out[i] = static_cast<double>(links_[i].busy_cycles) / denom;
+  return out;
+}
+
+i64 LinkProbe::total_forwards() const {
+  i64 n = 0;
+  for (const LinkCounters& c : links_) n += c.forwards;
+  return n;
+}
+
+i64 LinkProbe::total_stalls() const {
+  i64 n = 0;
+  for (const LinkCounters& c : links_) n += c.stalls;
+  return n;
+}
+
+i64 LinkProbe::active_links() const {
+  i64 n = 0;
+  for (const LinkCounters& c : links_)
+    if (c.forwards > 0 || c.busy_cycles > 0 || c.peak_queue > 0 ||
+        c.stalls > 0)
+      ++n;
+  return n;
+}
+
+void LinkProbe::reset() {
+  for (LinkCounters& c : links_) c = LinkCounters{};
+  forwards_series_.clear();
+  queue_series_.clear();
+  stall_series_.clear();
+}
+
+}  // namespace tp::obs

@@ -2,8 +2,10 @@
 //
 //   MetricsRegistry  named counters / gauges / histograms (registry.h)
 //   Stopwatch et al. steady_clock timing                  (timer.h)
-//   Tracer           Chrome-trace phase spans             (trace.h)
-//   export_json / export_chrome_trace                     (export.h)
+//   Tracer           Chrome-trace phase spans + counters  (trace.h)
+//   LinkProbe        per-directed-link accumulators       (linkprobe.h)
+//   TimeSeries       bounded windowed time series         (timeseries.h)
+//   export_json / export_chrome_trace / export_link_jsonl (export.h)
 //
 // Instrumentation idiom — a phase span that both times and traces:
 //
@@ -26,8 +28,10 @@
 
 #include "src/obs/export.h"
 #include "src/obs/json.h"
+#include "src/obs/linkprobe.h"
 #include "src/obs/registry.h"
 #include "src/obs/timer.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 
 namespace tp::obs {

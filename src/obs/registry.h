@@ -14,9 +14,12 @@
 //
 // Thread-safety: registration and snapshot() are mutex-protected and may
 // run concurrently with recording.  Recording itself is intentionally not
-// atomic — the instrumented paths in this codebase are single-threaded
-// (the *_loads_parallel workers are not instrumented per-link).  If two
-// threads record to the same slot, counts may be lost but nothing crashes.
+// atomic — the instrumented paths in this codebase are single-threaded.
+// Parallel code must NOT record from workers: it accumulates per-worker
+// tallies and records the reduced total after the join (see
+// odr_loads_parallel / udr_loads_parallel in load/complete_exchange.cpp).
+// If two threads do record to the same slot, counts may be lost but
+// nothing crashes.
 
 #pragma once
 

@@ -20,11 +20,12 @@ i64 current_tid() {
 
 Tracer::Tracer() : epoch_ns_(Stopwatch::now_ns()) {}
 
-void Tracer::push(std::string_view name, std::string_view cat, char phase) {
+void Tracer::push(std::string_view name, std::string_view cat, char phase,
+                  i64 value) {
   const i64 ts = Stopwatch::now_ns() - epoch_ns_;
   const std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(TraceEvent{std::string(name), std::string(cat), phase,
-                               ts, current_tid()});
+                               ts, current_tid(), value});
 }
 
 void Tracer::begin(std::string_view name, std::string_view cat) {
@@ -40,6 +41,12 @@ void Tracer::end(std::string_view name) {
 void Tracer::instant(std::string_view name, std::string_view cat) {
   if (!enabled_) return;
   push(name, cat, 'i');
+}
+
+void Tracer::counter(std::string_view name, i64 value,
+                     std::string_view cat) {
+  if (!enabled_) return;
+  push(name, cat, 'C', value);
 }
 
 std::vector<TraceEvent> Tracer::events() const {

@@ -24,9 +24,10 @@ namespace tp::obs {
 struct TraceEvent {
   std::string name;
   std::string cat;
-  char phase = 'B';  ///< 'B' begin, 'E' end, 'i' instant
+  char phase = 'B';  ///< 'B' begin, 'E' end, 'i' instant, 'C' counter
   i64 ts_ns = 0;
   i64 tid = 0;
+  i64 value = 0;  ///< counter events only: the sampled value
 };
 
 class Tracer {
@@ -44,13 +45,20 @@ class Tracer {
   /// A zero-duration marker event.
   void instant(std::string_view name, std::string_view cat = "event");
 
+  /// A counter sample: Chrome/Perfetto render successive samples of the
+  /// same name as a filled value-over-time track, which is how the
+  /// simulators surface per-window link saturation on the timeline.
+  void counter(std::string_view name, i64 value,
+               std::string_view cat = "counter");
+
   /// Copy of the recorded buffer (thread-safe).
   std::vector<TraceEvent> events() const;
 
   void clear();
 
  private:
-  void push(std::string_view name, std::string_view cat, char phase);
+  void push(std::string_view name, std::string_view cat, char phase,
+            i64 value = 0);
 
   bool enabled_ = false;
   i64 epoch_ns_ = 0;

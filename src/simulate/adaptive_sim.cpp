@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/obs/obs.h"
 #include "src/util/error.h"
 #include "src/util/small_vec.h"
 
@@ -10,13 +11,17 @@ namespace tp {
 
 AdaptiveNetworkSim::AdaptiveNetworkSim(const Torus& torus,
                                        AdaptivePolicy policy,
-                                       const EdgeSet* faults)
-    : torus_(torus), policy_(policy), faults_(torus) {
+                                       const EdgeSet* faults,
+                                       obs::LinkProbe* probe)
+    : torus_(torus), policy_(policy), faults_(torus), probe_(probe) {
   if (faults != nullptr) {
     has_faults_ = true;
     for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
       if (faults->contains(e)) faults_.insert(e);
   }
+  if (probe_ != nullptr)
+    TP_REQUIRE(probe_->num_links() == torus.num_directed_edges(),
+               "link probe sized for a different torus");
 }
 
 SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
@@ -76,6 +81,7 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
     }
   };
 
+  i64 cycle = 0;
   auto route_or_drop = [&](MsgState s) {
     if (s.node == s.dst) return;  // handled by caller
     minimal_links(s.node, s.dst);
@@ -96,9 +102,10 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
       }
     }
     queue[static_cast<std::size_t>(pick)].push_back(s);
-    metrics.max_queue_depth = std::max(
-        metrics.max_queue_depth,
-        static_cast<i64>(queue[static_cast<std::size_t>(pick)].size()));
+    const i64 depth =
+        static_cast<i64>(queue[static_cast<std::size_t>(pick)].size());
+    metrics.max_queue_depth = std::max(metrics.max_queue_depth, depth);
+    if (probe_ != nullptr) probe_->on_queue_depth(pick, cycle, depth);
     if (!is_active[static_cast<std::size_t>(pick)]) {
       is_active[static_cast<std::size_t>(pick)] = true;
       active.push_back(pick);
@@ -108,8 +115,12 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
   std::size_t next_inject = 0;
   i64 in_flight = 0;
   double latency_sum = 0.0;
-  i64 cycle = 0;
   std::vector<MsgState> arrivals;
+
+  obs::Tracer& tr = obs::tracer();
+  const bool trace_on = tr.enabled();
+  constexpr i64 kCounterWindow = 64;
+  i64 window_forwards = 0;
 
   auto outstanding = [&] {
     return next_inject < by_inject.size() || in_flight > 0;
@@ -143,6 +154,13 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
       MsgState s = q.front();
       q.pop_front();
       ++metrics.link_forwards[static_cast<std::size_t>(e)];
+      if (probe_ != nullptr) {
+        probe_->on_forward(e, cycle);
+        // One message crosses per cycle; the rest of the backlog waits.
+        if (!q.empty())
+          probe_->on_stall(e, cycle, static_cast<i64>(q.size()));
+      }
+      ++window_forwards;
       s.node = torus_.link(e).head;
       if (s.node == s.dst) {
         ++metrics.delivered;
@@ -159,7 +177,17 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
       route_or_drop(s);
       if (metrics.unroutable != before_unroutable) --in_flight;
     }
+    if (trace_on && cycle % kCounterWindow == kCounterWindow - 1) {
+      tr.counter("sim.forwards_per_window", window_forwards, "sim");
+      tr.counter("sim.active_links", static_cast<i64>(active.size()), "sim");
+      window_forwards = 0;
+    }
     ++cycle;
+  }
+  if (trace_on) {
+    if (window_forwards > 0)
+      tr.counter("sim.forwards_per_window", window_forwards, "sim");
+    tr.counter("sim.active_links", 0, "sim");
   }
 
   metrics.max_link_forwards =

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "src/obs/linkprobe.h"
 #include "src/simulate/metrics.h"
 #include "src/torus/graph.h"
 #include "src/torus/torus.h"
@@ -35,8 +36,11 @@ struct Demand {
 
 class AdaptiveNetworkSim {
  public:
+  /// `probe` (optional, not owned) receives per-link telemetry; null = off
+  /// at the cost of one predicted null check per site (obs/linkprobe.h).
   AdaptiveNetworkSim(const Torus& torus, AdaptivePolicy policy,
-                     const EdgeSet* faults = nullptr);
+                     const EdgeSet* faults = nullptr,
+                     obs::LinkProbe* probe = nullptr);
 
   /// Runs all demands to delivery.  Faulted links are never chosen; a
   /// message whose every minimal link is faulted at some node counts as
@@ -50,6 +54,7 @@ class AdaptiveNetworkSim {
   AdaptivePolicy policy_;
   EdgeSet faults_;
   bool has_faults_ = false;
+  obs::LinkProbe* probe_ = nullptr;
 };
 
 }  // namespace tp

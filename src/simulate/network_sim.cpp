@@ -39,6 +39,10 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   }
   obs::Tracer& tr = obs::tracer();
   const bool trace_on = tr.enabled();
+  obs::LinkProbe* const probe = config_.probe;
+  if (probe != nullptr)
+    TP_REQUIRE(probe->num_links() == torus_.num_directed_edges(),
+               "link probe sized for a different torus");
 
   SimMetrics metrics;
   metrics.flits_per_message = config_.flits_per_message;
@@ -69,12 +73,14 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   std::vector<EdgeId> active;
   std::vector<bool> is_active(
       static_cast<std::size_t>(torus_.num_directed_edges()), false);
+  i64 cycle = 0;
   auto enqueue = [&](EdgeId e, MsgState s) {
     queue[static_cast<std::size_t>(e)].push_back(s);
     const i64 depth =
         static_cast<i64>(queue[static_cast<std::size_t>(e)].size());
     metrics.max_queue_depth = std::max(metrics.max_queue_depth, depth);
     if (obs_on) reg.record(h_qdepth, depth);
+    if (probe != nullptr) probe->on_queue_depth(e, cycle, depth);
     if (!is_active[static_cast<std::size_t>(e)]) {
       is_active[static_cast<std::size_t>(e)] = true;
       active.push_back(e);
@@ -86,9 +92,12 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   std::size_t next_inject = 0;
   i64 in_flight = 0;
   double latency_sum = 0.0;
-  i64 cycle = 0;
   // Messages in transit across a link, arriving at (cycle + flits).
   std::deque<std::tuple<i64, EdgeId, MsgState>> in_transit;
+
+  // Per-window counter-track samples for the trace timeline.
+  constexpr i64 kCounterWindow = 64;
+  i64 window_forwards = 0;
 
   // Phase spans: "sim.inject" while sources still have messages to issue,
   // "sim.drain" once the network is only emptying.
@@ -148,13 +157,19 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
         continue;
       }
       if (busy_until[static_cast<std::size_t>(e)] > cycle) {
-        ++ai;  // still transmitting an earlier message
+        // Still transmitting an earlier message: everything queued here
+        // waits the cycle out.
+        if (probe != nullptr)
+          probe->on_stall(e, cycle, static_cast<i64>(q.size()));
+        ++ai;
         continue;
       }
       MsgState s = q.front();
       q.pop_front();
       busy_until[static_cast<std::size_t>(e)] = cycle + flits;
       ++metrics.link_forwards[static_cast<std::size_t>(e)];
+      if (probe != nullptr) probe->on_forward(e, cycle, flits);
+      ++window_forwards;
       ++s.hop;
       if (s.hop == s.msg->path.edges.size()) {
         ++metrics.delivered;
@@ -173,9 +188,19 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
       reg.record(h_inj_cycle, metrics.injected - injected_before);
       reg.record(h_del_cycle, metrics.delivered - delivered_before);
     }
+    if (trace_on && cycle % kCounterWindow == kCounterWindow - 1) {
+      tr.counter("sim.forwards_per_window", window_forwards, "sim");
+      tr.counter("sim.active_links", static_cast<i64>(active.size()), "sim");
+      window_forwards = 0;
+    }
     ++cycle;
   }
-  if (trace_on) tr.end(draining ? "sim.drain" : "sim.inject");
+  if (trace_on) {
+    if (window_forwards > 0)
+      tr.counter("sim.forwards_per_window", window_forwards, "sim");
+    tr.counter("sim.active_links", 0, "sim");
+    tr.end(draining ? "sim.drain" : "sim.inject");
+  }
 
   metrics.max_link_forwards = metrics.link_forwards.empty()
                                   ? 0

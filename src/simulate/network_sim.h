@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "src/obs/linkprobe.h"
 #include "src/routing/path.h"
 #include "src/simulate/metrics.h"
 #include "src/torus/graph.h"
@@ -33,6 +34,11 @@ struct SimConfig {
   /// cycles (store-and-forward serialization).  1 = single-flit messages,
   /// the model matching the paper's unit loads.
   i64 flits_per_message = 1;
+
+  /// Optional per-link telemetry sink (not owned; must outlive run()).
+  /// Null = link probing off; the hot path then pays one predicted null
+  /// check per site.  See obs/linkprobe.h.
+  obs::LinkProbe* probe = nullptr;
 };
 
 class NetworkSim {

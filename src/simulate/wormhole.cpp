@@ -28,6 +28,9 @@ WormholeSim::WormholeSim(const Torus& torus, WormholeConfig config)
   if (config_.policy == VcPolicy::Dateline)
     TP_REQUIRE(config_.vcs_per_link >= 2,
                "the dateline discipline needs two VCs");
+  if (config_.probe != nullptr)
+    TP_REQUIRE(config_.probe->num_links() == torus.num_directed_edges(),
+               "link probe sized for a different torus");
 }
 
 WormholeResult WormholeSim::run(const std::vector<Path>& messages) {
@@ -98,6 +101,7 @@ WormholeResult WormholeSim::run(const std::vector<Path>& messages) {
   };
 
   WormholeResult result;
+  obs::LinkProbe* const probe = config_.probe;
   i64 cycle = 0;
   i64 last_progress = 0;
   std::vector<std::size_t> rr(
@@ -174,6 +178,13 @@ WormholeResult WormholeSim::run(const std::vector<Path>& messages) {
         }
       }
       if (candidates.empty()) continue;
+      if (probe != nullptr) {
+        // Contention for the physical wire: all candidates want link e this
+        // cycle but only one flit crosses; the rest stall a cycle.
+        probe->on_queue_depth(e, cycle, static_cast<i64>(candidates.size()));
+        if (candidates.size() > 1)
+          probe->on_stall(e, cycle, static_cast<i64>(candidates.size()) - 1);
+      }
       const Candidate pick =
           candidates[rr[static_cast<std::size_t>(e)] % candidates.size()];
       ++rr[static_cast<std::size_t>(e)];
@@ -215,6 +226,7 @@ WormholeResult WormholeSim::run(const std::vector<Path>& messages) {
         }
       }
       ++result.flits_moved;
+      if (probe != nullptr) probe->on_forward(e, cycle);
       moved = true;
     }
 

@@ -25,6 +25,7 @@
 
 #include <vector>
 
+#include "src/obs/linkprobe.h"
 #include "src/routing/path.h"
 #include "src/torus/torus.h"
 
@@ -44,6 +45,11 @@ struct WormholeConfig {
   i64 message_flits = 8;
   VcPolicy policy = VcPolicy::Dateline;
   i64 stall_threshold = 1000;  ///< idle cycles before declaring deadlock
+
+  /// Optional per-link telemetry sink (not owned; must outlive run()).
+  /// Null = link probing off; the hot path then pays one predicted null
+  /// check per site.  See obs/linkprobe.h.
+  obs::LinkProbe* probe = nullptr;
 };
 
 struct WormholeResult {

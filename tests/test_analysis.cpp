@@ -81,6 +81,26 @@ TEST(GridRender, LoadsAnnotateLinks) {
   EXPECT_NE(grid.find("wrap link load"), std::string::npos);
 }
 
+TEST(GridRender, WrapLinksCarryTheirOwnLoads) {
+  // Wrap loads must come from the actual wrap wires, not from the interior
+  // links next to the border.  Put distinctive loads on one wrap wire per
+  // dimension and nothing anywhere else.
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  LoadMap loads(t);
+  // Dimension-1 wrap out of row 1: (1,3) -> (1,0), rendered as "~7.5~".
+  loads.add(t.edge_id(t.node_id(Coord{1, 3}), 1, Dir::Pos), 7.5);
+  // Dimension-0 wrap out of column 2: (3,2) -> (0,2), rendered in the
+  // bottom "~x" row.
+  loads.add(t.edge_id(t.node_id(Coord{3, 2}), 0, Dir::Pos), 9.5);
+  const std::string grid = render_loads(t, p, loads);
+  EXPECT_NE(grid.find("~7.5~"), std::string::npos) << grid;
+  EXPECT_NE(grid.find("~9.5"), std::string::npos) << grid;
+  // Every other annotation is 0.0: the distinctive values appear once.
+  EXPECT_EQ(grid.find("7.5"), grid.rfind("7.5"));
+  EXPECT_EQ(grid.find("9.5"), grid.rfind("9.5"));
+}
+
 TEST(GridRender, Requires2D) {
   Torus t(3, 3);
   const Placement p = linear_placement(t);

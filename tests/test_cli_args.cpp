@@ -54,5 +54,36 @@ TEST(CliArgs, EqualsFormWithStringValue) {
   EXPECT_EQ(args.get("placement"), "linear:2");
 }
 
+TEST(CliArgs, FlagsNeverConsumeTheNextToken) {
+  std::vector<std::string> storage{"prog", "cmd", "--verbose", "--d", "3"};
+  auto argv = argv_of(storage);
+  Args args(static_cast<int>(argv.size()), argv.data(), 2, {"d"},
+            {"verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_int("d", 0), 3);  // not eaten by --verbose
+}
+
+TEST(CliArgs, FlagWithEqualsValueAndBareFallback) {
+  std::vector<std::string> storage{"prog", "cmd", "--top=5"};
+  auto argv = argv_of(storage);
+  Args args(static_cast<int>(argv.size()), argv.data(), 2, {}, {"top"});
+  EXPECT_EQ(args.get_int("top", 10), 5);
+
+  std::vector<std::string> bare_storage{"prog", "cmd", "--top"};
+  auto bare_argv = argv_of(bare_storage);
+  Args bare(static_cast<int>(bare_argv.size()), bare_argv.data(), 2, {},
+            {"top"});
+  EXPECT_TRUE(bare.has("top"));
+  EXPECT_EQ(bare.get_int("top", 10), 10);  // bare flag -> fallback value
+}
+
+TEST(CliArgs, BareFlagAtEndOfLine) {
+  std::vector<std::string> storage{"prog", "cmd", "--measured"};
+  auto argv = argv_of(storage);
+  Args args(static_cast<int>(argv.size()), argv.data(), 2, {},
+            {"measured"});
+  EXPECT_TRUE(args.has("measured"));
+}
+
 }  // namespace
 }  // namespace tp::cli

@@ -1,0 +1,363 @@
+// Tests for the link-resolved telemetry stack: TimeSeries window merging,
+// LinkProbe accumulation and attribution, the JSONL export round-trip,
+// the imbalance/hotspot analyzer (against the paper's Figure 1 example),
+// and the deterministic stats-dump merge.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/imbalance.h"
+#include "src/analysis/stats_merge.h"
+#include "src/core/torusplace.h"
+#include "src/obs/obs.h"
+
+namespace tp {
+namespace {
+
+// ---------------------------------------------------------------- TimeSeries
+
+TEST(TimeSeries, RecordsIntoFixedWindows) {
+  obs::TimeSeries ts(/*initial_width=*/4, /*capacity=*/8);
+  ts.record(0, 10);
+  ts.record(3, 20);   // same window as tick 0
+  ts.record(4, 5);    // next window
+  EXPECT_EQ(ts.window_width(), 4);
+  EXPECT_EQ(ts.num_windows(), 2u);
+  EXPECT_EQ(ts.window(0).count, 2);
+  EXPECT_EQ(ts.window(0).sum, 30);
+  EXPECT_EQ(ts.window(0).min, 10);
+  EXPECT_EQ(ts.window(0).max, 20);
+  EXPECT_EQ(ts.window(1).count, 1);
+  EXPECT_EQ(ts.window_start(0), 0);
+  EXPECT_EQ(ts.window_start(1), 4);
+  EXPECT_EQ(ts.total_sum(), 35);
+  EXPECT_EQ(ts.total_count(), 3);
+}
+
+TEST(TimeSeries, MergesAdjacentWindowsWhenFull) {
+  obs::TimeSeries ts(/*initial_width=*/1, /*capacity=*/4);
+  for (i64 t = 0; t < 4; ++t) ts.record(t, t + 1);  // fills all 4 windows
+  EXPECT_EQ(ts.window_width(), 1);
+  ts.record(4, 100);  // overflows -> pairwise merge, width doubles
+  EXPECT_EQ(ts.window_width(), 2);
+  EXPECT_EQ(ts.num_windows(), 3u);
+  // Merged windows: {1,2}, {3,4}, then the new sample in window [4,6).
+  EXPECT_EQ(ts.window(0).sum, 3);
+  EXPECT_EQ(ts.window(0).count, 2);
+  EXPECT_EQ(ts.window(0).min, 1);
+  EXPECT_EQ(ts.window(0).max, 2);
+  EXPECT_EQ(ts.window(1).sum, 7);
+  EXPECT_EQ(ts.window(2).sum, 100);
+  EXPECT_EQ(ts.window_start(2), 4);
+  // Totals survive any number of merges.
+  EXPECT_EQ(ts.total_sum(), 110);
+  EXPECT_EQ(ts.total_count(), 5);
+}
+
+TEST(TimeSeries, FarFutureTickDoublesRepeatedly) {
+  obs::TimeSeries ts(/*initial_width=*/1, /*capacity=*/4);
+  ts.record(0, 1);
+  ts.record(1000, 2);  // needs width 512 to land inside 4 windows
+  EXPECT_GE(ts.window_width() * static_cast<i64>(ts.capacity()), 1001);
+  EXPECT_EQ(ts.total_count(), 2);
+  EXPECT_EQ(ts.total_sum(), 3);
+}
+
+TEST(TimeSeries, ClearResetsButKeepsGeometry) {
+  obs::TimeSeries ts(2, 8);
+  ts.record(30, 7);
+  ts.clear();
+  EXPECT_EQ(ts.num_windows(), 0u);
+  EXPECT_EQ(ts.total_count(), 0);
+  EXPECT_EQ(ts.window_width(), 2);
+}
+
+TEST(TimeSeries, RejectsBadGeometry) {
+  EXPECT_THROW(obs::TimeSeries(0, 8), Error);
+  EXPECT_THROW(obs::TimeSeries(1, 1), Error);
+}
+
+// ----------------------------------------------------------------- LinkProbe
+
+TEST(LinkProbe, AccumulatesPerLinkCounters) {
+  obs::LinkProbe probe(/*num_directed_edges=*/16, /*dims=*/2);
+  probe.on_forward(3, 0, 2);
+  probe.on_forward(3, 5, 2);
+  probe.on_queue_depth(3, 0, 4);
+  probe.on_queue_depth(3, 1, 2);
+  probe.on_stall(7, 2, 3);
+  EXPECT_EQ(probe.link(3).forwards, 2);
+  EXPECT_EQ(probe.link(3).busy_cycles, 4);
+  EXPECT_EQ(probe.link(3).peak_queue, 4);
+  EXPECT_EQ(probe.link(7).stalls, 3);
+  EXPECT_EQ(probe.total_forwards(), 2);
+  EXPECT_EQ(probe.total_stalls(), 3);
+  EXPECT_EQ(probe.active_links(), 2);
+  probe.reset();
+  EXPECT_EQ(probe.total_forwards(), 0);
+  EXPECT_EQ(probe.active_links(), 0);
+}
+
+TEST(LinkProbe, AttributionMatchesTorusEncoding) {
+  Torus torus(2, 4);
+  obs::LinkProbe probe(torus.num_directed_edges(), torus.dims());
+  for (EdgeId e = 0; e < torus.num_directed_edges(); ++e) {
+    const Link link = torus.link(e);
+    EXPECT_EQ(probe.dim_of(e), link.dim) << "edge " << e;
+    EXPECT_EQ(probe.is_positive(e), link.dir == Dir::Pos) << "edge " << e;
+  }
+}
+
+TEST(LinkProbe, SizeMustMatchDims) {
+  // 2*dims must divide the edge count.
+  EXPECT_THROW(obs::LinkProbe(15, 2), Error);
+}
+
+TEST(LinkProbe, SimulatorForwardsMatchSimMetrics) {
+  Torus torus(2, 4);
+  const Placement p = linear_placement(torus);
+  const OdrRouter router;
+  const auto traffic = complete_exchange_traffic(torus, p, router, 1);
+
+  obs::LinkProbe probe(torus.num_directed_edges(), torus.dims());
+  SimConfig config;
+  config.probe = &probe;
+  NetworkSim sim(torus, nullptr, config);
+  const SimMetrics m = sim.run(traffic.messages);
+
+  for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
+    EXPECT_EQ(probe.link(e).forwards,
+              m.link_forwards[static_cast<std::size_t>(e)])
+        << "edge " << e;
+  // Every forward lands in the forwards time series exactly once.
+  EXPECT_EQ(probe.forwards_series().total_count(), probe.total_forwards());
+}
+
+// --------------------------------------------------------- JSONL round-trip
+
+TEST(LinkExport, JsonlRoundTripsThroughParser) {
+  Torus torus(2, 4);
+  const Placement p = linear_placement(torus);
+  const OdrRouter router;
+  const auto traffic = complete_exchange_traffic(torus, p, router, 1);
+  obs::LinkProbe probe(torus.num_directed_edges(), torus.dims());
+  SimConfig config;
+  config.probe = &probe;
+  const SimMetrics m = NetworkSim(torus, nullptr, config).run(traffic.messages);
+
+  obs::LinkExportMeta meta;
+  meta.run = "test run";
+  meta.cycles = m.cycles;
+  meta.flits_per_message = 1;
+  for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
+    meta.edge_labels.push_back(torus.edge_str(e));
+
+  std::ostringstream os;
+  obs::export_link_jsonl(probe, meta, os);
+  std::istringstream in(os.str());
+
+  std::string line;
+  i64 link_lines = 0, window_lines = 0, link_forwards = 0, window_sum = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    const obs::JsonValue v = obs::parse_json(line);  // throws on bad JSON
+    const std::string& type = v.find("type")->as_string();
+    if (type == "run") {
+      saw_header = true;
+      EXPECT_EQ(v.find("run")->as_string(), "test run");
+      EXPECT_EQ(v.find("cycles")->as_int(), m.cycles);
+      EXPECT_EQ(v.find("links")->as_int(), torus.num_directed_edges());
+      EXPECT_EQ(v.find("active_links")->as_int(), probe.active_links());
+      EXPECT_EQ(v.find("dims")->as_int(), 2);
+    } else if (type == "link") {
+      ++link_lines;
+      const i64 e = v.find("edge")->as_int();
+      EXPECT_EQ(v.find("forwards")->as_int(), probe.link(e).forwards);
+      EXPECT_EQ(v.find("dim")->as_int(), probe.dim_of(e));
+      EXPECT_EQ(v.find("dir")->as_string(),
+                probe.is_positive(e) ? "+" : "-");
+      EXPECT_EQ(v.find("label")->as_string(), torus.edge_str(e));
+      link_forwards += v.find("forwards")->as_int();
+    } else if (type == "window") {
+      ++window_lines;
+      window_sum += v.find("forwards")->find("sum")->as_int();
+    } else {
+      FAIL() << "unexpected line type " << type;
+    }
+  }
+  EXPECT_TRUE(saw_header);
+  EXPECT_EQ(link_lines, probe.active_links());  // idle links skipped
+  EXPECT_GT(window_lines, 0);
+  // Per-link totals and per-window sums both add up to total forwards.
+  EXPECT_EQ(link_forwards, probe.total_forwards());
+  EXPECT_EQ(window_sum, probe.total_forwards());
+}
+
+// ------------------------------------------------------- tracer counters
+
+TEST(Tracer, CounterEventsCarryValues) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.counter("flow", 42, "sim");
+  std::ostringstream os;
+  obs::export_chrome_trace(tracer, os);
+  const obs::JsonValue doc = obs::parse_json(os.str());
+  const auto& events = doc.find("traceEvents")->items();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].find("ph")->as_string(), "C");
+  EXPECT_EQ(events[0].find("name")->as_string(), "flow");
+  EXPECT_EQ(events[0].find("args")->find("value")->as_int(), 42);
+}
+
+// ----------------------------------------------------------------- imbalance
+
+TEST(Imbalance, Figure1OdrHotspotsAreExact) {
+  // The paper's Figure 1 / E1 case: ODR on T_3^2 with the linear
+  // placement loads exactly 12 of the 36 directed links at 1.0 and leaves
+  // the rest idle.  Known closed forms: mean 1/3, variance 2/9, so
+  // CoV = sqrt(2) and max/mean = 3.
+  Torus torus(2, 3);
+  const Placement p = linear_placement(torus);
+  const LoadMap loads = odr_loads(torus, p);
+
+  const ImbalanceReport report = analyze_imbalance(torus, loads, 12);
+  EXPECT_EQ(report.total_links, 36);
+  EXPECT_EQ(report.loaded_links, 12);
+  ASSERT_EQ(report.hotspots.size(), 12u);
+  for (const LinkLoadEntry& h : report.hotspots) {
+    EXPECT_DOUBLE_EQ(h.load, 1.0);
+    EXPECT_EQ(h.dim, torus.link(h.edge).dim);
+    EXPECT_FALSE(h.label.empty());
+  }
+  EXPECT_DOUBLE_EQ(report.max_load, 1.0);
+  EXPECT_NEAR(report.mean_load, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.cov, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(report.max_to_mean, 3.0, 1e-12);
+
+  // A smaller top-N returns only maximal links, deterministically ordered.
+  const ImbalanceReport top3 = analyze_imbalance(torus, loads, 3);
+  ASSERT_EQ(top3.hotspots.size(), 3u);
+  EXPECT_LT(top3.hotspots[0].edge, top3.hotspots[1].edge);
+  EXPECT_LT(top3.hotspots[1].edge, top3.hotspots[2].edge);
+}
+
+TEST(Imbalance, PerDimensionAggregatesSumToTotal) {
+  Torus torus(2, 4);
+  const Placement p = linear_placement(torus);
+  const LoadMap loads = odr_loads(torus, p);
+  const ImbalanceReport report = analyze_imbalance(torus, loads, 5);
+  ASSERT_EQ(report.by_dim.size(), 2u);
+  double total = 0.0;
+  for (const DimLoadSummary& d : report.by_dim) {
+    EXPECT_NEAR(d.total, d.pos_total + d.neg_total, 1e-12);
+    EXPECT_LE(d.max, report.max_load);
+    total += d.total;
+  }
+  EXPECT_NEAR(total, loads.total_load(), 1e-9);
+}
+
+TEST(Imbalance, ResidualsRankByAbsoluteDeviation) {
+  Torus torus(2, 3);
+  LoadMap a(torus), b(torus);
+  a.add(0, 1.0);   // residual +1.0
+  b.add(5, 2.5);   // residual -2.5
+  a.add(7, 0.5);
+  b.add(7, 0.5);   // residual 0 -> excluded
+  const auto residuals = load_residuals(torus, a, b, 10);
+  ASSERT_EQ(residuals.size(), 2u);
+  EXPECT_EQ(residuals[0].edge, 5);
+  EXPECT_DOUBLE_EQ(residuals[0].residual, -2.5);
+  EXPECT_EQ(residuals[1].edge, 0);
+  EXPECT_DOUBLE_EQ(residuals[1].residual, 1.0);
+
+  EXPECT_TRUE(load_residuals(torus, a, a, 10).empty());
+}
+
+TEST(Imbalance, ProbeLoadMapMatchesAnalyticOdr) {
+  // A cycle-accurate complete exchange under ODR forwards each message
+  // exactly once per path link, so the probe-derived map equals the
+  // analytic E(l) link for link.
+  Torus torus(2, 4);
+  const Placement p = linear_placement(torus);
+  const OdrRouter router;
+  const auto traffic = complete_exchange_traffic(torus, p, router, 1);
+  obs::LinkProbe probe(torus.num_directed_edges(), torus.dims());
+  SimConfig config;
+  config.probe = &probe;
+  NetworkSim(torus, nullptr, config).run(traffic.messages);
+
+  const LoadMap measured = probe_load_map(torus, probe);
+  const LoadMap predicted = odr_loads(torus, p);
+  EXPECT_EQ(measured.max_abs_diff(predicted), 0.0);
+}
+
+TEST(Imbalance, TablesRenderOneRowPerEntry) {
+  Torus torus(2, 3);
+  const LoadMap loads = odr_loads(torus, linear_placement(torus));
+  const ImbalanceReport report = analyze_imbalance(torus, loads, 4);
+  EXPECT_EQ(hotspot_table(report).num_rows(), 4u);
+  const auto residuals = load_residuals(torus, loads, LoadMap(torus), 6);
+  EXPECT_EQ(residual_table(residuals).num_rows(), 6u);
+}
+
+// ---------------------------------------------------------------- stats merge
+
+TEST(StatsMerge, SortedOutputIsInputOrderInvariant) {
+  const std::string dump_a =
+      R"({"counters":{"z.last":3,"a.first":1},"gauges":{"g":7}})"
+      "\n"
+      R"({"counters":{"m.mid":2}})"
+      "\n";
+  const std::string dump_b =
+      R"({"histograms":{"h":{"count":2,"sum":10,"min":4,"max":6,)"
+      R"("mean":5.0,"p50":5.0,"p95":6.0}}})"
+      "\n";
+
+  const std::string path_a = "stats_merge_test_a.json";
+  const std::string path_b = "stats_merge_test_b.json";
+  std::ofstream(path_a) << dump_a;
+  std::ofstream(path_b) << dump_b;
+
+  const Table forward = merge_stats_dumps({path_a, path_b});
+  const Table reversed = merge_stats_dumps({path_b, path_a});
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  ASSERT_EQ(forward.num_rows(), 5u);
+  EXPECT_EQ(forward.rows(), reversed.rows());
+  // Within source+record, metrics are sorted by name even though the JSON
+  // listed z.last before a.first.
+  EXPECT_EQ(forward.rows()[0][3], "a.first");
+  EXPECT_EQ(forward.rows()[1][3], "z.last");
+  EXPECT_EQ(forward.rows()[2][3], "g");  // kind "gauge" sorts after "counter"
+  EXPECT_EQ(forward.rows()[2][1], "0");
+  EXPECT_EQ(forward.rows()[3][3], "m.mid");
+  EXPECT_EQ(forward.rows()[3][1], "1");  // record index survives the sort
+  EXPECT_EQ(forward.rows()[4][3], "h");  // dump_b sorts after dump_a
+}
+
+TEST(StatsMerge, HistogramColumnsFlattened) {
+  std::istringstream in(
+      R"({"histograms":{"lat":{"count":3,"sum":30,"min":5,"max":15,)"
+      R"("mean":10.0,"p50":9.0,"p95":14.0}}})");
+  std::vector<std::vector<std::string>> rows;
+  append_stats_rows(rows, "src", in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][2], "histogram");
+  EXPECT_EQ(rows[0][3], "lat");
+  EXPECT_EQ(rows[0][5], "3");
+  EXPECT_EQ(rows[0][6], "30");
+  EXPECT_EQ(rows[0][7], "5");
+  EXPECT_EQ(rows[0][8], "15");
+}
+
+TEST(StatsMerge, MissingFileThrows) {
+  EXPECT_THROW(merge_stats_dumps({"definitely_not_here.json"}), Error);
+}
+
+}  // namespace
+}  // namespace tp

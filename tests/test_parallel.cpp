@@ -7,6 +7,7 @@
 #include <set>
 
 #include "src/load/complete_exchange.h"
+#include "src/obs/registry.h"
 #include "src/placement/placement.h"
 #include "src/util/error.h"
 #include "src/util/parallel.h"
@@ -92,6 +93,34 @@ TEST(ParallelLoads, RandomPlacementAgreement) {
   const Placement p = random_placement(t, 9, 31);
   EXPECT_LT(udr_loads_parallel(t, p, 3).max_abs_diff(udr_loads(t, p)),
             1e-12);
+}
+
+TEST(ParallelLoads, PairsEvaluatedExactUnderThreads) {
+  // Counter recording is not atomic, so the parallel analyzers must tally
+  // per worker and record once after the join — the count has to be exact,
+  // not "approximately |P|(|P|-1) minus lost increments".
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.set_enabled(true);
+  reg.reset();
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);  // |P| = 6
+  const i64 expect = p.size() * (p.size() - 1);
+
+  odr_loads_parallel(t, p, 4);
+  const i64* odr_pairs =
+      reg.snapshot().counter("load.pairs_evaluated");
+  ASSERT_NE(odr_pairs, nullptr);
+  EXPECT_EQ(*odr_pairs, expect);
+
+  reg.reset();
+  udr_loads_parallel(t, p, 4);
+  const i64* udr_pairs =
+      reg.snapshot().counter("load.pairs_evaluated");
+  ASSERT_NE(udr_pairs, nullptr);
+  EXPECT_EQ(*udr_pairs, expect);
+
+  reg.set_enabled(false);
+  reg.reset();
 }
 
 }  // namespace

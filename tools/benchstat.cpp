@@ -1,0 +1,243 @@
+// benchstat — perf baselines as committed JSON, with regression diffs.
+//
+//   benchstat [--out BENCH_2.json] [--dir .] [--reps 5]
+//             [--threshold 0.10] [--check]
+//
+// Times a fixed set of representative workloads (load analyzers, the
+// cycle-accurate simulators with and without link probes, the hotspot
+// analyzer) with obs::Stopwatch, writes the results as
+//
+//   {"schema": "torusplace-bench/1",
+//    "benchmarks": {"odr_loads/T8^3": {"mean_ns": ..., "min_ns": ...,
+//                                      "reps": N}, ...}}
+//
+// and diffs them against the most recent prior BENCH_*.json found in
+// --dir (lexicographically latest name other than --out).  A benchmark
+// whose mean regressed by more than --threshold (default 10%) is flagged;
+// with --check the process then exits 2, so CI can gate on it.
+//
+// google-benchmark (bench/) remains the precision tool; benchstat trades
+// precision for a committed, diffable baseline file.
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/imbalance.h"
+#include "src/core/torusplace.h"
+#include "src/obs/json.h"
+#include "src/obs/linkprobe.h"
+#include "src/obs/timer.h"
+#include "tools/cli_args.h"
+
+namespace tp {
+namespace {
+
+struct BenchResult {
+  std::string name;
+  double mean_ns = 0.0;
+  i64 min_ns = 0;
+  int reps = 0;
+};
+
+// Accumulates a value per run so the optimizer cannot delete the work.
+double g_sink = 0.0;
+
+BenchResult time_fn(const std::string& name, int reps,
+                    const std::function<void()>& fn) {
+  BenchResult r{name, 0.0, 0, reps};
+  fn();  // warm-up rep, not timed
+  i64 total = 0;
+  for (int i = 0; i < reps; ++i) {
+    obs::Stopwatch watch;
+    fn();
+    const i64 ns = watch.elapsed_ns();
+    total += ns;
+    r.min_ns = i == 0 ? ns : std::min(r.min_ns, ns);
+  }
+  r.mean_ns = static_cast<double>(total) / static_cast<double>(reps);
+  return r;
+}
+
+std::vector<BenchResult> run_benchmarks(int reps) {
+  std::vector<BenchResult> results;
+
+  {
+    Torus torus(3, 8);
+    const Placement p = linear_placement(torus);
+    results.push_back(time_fn("odr_loads/T8^3", reps, [&] {
+      g_sink += odr_loads(torus, p).max_load();
+    }));
+    results.push_back(time_fn("odr_loads_parallel4/T8^3", reps, [&] {
+      g_sink += odr_loads_parallel(torus, p, 4).max_load();
+    }));
+  }
+  {
+    Torus torus(3, 6);
+    const Placement p = linear_placement(torus);
+    results.push_back(time_fn("udr_loads/T6^3", reps, [&] {
+      g_sink += udr_loads(torus, p).max_load();
+    }));
+  }
+  {
+    Torus torus(2, 8);
+    const Placement p = linear_placement(torus);
+    const OdrRouter router;
+    const auto traffic = complete_exchange_traffic(torus, p, router, 1);
+    results.push_back(time_fn("sim_complete_exchange/T8^2", reps, [&] {
+      NetworkSim sim(torus);
+      g_sink += static_cast<double>(sim.run(traffic.messages).cycles);
+    }));
+    results.push_back(time_fn("sim_link_probe/T8^2", reps, [&] {
+      obs::LinkProbe probe(torus.num_directed_edges(), torus.dims());
+      SimConfig config;
+      config.probe = &probe;
+      NetworkSim sim(torus, nullptr, config);
+      g_sink += static_cast<double>(sim.run(traffic.messages).cycles);
+      g_sink += static_cast<double>(probe.total_forwards());
+    }));
+    const LoadMap loads = odr_loads(torus, p);
+    results.push_back(time_fn("analyze_imbalance/T8^2", reps, [&] {
+      g_sink += analyze_imbalance(torus, loads, 10).cov;
+    }));
+  }
+  return results;
+}
+
+void write_json(const std::string& path,
+                const std::vector<BenchResult>& results) {
+  obs::JsonValue benches = obs::JsonValue::object();
+  for (const BenchResult& r : results) {
+    obs::JsonValue b = obs::JsonValue::object();
+    b.set("mean_ns", obs::JsonValue(r.mean_ns));
+    b.set("min_ns", obs::JsonValue(r.min_ns));
+    b.set("reps", obs::JsonValue(static_cast<i64>(r.reps)));
+    benches.set(r.name, std::move(b));
+  }
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("schema", obs::JsonValue("torusplace-bench/1"));
+  root.set("benchmarks", std::move(benches));
+  std::ofstream out(path);
+  TP_REQUIRE(out.good(), "cannot write " + path);
+  out << root.dump() << "\n";
+}
+
+/// Lexicographically latest BENCH_*.json in `dir` other than `out`;
+/// empty when none exists.
+std::string find_baseline(const std::string& dir, const std::string& out) {
+  namespace fs = std::filesystem;
+  std::string best;
+  if (!fs::is_directory(dir)) return best;
+  const std::string out_name = fs::path(out).filename().string();
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) != 0 || name.size() < 6) continue;
+    if (name.size() < 5 ||
+        name.compare(name.size() - 5, 5, ".json") != 0)
+      continue;
+    if (name == out_name) continue;
+    if (name > best) best = entry.path().string();
+  }
+  return best;
+}
+
+/// Prints the diff table; returns the number of regressions.
+int diff_against(const std::string& baseline_path,
+                 const std::vector<BenchResult>& results, double threshold) {
+  std::ifstream in(baseline_path);
+  TP_REQUIRE(in.good(), "cannot open baseline " + baseline_path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const obs::JsonValue root = obs::parse_json(ss.str());
+  const obs::JsonValue* benches = root.find("benchmarks");
+  TP_REQUIRE(benches != nullptr && benches->is_object(),
+             "baseline has no benchmarks object: " + baseline_path);
+
+  std::cout << "\ndiff vs " << baseline_path << " (threshold "
+            << fmt(threshold * 100.0, 1) << "%):\n";
+  Table table({"benchmark", "old mean", "new mean", "delta", "status"});
+  int regressions = 0;
+  for (const BenchResult& r : results) {
+    const obs::JsonValue* old_bench = benches->find(r.name);
+    if (old_bench == nullptr) {
+      table.add_row({r.name, "-", fmt(r.mean_ns / 1e6, 3) + " ms", "-",
+                     "new"});
+      continue;
+    }
+    const obs::JsonValue* old_mean = old_bench->find("mean_ns");
+    TP_REQUIRE(old_mean != nullptr,
+               "baseline benchmark missing mean_ns: " + r.name);
+    const double old_ns = old_mean->as_number();
+    const double delta = old_ns > 0.0 ? r.mean_ns / old_ns - 1.0 : 0.0;
+    std::string status = "ok";
+    if (delta > threshold) {
+      status = "REGRESSED";
+      ++regressions;
+    } else if (delta < -threshold) {
+      status = "improved";
+    }
+    std::ostringstream delta_str;
+    delta_str << (delta >= 0 ? "+" : "") << fmt(delta * 100.0, 1) << "%";
+    table.add_row({r.name, fmt(old_ns / 1e6, 3) + " ms",
+                   fmt(r.mean_ns / 1e6, 3) + " ms", delta_str.str(),
+                   status});
+  }
+  table.print(std::cout);
+  return regressions;
+}
+
+int run(int argc, char** argv) {
+  const cli::Args args(argc, argv, 1,
+                       {"out", "dir", "reps", "threshold"}, {"check"});
+  const std::string out = args.get("out", "BENCH_2.json");
+  const std::string dir = args.get("dir", ".");
+  const int reps = static_cast<int>(args.get_int("reps", 5));
+  const double threshold =
+      std::strtod(args.get("threshold", "0.10").c_str(), nullptr);
+  TP_REQUIRE(reps >= 1, "need at least one rep");
+  TP_REQUIRE(threshold > 0.0, "threshold must be positive");
+
+  const std::vector<BenchResult> results = run_benchmarks(reps);
+  Table table({"benchmark", "mean", "min", "reps"});
+  for (const BenchResult& r : results)
+    table.add_row({r.name, fmt(r.mean_ns / 1e6, 3) + " ms",
+                   fmt(static_cast<double>(r.min_ns) / 1e6, 3) + " ms",
+                   fmt(r.reps)});
+  table.print(std::cout);
+
+  write_json(out, results);
+  std::cout << "\nwrote " << out << "\n";
+
+  const std::string baseline = find_baseline(dir, out);
+  int regressions = 0;
+  if (baseline.empty()) {
+    std::cout << "no prior BENCH_*.json in " << dir << ", nothing to diff\n";
+  } else {
+    regressions = diff_against(baseline, results, threshold);
+  }
+  if (regressions > 0) {
+    std::cout << regressions << " benchmark(s) regressed beyond "
+              << fmt(threshold * 100.0, 1) << "%\n";
+    if (args.has("check")) return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tp
+
+int main(int argc, char** argv) {
+  try {
+    return tp::run(argc, argv);
+  } catch (const tp::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

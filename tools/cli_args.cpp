@@ -4,7 +4,8 @@
 
 namespace tp::cli {
 
-Args::Args(int argc, char** argv, int first, std::set<std::string> known) {
+Args::Args(int argc, char** argv, int first, std::set<std::string> known,
+           std::set<std::string> flags) {
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -17,12 +18,13 @@ Args::Args(int argc, char** argv, int first, std::set<std::string> known) {
     if (eq != std::string::npos) {
       value = arg.substr(eq + 1);
       arg = arg.substr(0, eq);
-    } else if (i + 1 < argc) {
-      value = argv[++i];
-    } else {
-      throw Error("option --" + arg + " needs a value");
+    } else if (flags.find(arg) == flags.end()) {
+      if (i + 1 < argc)
+        value = argv[++i];
+      else
+        throw Error("option --" + arg + " needs a value");
     }
-    if (known.find(arg) == known.end())
+    if (known.find(arg) == known.end() && flags.find(arg) == flags.end())
       throw Error("unknown option --" + arg);
     options_[arg] = value;
   }
@@ -36,7 +38,7 @@ std::string Args::get(const std::string& name,
 
 i64 Args::get_int(const std::string& name, i64 fallback) const {
   const auto it = options_.find(name);
-  if (it == options_.end()) return fallback;
+  if (it == options_.end() || it->second.empty()) return fallback;
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 

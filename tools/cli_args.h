@@ -1,7 +1,8 @@
 // Minimal command-line option parsing for the torusplace CLI.
 //
-// Supports "--name value" and "--name=value" options plus positional
-// arguments; unknown options are an error so typos fail loudly.
+// Supports "--name value" and "--name=value" options, valueless flags
+// ("--name", optionally "--name=value"), and positional arguments;
+// unknown options are an error so typos fail loudly.
 
 #pragma once
 
@@ -18,8 +19,11 @@ namespace tp::cli {
 class Args {
  public:
   /// Parses argv[first..); `known` lists the accepted option names
-  /// (without the leading "--").
-  Args(int argc, char** argv, int first, std::set<std::string> known);
+  /// (without the leading "--").  Names in `flags` never consume the next
+  /// token: "--flag" stores an empty value (has() is true, get_int()
+  /// returns its fallback) while "--flag=n" still carries n.
+  Args(int argc, char** argv, int first, std::set<std::string> known,
+       std::set<std::string> flags = {});
 
   bool has(const std::string& name) const { return options_.count(name) > 0; }
 

@@ -25,6 +25,7 @@
 #include <sstream>
 
 #include "src/analysis/csv.h"
+#include "src/analysis/stats_merge.h"
 #include "src/analysis/table.h"
 #include "src/core/torusplace.h"
 #include "src/obs/obs.h"
@@ -181,45 +182,9 @@ void export_saturation(const std::string& dir) {
   save_csv(dir + "/saturation.csv", t);
 }
 
-void merge_stats_dumps(const std::string& dir,
-                       const std::vector<std::string>& inputs) {
-  Table t({"source", "record", "kind", "metric", "value", "count", "sum",
-           "min", "max", "mean", "p50", "p95"});
-  for (const std::string& path : inputs) {
-    std::ifstream in(path);
-    TP_REQUIRE(in.good(), "cannot open stats dump: " + path);
-    std::string line;
-    i64 record = 0;
-    while (std::getline(in, line)) {
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      const obs::JsonValue root = obs::parse_json(line);
-      if (const obs::JsonValue* counters = root.find("counters"))
-        for (const auto& [name, v] : counters->members())
-          t.add_row({path, fmt(record), "counter", name, fmt(v.as_int()),
-                     "", "", "", "", "", "", ""});
-      if (const obs::JsonValue* gauges = root.find("gauges"))
-        for (const auto& [name, v] : gauges->members())
-          t.add_row({path, fmt(record), "gauge", name, fmt(v.as_int()),
-                     "", "", "", "", "", "", ""});
-      if (const obs::JsonValue* hists = root.find("histograms"))
-        for (const auto& [name, h] : hists->members()) {
-          const auto field = [&](const char* key) -> const obs::JsonValue& {
-            const obs::JsonValue* v = h.find(key);
-            TP_REQUIRE(v != nullptr, "stats dump histogram missing field '" +
-                                         std::string(key) + "': " + path);
-            return *v;
-          };
-          t.add_row({path, fmt(record), "histogram", name, "",
-                     fmt(field("count").as_int()), fmt(field("sum").as_int()),
-                     fmt(field("min").as_int()), fmt(field("max").as_int()),
-                     fmt(field("mean").as_number(), 6),
-                     fmt(field("p50").as_number(), 6),
-                     fmt(field("p95").as_number(), 6)});
-        }
-      ++record;
-    }
-  }
-  save_csv(dir + "/stats.csv", t);
+void export_stats(const std::string& dir,
+                  const std::vector<std::string>& inputs) {
+  save_csv(dir + "/stats.csv", merge_stats_dumps(inputs));
 }
 
 }  // namespace
@@ -251,7 +216,7 @@ int main(int argc, char** argv) {
     tp::export_full_torus(dir);
     tp::export_fault(dir);
     tp::export_saturation(dir);
-    if (!stats_inputs.empty()) tp::merge_stats_dumps(dir, stats_inputs);
+    if (!stats_inputs.empty()) tp::export_stats(dir, stats_inputs);
   } catch (const tp::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -15,6 +15,7 @@
 //   torusplace sweep     --d 3 --ks 4,6,8 --router odr
 //       E_max table across k with the paper's formulas
 
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -102,9 +103,28 @@ int cmd_render(const Args& args) {
       make_placement(torus, args.get("placement", "linear"));
   std::cout << placement.name() << " on T_" << k << "^2:\n\n"
             << render_placement(torus, placement) << "\n";
-  const LoadMap loads = measure_loads(torus, placement, kind);
-  std::cout << "loads under " << make_router(kind)->name() << ":\n\n"
-            << render_loads(torus, placement, loads);
+  if (args.has("measured")) {
+    // Heat map from a cycle-accurate run instead of the analytic E(l):
+    // run the complete exchange with a link probe attached and render the
+    // per-link forward counts.
+    const auto router = make_router(kind);
+    const auto traffic = complete_exchange_traffic(
+        torus, placement, *router,
+        static_cast<u64>(args.get_int("seed", 1)));
+    obs::LinkProbe probe(torus.num_directed_edges(), torus.dims());
+    SimConfig config;
+    config.probe = &probe;
+    NetworkSim sim(torus, nullptr, config);
+    sim.run(traffic.messages);
+    std::cout << "measured loads under " << router->name()
+              << " (cycle-accurate run):\n\n"
+              << render_loads(torus, placement,
+                              probe_load_map(torus, probe));
+  } else {
+    const LoadMap loads = measure_loads(torus, placement, kind);
+    std::cout << "loads under " << make_router(kind)->name() << ":\n\n"
+              << render_loads(torus, placement, loads);
+  }
   return 0;
 }
 
@@ -271,6 +291,9 @@ int cmd_simulate(const Args& args) {
   const i64 flits = args.get_int("flits", 1);
   const u64 seed = static_cast<u64>(args.get_int("seed", 1));
   const RouterKind kind = parse_router(args.get("router"));
+  const std::string link_json = args.get("link-json");
+  const bool want_links = args.has("link-stats") || !link_json.empty();
+  const i64 top_n = args.get_int("link-stats", 10);
 
   // Phase spans: plan (design construction) -> route (path assignment)
   // -> sim (cycle-accurate execution).
@@ -287,8 +310,11 @@ int cmd_simulate(const Args& args) {
       torus, p, *router, seed, n_faults > 0 ? &faults : nullptr);
   phase.reset();
 
-  NetworkSim sim(torus, n_faults > 0 ? &faults : nullptr,
-                 SimConfig{flits});
+  std::optional<obs::LinkProbe> probe;
+  if (want_links) probe.emplace(torus.num_directed_edges(), torus.dims());
+  SimConfig config{flits};
+  config.probe = probe ? &*probe : nullptr;
+  NetworkSim sim(torus, n_faults > 0 ? &faults : nullptr, config);
   phase.emplace("sim");
   const SimMetrics m = sim.run(traffic.messages);
   phase.reset();
@@ -311,6 +337,52 @@ int cmd_simulate(const Args& args) {
                  fmt(static_cast<long long>(m.max_link_forwards))});
   table.add_row({"bottleneck utilization", fmt(m.bottleneck_utilization())});
   table.print(std::cout);
+
+  if (probe) {
+    // `forwards` counts messages (the link stays busy `flits` cycles per
+    // message), so it is directly comparable to the unit-load E(l).
+    const LoadMap measured = probe_load_map(torus, *probe);
+    const ImbalanceReport report =
+        analyze_imbalance(torus, measured, static_cast<std::size_t>(top_n));
+    std::cout << "\nhotspots (measured load = messages forwarded):\n";
+    hotspot_table(report).print(std::cout);
+    std::cout << "load distribution: mean " << fmt(report.mean_load)
+              << ", max " << fmt(report.max_load) << ", CoV "
+              << fmt(report.cov) << ", max/mean " << fmt(report.max_to_mean)
+              << ", loaded links " << report.loaded_links << "/"
+              << report.total_links << "\n";
+
+    if (n_faults == 0) {
+      // The analytic map describes the fault-free complete exchange; under
+      // faults the traffic itself differs, so skip the comparison there.
+      const LoadMap predicted = measure_loads(torus, p, kind);
+      const auto residuals = load_residuals(torus, measured, predicted,
+                                            static_cast<std::size_t>(top_n));
+      if (residuals.empty()) {
+        std::cout << "\nmeasured forwards match the analytic E(l) on every "
+                     "link\n";
+      } else {
+        std::cout << "\nlargest measured-vs-predicted E(l) residuals (UDR "
+                     "samples one path per pair; the analytic map averages "
+                     "over all):\n";
+        residual_table(residuals).print(std::cout);
+      }
+    }
+
+    if (!link_json.empty()) {
+      obs::LinkExportMeta meta;
+      meta.run = "simulate T_" + std::to_string(k) + "^" + std::to_string(d) +
+                 " " + router->name();
+      meta.cycles = m.cycles;
+      meta.flits_per_message = flits;
+      meta.edge_labels.reserve(
+          static_cast<std::size_t>(torus.num_directed_edges()));
+      for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
+        meta.edge_labels.push_back(torus.edge_str(e));
+      obs::export_link_jsonl(*probe, meta, link_json);
+      std::cout << "\nwrote link telemetry to " << link_json << "\n";
+    }
+  }
   return 0;
 }
 
@@ -398,14 +470,15 @@ int usage() {
       "  analyze   loads + bounds for a design        (--d --k --t --router)\n"
       "  bisect    bisections w.r.t. the placement    (--d --k --t)\n"
       "  routes    enumerate C_{p->q} for a pair      (--d --k --src --dst --router)\n"
-      "  simulate  cycle-accurate complete exchange   (--d --k --t --router --faults --flits --seed)\n"
+      "  simulate  cycle-accurate complete exchange   (--d --k --t --router --faults --flits --seed\n"
+      "                                                --link-stats[=N] --link-json <path>)\n"
       "  verify    certify linear load over a k sweep (--d --ks --t --router)\n"
       "  deadlock  channel-dependency analysis        (--d --k --router)\n"
       "  sweep     E_max table across k               (--d --ks --t --router)\n"
       "  tables    compiled routing-table statistics  (--d --k --placement)\n"
       "  optimize  search same-size placements        (--d --k --size --router --iters --seed)\n"
       "  profile   per-dimension/direction loads      (--d --k --placement --router)\n"
-      "  render    draw a 2-D torus + loads           (--k --placement --router)\n"
+      "  render    draw a 2-D torus + loads           (--k --placement --router --measured)\n"
       "  save      write a placement file             (--d --k --placement --out)\n"
       "\n"
       "placements (--placement): linear[:c] multiple:t diagonal[:s] full\n"
@@ -413,7 +486,13 @@ int usage() {
       "\n"
       "global flags (all commands):\n"
       "  --stats-json <path>  dump counters/histograms as one JSON line\n"
-      "  --trace <path>       write Chrome-trace phase spans (Perfetto)\n";
+      "  --trace <path>       write Chrome-trace phase spans + per-window\n"
+      "                       counter tracks (Perfetto)\n"
+      "\n"
+      "link telemetry (simulate):\n"
+      "  --link-stats[=N]     per-link probes: top-N hotspot table (default\n"
+      "                       10), CoV/max-to-mean, measured-vs-predicted\n"
+      "  --link-json <path>   per-link + per-window JSONL dump\n";
   return 1;
 }
 
@@ -439,8 +518,9 @@ int run(int argc, char** argv) {
   const std::set<std::string> known{
       "d",    "k",  "t",         "router", "src",   "dst",
       "faults", "flits", "seed", "ks",     "placement", "size",
-      "iters", "out", "stats-json", "trace"};
-  const Args args(argc, argv, 2, known);
+      "iters", "out", "stats-json", "trace", "link-json"};
+  const std::set<std::string> flags{"link-stats", "measured"};
+  const Args args(argc, argv, 2, known, flags);
 
   // Global observability flags: turn the registry/tracer on before the
   // command runs, export after it finishes (even a failing command leaves
@@ -449,6 +529,9 @@ int run(int argc, char** argv) {
   const std::string trace_path = args.get("trace");
   if (!stats_path.empty()) obs::registry().set_enabled(true);
   if (!trace_path.empty()) obs::tracer().set_enabled(true);
+  // TP_OBS=1 enables the registry without requesting an export file —
+  // same convention as the bench binaries (see bench/bench_common.h).
+  if (std::getenv("TP_OBS") != nullptr) obs::registry().set_enabled(true);
 
   const int rc = dispatch(cmd, args);
 

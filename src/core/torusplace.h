@@ -20,6 +20,7 @@
 
 #include "src/analysis/imbalance.h"
 #include "src/analysis/load_profile.h"
+#include "src/analysis/resilience.h"
 #include "src/bisection/cut.h"
 #include "src/bisection/dimension_cut.h"
 #include "src/bisection/exact_bisection.h"
@@ -27,7 +28,6 @@
 #include "src/bounds/lower_bounds.h"
 #include "src/bounds/optimal_size.h"
 #include "src/bounds/slab_search.h"
-#include "src/core/fault_router.h"
 #include "src/core/optimize.h"
 #include "src/core/planner.h"
 #include "src/core/verifier.h"
@@ -42,11 +42,13 @@
 #include "src/routing/adaptive.h"
 #include "src/routing/deadlock.h"
 #include "src/routing/disjoint.h"
+#include "src/routing/fault_router.h"
 #include "src/routing/odr.h"
 #include "src/routing/table_router.h"
 #include "src/routing/udr.h"
 #include "src/simulate/adaptive_sim.h"
 #include "src/simulate/fault.h"
+#include "src/simulate/fault_schedule.h"
 #include "src/simulate/network_sim.h"
 #include "src/simulate/traffic.h"
 #include "src/simulate/wormhole.h"

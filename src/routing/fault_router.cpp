@@ -1,0 +1,63 @@
+#include "src/routing/fault_router.h"
+
+#include "src/util/error.h"
+
+namespace tp {
+
+std::vector<Path> FaultTolerantRouter::filtered(const Torus& torus, NodeId p,
+                                                NodeId q) const {
+  std::vector<Path> ok;
+  for (Path& path : inner_.paths(torus, p, q)) {
+    bool clean = true;
+    for (EdgeId e : path.edges)
+      if (faults_.contains(e)) {
+        clean = false;
+        break;
+      }
+    if (clean) ok.push_back(std::move(path));
+  }
+  return ok;
+}
+
+const std::vector<Path>& FaultTolerantRouter::cached(const Torus& torus,
+                                                     NodeId p, NodeId q) const {
+  if (cache_epoch_ != *epoch_ || cache_.empty()) {
+    cache_.clear();
+    cache_epoch_ = *epoch_;
+  }
+  const u64 key = (static_cast<u64>(p) << 32) ^ static_cast<u64>(q);
+  auto it = cache_.find(key);
+  if (it == cache_.end())
+    it = cache_.emplace(key, filtered(torus, p, q)).first;
+  return it->second;
+}
+
+std::vector<Path> FaultTolerantRouter::paths(const Torus& torus, NodeId p,
+                                             NodeId q) const {
+  if (epoch_ != nullptr) return cached(torus, p, q);
+  if (empty_) return inner_.paths(torus, p, q);
+  return filtered(torus, p, q);
+}
+
+i64 FaultTolerantRouter::num_paths(const Torus& torus, NodeId p,
+                                   NodeId q) const {
+  if (epoch_ != nullptr)
+    return static_cast<i64>(cached(torus, p, q).size());
+  if (empty_) return inner_.num_paths(torus, p, q);
+  return static_cast<i64>(filtered(torus, p, q).size());
+}
+
+Path FaultTolerantRouter::sample_path(const Torus& torus, NodeId p, NodeId q,
+                                      Xoshiro256SS& rng) const {
+  if (epoch_ != nullptr) {
+    const std::vector<Path>& ok = cached(torus, p, q);
+    TP_REQUIRE(!ok.empty(), "no fault-free path between the pair");
+    return ok[rng.below(ok.size())];
+  }
+  if (empty_) return inner_.sample_path(torus, p, q, rng);
+  auto ok = filtered(torus, p, q);
+  TP_REQUIRE(!ok.empty(), "no fault-free path between the pair");
+  return ok[rng.below(ok.size())];
+}
+
+}  // namespace tp

@@ -1,0 +1,81 @@
+// A Router decorator that avoids failed links.
+//
+// Wraps any routing algorithm and restricts each pair's path set to the
+// paths that avoid every failed link — the operational model of Section 7:
+// "if any of the links fails, the network will remain functional by
+// routing the messages through paths which do not include the defective
+// link."  Pairs whose entire path set is faulted have no paths; callers
+// can detect this through num_paths() == 0 (paths() returns empty,
+// sample_path() throws).
+//
+// Two modes:
+//   * Static (2-arg constructor): the fault set never changes.  Each call
+//     filters the inner router's paths afresh — no state, safe to share
+//     across threads, and with an empty fault set the behaviour matches
+//     the inner router bit-for-bit.
+//   * Dynamic (3-arg constructor): the fault set mutates over time (a
+//     FaultClock drives it) and the referenced epoch counter bumps on
+//     every mutation.  Filtered path sets are cached per pair and the
+//     whole cache is invalidated when the epoch moves, so a simulator
+//     rerouting many messages between consecutive fault events pays the
+//     enumeration cost once per (pair, epoch).  The cache is not
+//     synchronized — dynamic mode is for single-threaded simulator loops.
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/routing/router.h"
+#include "src/torus/graph.h"
+
+namespace tp {
+
+class FaultTolerantRouter final : public Router {
+ public:
+  /// Static mode.  The inner router and fault set must outlive this
+  /// object.  An empty fault set short-circuits every call straight to the
+  /// inner router, so the decorated behaviour (including sample_path's RNG
+  /// stream) is bit-for-bit the inner router's.
+  FaultTolerantRouter(const Router& inner, const EdgeSet& faults)
+      : inner_(inner), faults_(faults), empty_(faults.size() == 0) {}
+
+  /// Dynamic mode: `faults` may mutate between calls as long as `epoch`
+  /// changes whenever it does (FaultClock::epoch_ref() provides exactly
+  /// that).  All three referents must outlive this object.
+  FaultTolerantRouter(const Router& inner, const EdgeSet& faults,
+                      const u64& epoch)
+      : inner_(inner), faults_(faults), epoch_(&epoch) {}
+
+  std::string name() const override { return inner_.name() + "+faults"; }
+
+  std::vector<Path> paths(const Torus& torus, NodeId p,
+                          NodeId q) const override;
+
+  i64 num_paths(const Torus& torus, NodeId p, NodeId q) const override;
+
+  /// Uniform over the fault-free subset.  Throws if no path survives.
+  Path sample_path(const Torus& torus, NodeId p, NodeId q,
+                   Xoshiro256SS& rng) const override;
+
+  const Router& inner() const { return inner_; }
+
+ private:
+  /// Filters the inner path set against the current fault set.
+  std::vector<Path> filtered(const Torus& torus, NodeId p, NodeId q) const;
+  /// Dynamic mode only: the cached (and epoch-validated) filtered set.
+  const std::vector<Path>& cached(const Torus& torus, NodeId p,
+                                  NodeId q) const;
+
+  const Router& inner_;
+  const EdgeSet& faults_;
+  /// Static mode only: the fault set was empty at construction (it cannot
+  /// change afterwards), so filtering is the identity.
+  const bool empty_ = false;
+  const u64* epoch_ = nullptr;
+  mutable u64 cache_epoch_ = 0;
+  mutable std::unordered_map<u64, std::vector<Path>> cache_;
+};
+
+}  // namespace tp

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
+#include <map>
+#include <optional>
 
 #include "src/obs/obs.h"
+#include "src/routing/fault_router.h"
 #include "src/util/error.h"
 #include "src/util/small_vec.h"
 
@@ -12,8 +16,13 @@ namespace tp {
 AdaptiveNetworkSim::AdaptiveNetworkSim(const Torus& torus,
                                        AdaptivePolicy policy,
                                        const EdgeSet* faults,
-                                       obs::LinkProbe* probe)
-    : torus_(torus), policy_(policy), faults_(torus), probe_(probe) {
+                                       obs::LinkProbe* probe,
+                                       RecoveryConfig recovery)
+    : torus_(torus),
+      policy_(policy),
+      faults_(torus),
+      probe_(probe),
+      recovery_(recovery) {
   if (faults != nullptr) {
     has_faults_ = true;
     for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
@@ -22,19 +31,38 @@ AdaptiveNetworkSim::AdaptiveNetworkSim(const Torus& torus,
   if (probe_ != nullptr)
     TP_REQUIRE(probe_->num_links() == torus.num_directed_edges(),
                "link probe sized for a different torus");
+  if (recovery_.enabled()) {
+    TP_REQUIRE(recovery_.reroute_router != nullptr,
+               "a dynamic fault schedule needs recovery.reroute_router");
+    TP_REQUIRE(recovery_.max_retries >= 0, "max_retries must be non-negative");
+    TP_REQUIRE(recovery_.backoff_base >= 1, "backoff_base must be >= 1");
+  }
 }
 
 SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
                                    u64 seed, i64 max_cycles) {
   struct MsgState {
     NodeId node = 0;
+    NodeId src = 0;  ///< original source (retransmission fallback)
     NodeId dst = 0;
     i64 inject_cycle = 0;
+    i64 attempts = 0;  ///< backoff waits consumed so far
   };
 
   SimMetrics metrics;
   metrics.link_forwards.assign(
       static_cast<std::size_t>(torus_.num_directed_edges()), 0);
+
+  const bool dynamic = recovery_.enabled();
+  std::optional<FaultClock> clock;
+  std::optional<FaultTolerantRouter> oracle;
+  std::multimap<i64, MsgState> retry_queue;
+  if (dynamic) {
+    clock.emplace(torus_, *recovery_.schedule,
+                  has_faults_ ? &faults_ : nullptr);
+    oracle.emplace(*recovery_.reroute_router, clock->dead(),
+                   clock->epoch_ref());
+  }
 
   std::vector<const Demand*> by_inject;
   by_inject.reserve(demands.size());
@@ -52,7 +80,15 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
                    [](const Demand* a, const Demand* b) {
                      return a->inject_cycle < b->inject_cycle;
                    });
-  if (max_cycles == 0) max_cycles = total_work + last_inject + 2;
+  if (max_cycles == 0) {
+    max_cycles = total_work + last_inject + 2;
+    if (dynamic) {
+      const i64 cap = recovery_.backoff_base
+                      << std::min<i64>(recovery_.max_retries, 20);
+      max_cycles += recovery_.schedule->last_cycle() +
+                    2 * (recovery_.max_retries + 1) * cap + 2;
+    }
+  }
 
   std::vector<std::deque<MsgState>> queue(
       static_cast<std::size_t>(torus_.num_directed_edges()));
@@ -61,8 +97,14 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
       static_cast<std::size_t>(torus_.num_directed_edges()), false);
   Xoshiro256SS rng(seed);
 
-  // Minimal outgoing links from `node` toward `dst`, skipping faults.
+  // Minimal outgoing links from `node` toward `dst`, skipping dead links
+  // (static faults, plus the live dynamic set when a schedule runs).
   SmallVec<i64, 2 * kMaxDims> candidates;
+  auto link_alive = [&](EdgeId e) {
+    if (has_faults_ && faults_.contains(e)) return false;
+    if (dynamic && clock->is_dead(e)) return false;
+    return true;
+  };
   auto minimal_links = [&](NodeId node, NodeId dst) {
     candidates.clear();
     for (i32 dim = 0; dim < torus_.dims(); ++dim) {
@@ -72,23 +114,38 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
       if (way == Way::None) continue;
       if (way != Way::Neg) {
         const EdgeId e = torus_.edge_id(node, dim, Dir::Pos);
-        if (!has_faults_ || !faults_.contains(e)) candidates.push_back(e);
+        if (link_alive(e)) candidates.push_back(e);
       }
       if (way != Way::Pos) {
         const EdgeId e = torus_.edge_id(node, dim, Dir::Neg);
-        if (!has_faults_ || !faults_.contains(e)) candidates.push_back(e);
+        if (link_alive(e)) candidates.push_back(e);
       }
     }
   };
 
+  obs::Tracer& tr = obs::tracer();
+  const bool trace_on = tr.enabled();
+
   i64 cycle = 0;
-  auto route_or_drop = [&](MsgState s) {
-    if (s.node == s.dst) return;  // handled by caller
+  i64 in_flight = 0;
+  // Joins the queue the policy picks among the live minimal links; false
+  // when every minimal link is currently dead.
+  auto try_route = [&](MsgState s) -> bool {
     minimal_links(s.node, s.dst);
-    if (candidates.empty()) {
-      ++metrics.unroutable;
-      return;
+    if (dynamic && clock->dead_wires() > 0 && !candidates.empty()) {
+      // Reachability lookahead: only enter links from whose head the
+      // oracle still sees a fault-free path, so a message never wanders
+      // into a region the live faults cut off from its destination.
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const EdgeId e = static_cast<EdgeId>(candidates[i]);
+        const NodeId head = torus_.link(e).head;
+        if (head == s.dst || oracle->num_paths(torus_, head, s.dst) > 0)
+          candidates[keep++] = candidates[i];
+      }
+      candidates.resize(keep);
     }
+    if (candidates.empty()) return false;
     EdgeId pick = static_cast<EdgeId>(candidates[0]);
     if (policy_ == AdaptivePolicy::RandomMinimal) {
       pick = static_cast<EdgeId>(
@@ -110,15 +167,36 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
       is_active[static_cast<std::size_t>(pick)] = true;
       active.push_back(pick);
     }
+    return true;
+  };
+
+  // Every minimal link is dead right now.  Statically that is terminal
+  // (unroutable); under a dynamic schedule the message waits out a backoff
+  // at its node and retries until the budget is spent.
+  auto handle_blocked = [&](MsgState s) {
+    if (!dynamic) {
+      ++metrics.unroutable;
+      --in_flight;
+      return;
+    }
+    if (s.attempts >= recovery_.max_retries) {
+      ++metrics.dropped;
+      --in_flight;
+      if (trace_on) tr.instant("sim.drop", "fault");
+      return;
+    }
+    const i64 wait = recovery_.backoff_base
+                     << std::min<i64>(s.attempts, 20);
+    ++s.attempts;
+    ++metrics.retries;
+    if (trace_on) tr.instant("sim.retry", "fault");
+    retry_queue.emplace(cycle + wait, s);
   };
 
   std::size_t next_inject = 0;
-  i64 in_flight = 0;
   double latency_sum = 0.0;
   std::vector<MsgState> arrivals;
 
-  obs::Tracer& tr = obs::tracer();
-  const bool trace_on = tr.enabled();
   constexpr i64 kCounterWindow = 64;
   i64 window_forwards = 0;
 
@@ -128,6 +206,33 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
 
   while (outstanding()) {
     TP_REQUIRE(cycle <= max_cycles, "simulation exceeded cycle budget");
+    if (dynamic && clock->advance_to(cycle) && trace_on) {
+      tr.instant("sim.fault_event", "fault");
+      tr.counter("sim.dead_wires", clock->dead_wires(), "sim");
+    }
+    // Wake messages whose backoff expired.
+    while (dynamic && !retry_queue.empty() &&
+           retry_queue.begin()->first <= cycle) {
+      MsgState s = retry_queue.begin()->second;
+      retry_queue.erase(retry_queue.begin());
+      if (try_route(s)) {
+        ++metrics.rerouted;
+        if (trace_on) tr.instant("sim.reroute", "fault");
+        continue;
+      }
+      // Cut off where it sits but the pair still connected end-to-end:
+      // retransmit from the original source.
+      if (s.node != s.src &&
+          oracle->num_paths(torus_, s.src, s.dst) > 0) {
+        s.node = s.src;
+        if (try_route(s)) {
+          ++metrics.rerouted;
+          if (trace_on) tr.instant("sim.reroute", "fault");
+          continue;
+        }
+      }
+      handle_blocked(s);
+    }
     while (next_inject < by_inject.size() &&
            by_inject[next_inject]->inject_cycle == cycle) {
       const Demand* d = by_inject[next_inject++];
@@ -136,9 +241,9 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
         ++metrics.delivered;
         continue;
       }
-      const i64 before_unroutable = metrics.unroutable;
-      route_or_drop(MsgState{d->src, d->dst, d->inject_cycle});
-      if (metrics.unroutable == before_unroutable) ++in_flight;
+      ++in_flight;
+      MsgState s{d->src, d->src, d->dst, d->inject_cycle, 0};
+      if (!try_route(s)) handle_blocked(s);
     }
 
     arrivals.clear();
@@ -146,6 +251,20 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
       const EdgeId e = active[ai];
       auto& q = queue[static_cast<std::size_t>(e)];
       if (q.empty()) {
+        is_active[static_cast<std::size_t>(e)] = false;
+        active[ai] = active.back();
+        active.pop_back();
+        continue;
+      }
+      if (dynamic && clock->is_dead(e)) {
+        // The wire died with a backlog: the node immediately re-routes
+        // each queued message over its other minimal links (native
+        // adaptivity), backing off only when all of them are dead too.
+        while (!q.empty()) {
+          MsgState s = q.front();
+          q.pop_front();
+          if (!try_route(s)) handle_blocked(s);
+        }
         is_active[static_cast<std::size_t>(e)] = false;
         active[ai] = active.back();
         active.pop_back();
@@ -172,17 +291,28 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
       }
       ++ai;
     }
-    for (const MsgState& s : arrivals) {
-      const i64 before_unroutable = metrics.unroutable;
-      route_or_drop(s);
-      if (metrics.unroutable != before_unroutable) --in_flight;
-    }
+    for (const MsgState& s : arrivals)
+      if (!try_route(s)) handle_blocked(s);
     if (trace_on && cycle % kCounterWindow == kCounterWindow - 1) {
       tr.counter("sim.forwards_per_window", window_forwards, "sim");
       tr.counter("sim.active_links", static_cast<i64>(active.size()), "sim");
+      if (dynamic)
+        tr.counter("sim.retries_pending",
+                   static_cast<i64>(retry_queue.size()), "sim");
       window_forwards = 0;
     }
     ++cycle;
+    // Nothing queued anywhere: jump to the next injection or retry wake
+    // instead of spinning through backoff waits.
+    if (dynamic && active.empty()) {
+      i64 next = std::numeric_limits<i64>::max();
+      if (next_inject < by_inject.size())
+        next = by_inject[next_inject]->inject_cycle;
+      if (!retry_queue.empty())
+        next = std::min(next, retry_queue.begin()->first);
+      if (next != std::numeric_limits<i64>::max() && next > cycle)
+        cycle = next;
+    }
   }
   if (trace_on) {
     if (window_forwards > 0)
@@ -199,6 +329,10 @@ SimMetrics AdaptiveNetworkSim::run(const std::vector<Demand>& demands,
       metrics.delivered > 0
           ? latency_sum / static_cast<double>(metrics.delivered)
           : 0.0;
+  if (dynamic) {
+    metrics.fail_events = clock->fails_applied();
+    metrics.repair_events = clock->repairs_applied();
+  }
   return metrics;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/obs/linkprobe.h"
+#include "src/simulate/fault_schedule.h"
 #include "src/simulate/metrics.h"
 #include "src/torus/graph.h"
 #include "src/torus/torus.h"
@@ -38,14 +39,27 @@ class AdaptiveNetworkSim {
  public:
   /// `probe` (optional, not owned) receives per-link telemetry; null = off
   /// at the cost of one predicted null check per site (obs/linkprobe.h).
+  /// `recovery` attaches a dynamic FaultSchedule: wires then fail and
+  /// repair mid-run.  recovery.reroute_router (required; normally the
+  /// AdaptiveMinimal router) serves as the reachability oracle: while any
+  /// wire is dead, hop choices are restricted to links from whose head a
+  /// fault-free path still exists, so messages never wander into dead-end
+  /// regions.  A message finding no viable link waits out an exponential
+  /// backoff (bounded by max_retries) and tries again — falling back to a
+  /// retransmission from its source when its current node is cut off but
+  /// the pair is still connected — instead of being dropped on the spot.
+  /// With a null/empty schedule the dynamic machinery is off and results
+  /// match the fault-free run bit-for-bit.
   AdaptiveNetworkSim(const Torus& torus, AdaptivePolicy policy,
                      const EdgeSet* faults = nullptr,
-                     obs::LinkProbe* probe = nullptr);
+                     obs::LinkProbe* probe = nullptr,
+                     RecoveryConfig recovery = {});
 
-  /// Runs all demands to delivery.  Faulted links are never chosen; a
-  /// message whose every minimal link is faulted at some node counts as
-  /// unroutable and is dropped there (minimal-adaptive routing does not
-  /// misroute around faults).
+  /// Runs all demands to delivery.  Faulted links are never chosen; with
+  /// no dynamic schedule a message whose every minimal link is faulted at
+  /// some node counts as unroutable and is dropped there (minimal-adaptive
+  /// routing does not misroute around faults); with one, it retries under
+  /// backoff and counts as dropped only once the budget is spent.
   SimMetrics run(const std::vector<Demand>& demands, u64 seed = 1,
                  i64 max_cycles = 0);
 
@@ -55,6 +69,7 @@ class AdaptiveNetworkSim {
   EdgeSet faults_;
   bool has_faults_ = false;
   obs::LinkProbe* probe_ = nullptr;
+  RecoveryConfig recovery_;
 };
 
 }  // namespace tp

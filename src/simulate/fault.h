@@ -18,11 +18,17 @@ EdgeSet sample_wire_faults(const Torus& torus, i64 count, u64 seed);
 /// Fraction of ordered processor pairs that still have at least one
 /// routing path avoiding every failed link, under the given router.
 /// 1.0 means the placement remains fully connected for that algorithm.
+/// The pair scan runs on `threads` workers (util/parallel.h); the result
+/// is exactly identical for every thread count.
 double routable_pair_fraction(const Torus& torus, const Placement& p,
-                              const Router& router, const EdgeSet& faults);
+                              const Router& router, const EdgeSet& faults,
+                              i32 threads = 1);
 
-/// Ordered pairs (p, q) whose entire path set is faulted.
+/// Ordered pairs (p, q) whose entire path set is faulted.  Parallel over
+/// `threads` workers with a deterministic block partition and per-worker
+/// tallies, so any thread count returns the same count.
 i64 count_unroutable_pairs(const Torus& torus, const Placement& p,
-                           const Router& router, const EdgeSet& faults);
+                           const Router& router, const EdgeSet& faults,
+                           i32 threads = 1);
 
 }  // namespace tp

@@ -14,6 +14,13 @@ struct SimMetrics {
   i64 injected = 0;          ///< messages entering the network
   i64 delivered = 0;         ///< messages that reached their destination
   i64 unroutable = 0;        ///< messages with no fault-free path (dropped at source)
+
+  // Dynamic-fault recovery accounting (zero unless a FaultSchedule ran).
+  i64 dropped = 0;           ///< messages that exhausted their retry budget
+  i64 retries = 0;           ///< backoff waits scheduled after a dead hop
+  i64 rerouted = 0;          ///< successful mid-flight path replacements
+  i64 fail_events = 0;       ///< wire failures applied during the run
+  i64 repair_events = 0;     ///< wire repairs applied during the run
   i64 flits_per_message = 1; ///< serialization factor the run used
   double mean_latency = 0.0; ///< mean deliver-inject cycle difference
   i64 max_queue_depth = 0;   ///< peak backlog on any single link

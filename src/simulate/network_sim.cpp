@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
+#include <map>
+#include <optional>
 #include <tuple>
 
 #include "src/obs/obs.h"
+#include "src/routing/fault_router.h"
 #include "src/util/error.h"
 
 namespace tp {
@@ -18,13 +22,23 @@ NetworkSim::NetworkSim(const Torus& torus, const EdgeSet* faults,
     for (EdgeId e = 0; e < torus.num_directed_edges(); ++e)
       if (faults->contains(e)) faults_.insert(e);
   }
+  if (config_.recovery.enabled()) {
+    TP_REQUIRE(config_.recovery.reroute_router != nullptr,
+               "a dynamic fault schedule needs recovery.reroute_router");
+    TP_REQUIRE(config_.recovery.max_retries >= 0,
+               "max_retries must be non-negative");
+    TP_REQUIRE(config_.recovery.backoff_base >= 1,
+               "backoff_base must be >= 1");
+  }
 }
 
 SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
                            i64 max_cycles) {
   struct MsgState {
     const SimMessage* msg = nullptr;
+    const Path* path = nullptr;  ///< current path (original or reroute)
     std::size_t hop = 0;
+    i64 attempts = 0;  ///< backoff waits consumed so far
   };
 
   TP_OBS_SCOPE("sim.run");
@@ -43,6 +57,23 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   if (probe != nullptr)
     TP_REQUIRE(probe->num_links() == torus_.num_directed_edges(),
                "link probe sized for a different torus");
+
+  // Dynamic fault replay: the clock owns the live fault set (seeded with
+  // the static faults), the decorator caches fault-free path sets per
+  // epoch, and the retry queue holds messages waiting out a backoff.
+  const bool dynamic = config_.recovery.enabled();
+  std::optional<FaultClock> clock;
+  std::optional<FaultTolerantRouter> live_router;
+  std::optional<Xoshiro256SS> reroute_rng;
+  std::deque<Path> reroutes;  // owned replacement paths; deque = stable ptrs
+  std::multimap<i64, MsgState> retry_queue;
+  if (dynamic) {
+    clock.emplace(torus_, *config_.recovery.schedule,
+                  has_faults_ ? &faults_ : nullptr);
+    live_router.emplace(*config_.recovery.reroute_router, clock->dead(),
+                        clock->epoch_ref());
+    reroute_rng.emplace(config_.recovery.seed);
+  }
 
   SimMetrics metrics;
   metrics.flits_per_message = config_.flits_per_message;
@@ -66,7 +97,18 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
                      return a->inject_cycle < b->inject_cycle;
                    });
   const i64 flits = config_.flits_per_message;
-  if (max_cycles == 0) max_cycles = total_work * flits + last_inject + 2;
+  if (max_cycles == 0) {
+    max_cycles = total_work * flits + last_inject + 2;
+    if (dynamic) {
+      // Livelock guard only: generous slack for backoff waits (retries of
+      // distinct messages overlap, so per-message slack suffices) plus the
+      // schedule's tail.
+      const i64 cap = config_.recovery.backoff_base
+                      << std::min<i64>(config_.recovery.max_retries, 20);
+      max_cycles += config_.recovery.schedule->last_cycle() +
+                    2 * (config_.recovery.max_retries + 1) * cap + 2;
+    }
+  }
 
   std::vector<std::deque<MsgState>> queue(
       static_cast<std::size_t>(torus_.num_directed_edges()));
@@ -74,6 +116,7 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   std::vector<bool> is_active(
       static_cast<std::size_t>(torus_.num_directed_edges()), false);
   i64 cycle = 0;
+  i64 in_flight = 0;
   auto enqueue = [&](EdgeId e, MsgState s) {
     queue[static_cast<std::size_t>(e)].push_back(s);
     const i64 depth =
@@ -87,10 +130,26 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
     }
   };
 
+  // A message whose next hop is dead waits out an exponential backoff,
+  // then (re)samples a fault-free path; the retry budget bounds the loop.
+  auto schedule_retry = [&](MsgState s) {
+    if (s.attempts >= config_.recovery.max_retries) {
+      ++metrics.dropped;
+      --in_flight;
+      if (trace_on) tr.instant("sim.drop", "fault");
+      return;
+    }
+    const i64 wait = config_.recovery.backoff_base
+                     << std::min<i64>(s.attempts, 20);
+    ++s.attempts;
+    ++metrics.retries;
+    if (trace_on) tr.instant("sim.retry", "fault");
+    retry_queue.emplace(cycle + wait, s);
+  };
+
   std::vector<i64> busy_until(
       static_cast<std::size_t>(torus_.num_directed_edges()), 0);
   std::size_t next_inject = 0;
-  i64 in_flight = 0;
   double latency_sum = 0.0;
   // Messages in transit across a link, arriving at (cycle + flits).
   std::deque<std::tuple<i64, EdgeId, MsgState>> in_transit;
@@ -108,12 +167,48 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
     TP_REQUIRE(cycle <= max_cycles, "simulation exceeded cycle budget");
     const i64 injected_before = metrics.injected;
     const i64 delivered_before = metrics.delivered;
+    // Apply this cycle's fault/repair events before any link transmits.
+    if (dynamic && clock->advance_to(cycle) && trace_on) {
+      tr.instant("sim.fault_event", "fault");
+      tr.counter("sim.dead_wires", clock->dead_wires(), "sim");
+    }
     // Land messages whose link traversal completes now.
     while (!in_transit.empty() && std::get<0>(in_transit.front()) <= cycle) {
       const EdgeId e = std::get<1>(in_transit.front());
       const MsgState s = std::get<2>(in_transit.front());
       in_transit.pop_front();
       enqueue(e, s);
+    }
+    // Wake messages whose backoff expired: reroute from where they sit,
+    // against the live fault set, or back off again.
+    while (dynamic && !retry_queue.empty() &&
+           retry_queue.begin()->first <= cycle) {
+      MsgState s = retry_queue.begin()->second;
+      retry_queue.erase(retry_queue.begin());
+      const NodeId at = s.hop == 0
+                            ? s.path->source
+                            : torus_.link(s.path->edges[s.hop - 1]).head;
+      const NodeId dst = s.path->target;
+      NodeId from = at;
+      if (live_router->num_paths(torus_, at, dst) == 0) {
+        // Cornered: no fault-free path from where the message sits, but
+        // the pair may still be connected end-to-end — fall back to a
+        // retransmission from the original source.  A pair is dropped
+        // only once its source-to-target path set is (still) dead when
+        // the budget runs out.
+        from = s.msg->path.source;
+        if (from == at || live_router->num_paths(torus_, from, dst) == 0) {
+          schedule_retry(s);
+          continue;
+        }
+      }
+      reroutes.push_back(
+          live_router->sample_path(torus_, from, dst, *reroute_rng));
+      s.path = &reroutes.back();
+      s.hop = 0;
+      ++metrics.rerouted;
+      if (trace_on) tr.instant("sim.reroute", "fault");
+      enqueue(s.path->edges.front(), s);
     }
     // Inject this cycle's messages.
     while (next_inject < by_inject.size() &&
@@ -124,19 +219,21 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
         ++metrics.delivered;  // self-delivery (not generated normally)
         continue;
       }
-      bool routable = true;
-      if (has_faults_) {
+      // With dynamic recovery the static pre-check is skipped: a blocked
+      // hop is discovered at forward time and rerouted, not dropped.
+      if (!dynamic && has_faults_) {
+        bool routable = true;
         for (EdgeId e : m->path.edges)
           if (faults_.contains(e)) {
             routable = false;
             break;
           }
+        if (!routable) {
+          ++metrics.unroutable;
+          continue;
+        }
       }
-      if (!routable) {
-        ++metrics.unroutable;
-        continue;
-      }
-      enqueue(m->path.edges.front(), MsgState{m, 0});
+      enqueue(m->path.edges.front(), MsgState{m, &m->path, 0, 0});
       ++in_flight;
     }
     if (trace_on && !draining && next_inject == by_inject.size()) {
@@ -151,6 +248,18 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
       const EdgeId e = active[ai];
       auto& q = queue[static_cast<std::size_t>(e)];
       if (q.empty()) {
+        is_active[static_cast<std::size_t>(e)] = false;
+        active[ai] = active.back();
+        active.pop_back();
+        continue;
+      }
+      if (dynamic && clock->is_dead(e)) {
+        // The wire died with a backlog: every queued message backs off and
+        // reroutes (an in-progress transmission already left the wire).
+        while (!q.empty()) {
+          schedule_retry(q.front());
+          q.pop_front();
+        }
         is_active[static_cast<std::size_t>(e)] = false;
         active[ai] = active.back();
         active.pop_back();
@@ -171,7 +280,7 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
       if (probe != nullptr) probe->on_forward(e, cycle, flits);
       ++window_forwards;
       ++s.hop;
-      if (s.hop == s.msg->path.edges.size()) {
+      if (s.hop == s.path->edges.size()) {
         ++metrics.delivered;
         --in_flight;
         const i64 latency = cycle + flits - s.msg->inject_cycle;
@@ -180,7 +289,7 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
         if (obs_on) reg.record(h_latency, latency);
         metrics.cycles = std::max(metrics.cycles, cycle + flits);
       } else {
-        in_transit.emplace_back(cycle + flits, s.msg->path.edges[s.hop], s);
+        in_transit.emplace_back(cycle + flits, s.path->edges[s.hop], s);
       }
       ++ai;
     }
@@ -191,9 +300,23 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
     if (trace_on && cycle % kCounterWindow == kCounterWindow - 1) {
       tr.counter("sim.forwards_per_window", window_forwards, "sim");
       tr.counter("sim.active_links", static_cast<i64>(active.size()), "sim");
+      if (dynamic)
+        tr.counter("sim.retries_pending",
+                   static_cast<i64>(retry_queue.size()), "sim");
       window_forwards = 0;
     }
     ++cycle;
+    // Nothing moving and nothing in transit: jump to the next injection
+    // or retry wake instead of spinning through backoff waits.
+    if (dynamic && active.empty() && in_transit.empty()) {
+      i64 next = std::numeric_limits<i64>::max();
+      if (next_inject < by_inject.size())
+        next = by_inject[next_inject]->inject_cycle;
+      if (!retry_queue.empty())
+        next = std::min(next, retry_queue.begin()->first);
+      if (next != std::numeric_limits<i64>::max() && next > cycle)
+        cycle = next;
+    }
   }
   if (trace_on) {
     if (window_forwards > 0)
@@ -210,6 +333,10 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   metrics.mean_latency = metrics.delivered > 0
                              ? latency_sum / static_cast<double>(metrics.delivered)
                              : 0.0;
+  if (dynamic) {
+    metrics.fail_events = clock->fails_applied();
+    metrics.repair_events = clock->repairs_applied();
+  }
   if (obs_on) {
     reg.add(reg.counter("sim.cycles"), metrics.cycles);
     reg.add(reg.counter("sim.injected"), metrics.injected);
@@ -218,6 +345,13 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
     reg.set_max(reg.gauge("sim.max_queue_depth"), metrics.max_queue_depth);
     reg.set_max(reg.gauge("sim.max_link_forwards"),
                 metrics.max_link_forwards);
+    if (dynamic) {
+      reg.add(reg.counter("sim.dropped"), metrics.dropped);
+      reg.add(reg.counter("sim.retries"), metrics.retries);
+      reg.add(reg.counter("sim.rerouted"), metrics.rerouted);
+      reg.add(reg.counter("sim.fail_events"), metrics.fail_events);
+      reg.add(reg.counter("sim.repair_events"), metrics.repair_events);
+    }
   }
   return metrics;
 }

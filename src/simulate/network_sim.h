@@ -7,8 +7,15 @@
 // therefore lower-bounded by the busiest link's message count — i.e. by
 // E_max — which is exactly the connection the experiments probe.
 //
-// Failed links never transmit; messages are never assigned paths through
-// them (path selection happens in traffic generation, see traffic.h).
+// Statically failed links never transmit; messages are never assigned
+// paths through them (path selection happens in traffic generation, see
+// traffic.h).  A FaultSchedule (config.recovery) additionally fails and
+// repairs wires *during* the run: a message whose next hop crosses a
+// currently-dead wire is pulled out of the link queue and rerouted through
+// a FaultTolerantRouter against the live fault set, waiting out an
+// exponential backoff between attempts; messages that exhaust the retry
+// budget (or whose surviving path set is empty on the final attempt) are
+// counted as dropped, never crashed.
 
 #pragma once
 
@@ -16,6 +23,7 @@
 
 #include "src/obs/linkprobe.h"
 #include "src/routing/path.h"
+#include "src/simulate/fault_schedule.h"
 #include "src/simulate/metrics.h"
 #include "src/torus/graph.h"
 #include "src/torus/torus.h"
@@ -39,6 +47,12 @@ struct SimConfig {
   /// Null = link probing off; the hot path then pays one predicted null
   /// check per site.  See obs/linkprobe.h.
   obs::LinkProbe* probe = nullptr;
+
+  /// Dynamic fault injection and retry/reroute recovery.  With a null or
+  /// empty schedule the dynamic machinery is compiled out of the run
+  /// behind one predicted branch and results match the fault-free path
+  /// bit-for-bit.  A non-empty schedule requires recovery.reroute_router.
+  RecoveryConfig recovery;
 };
 
 class NetworkSim {

@@ -27,6 +27,7 @@
 
 #include "src/obs/linkprobe.h"
 #include "src/routing/path.h"
+#include "src/simulate/fault_schedule.h"
 #include "src/torus/torus.h"
 
 namespace tp {
@@ -50,6 +51,17 @@ struct WormholeConfig {
   /// Null = link probing off; the hot path then pays one predicted null
   /// check per site.  See obs/linkprobe.h.
   obs::LinkProbe* probe = nullptr;
+
+  /// Dynamic fault injection (fault_schedule.h).  Wormhole recovery is
+  /// teardown-and-retry: when a wire carrying any part of a worm (or the
+  /// head's next hop) dies, the whole worm is torn down — its VCs freed,
+  /// all flits discarded — and the message waits out an exponential
+  /// backoff before re-injecting from its source over a path freshly
+  /// sampled from recovery.reroute_router against the live fault set.
+  /// Retransmission restarts the full message_flits payload.  A non-empty
+  /// schedule requires recovery.reroute_router; with a null/empty
+  /// schedule results match the fault-free run bit-for-bit.
+  RecoveryConfig recovery;
 };
 
 struct WormholeResult {
@@ -58,6 +70,13 @@ struct WormholeResult {
   i64 delivered = 0;       ///< messages fully ejected
   i64 stuck_messages = 0;  ///< in flight when deadlock was declared
   i64 flits_moved = 0;     ///< total flit transfers (excludes ejections)
+
+  // Dynamic-fault recovery accounting (zero unless a FaultSchedule ran).
+  i64 dropped = 0;         ///< messages that exhausted their retry budget
+  i64 retries = 0;         ///< backoff waits scheduled after a teardown
+  i64 rerouted = 0;        ///< successful re-injections over a fresh path
+  i64 fail_events = 0;     ///< wire failures applied during the run
+  i64 repair_events = 0;   ///< wire repairs applied during the run
 };
 
 class WormholeSim {

@@ -128,6 +128,111 @@ TEST(Robustness, TrafficGenerators) {
                Error);
 }
 
+TEST(Robustness, SampleWireFaultsReportsTheActualCounts) {
+  Torus t(2, 4);  // 32 wires
+  try {
+    sample_wire_faults(t, 1000, 1);
+    FAIL() << "expected tp::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1000"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("32 wires"), std::string::npos);
+  }
+  try {
+    sample_wire_faults(t, -3, 1);
+    FAIL() << "expected tp::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+}
+
+TEST(Robustness, FaultRouterDetectsFullyFaultedPairs) {
+  // Kill every canonical ODR path of one pair: num_paths() reports 0,
+  // paths() is empty, and sample_path() refuses with tp::Error.
+  Torus t(2, 3);
+  OdrRouter odr;
+  const NodeId src = 0, dst = t.node_id(Coord{1, 1});
+  EdgeSet faults(t);
+  for (const Path& path : odr.paths(t, src, dst))
+    for (EdgeId e : path.edges) {
+      faults.insert(e);
+      faults.insert(t.reverse_edge(e));
+    }
+  const FaultTolerantRouter ft(odr, faults);
+  EXPECT_EQ(ft.num_paths(t, src, dst), 0);
+  EXPECT_TRUE(ft.paths(t, src, dst).empty());
+  Xoshiro256SS rng(1);
+  EXPECT_THROW(ft.sample_path(t, src, dst, rng), Error);
+  // Other pairs are unaffected unless their paths cross the fault set.
+  EXPECT_GT(ft.num_paths(t, dst, src) + ft.num_paths(t, src, t.node_id(Coord{0, 1})), 0);
+}
+
+TEST(Robustness, FaultRouterDecoratorsStack) {
+  // Two stacked decorators filter against the union of their fault sets.
+  Torus t(2, 4);
+  UdrRouter udr;
+  const NodeId src = 0, dst = t.node_id(Coord{1, 1});
+  const std::vector<Path> all = udr.paths(t, src, dst);
+  ASSERT_EQ(all.size(), 2u);
+
+  EdgeSet kill_first(t), kill_second(t);
+  kill_first.insert(all[0].edges[0]);
+  kill_second.insert(all[1].edges[0]);
+  const FaultTolerantRouter inner(udr, kill_first);
+  const FaultTolerantRouter outer(inner, kill_second);
+  EXPECT_EQ(outer.name(), udr.name() + "+faults+faults");
+  EXPECT_EQ(inner.num_paths(t, src, dst), 1);
+  EXPECT_EQ(outer.num_paths(t, src, dst), 0);
+
+  EdgeSet union_set(t);
+  union_set.insert(all[0].edges[0]);
+  union_set.insert(all[1].edges[0]);
+  const FaultTolerantRouter flat(udr, union_set);
+  EXPECT_EQ(outer.num_paths(t, src, dst), flat.num_paths(t, src, dst));
+}
+
+TEST(Robustness, FaultRouterWithEmptyFaultSetMatchesInnerExactly) {
+  Torus t(2, 4);
+  UdrRouter udr;
+  const EdgeSet empty(t);
+  const FaultTolerantRouter ft(udr, empty);
+  for (NodeId dst : {1, 5, 10, 15}) {
+    const std::vector<Path> a = udr.paths(t, 0, dst);
+    const std::vector<Path> b = ft.paths(t, 0, dst);
+    ASSERT_EQ(a.size(), b.size()) << "dst " << dst;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_EQ(a[i].edges, b[i].edges);
+    EXPECT_EQ(udr.num_paths(t, 0, dst), ft.num_paths(t, 0, dst));
+    // Same RNG stream, same draw: sampling is bit-for-bit identical.
+    Xoshiro256SS r1(42), r2(42);
+    EXPECT_EQ(udr.sample_path(t, 0, dst, r1).edges,
+              ft.sample_path(t, 0, dst, r2).edges);
+  }
+}
+
+TEST(Robustness, UnroutablePairCountsAreThreadCountInvariant) {
+  Torus t(2, 4);
+  const Placement p = linear_placement(t);
+  UdrRouter udr;
+  OdrRouter odr;
+  const EdgeSet faults = sample_wire_faults(t, 6, 42);
+  for (const Router* router :
+       {static_cast<const Router*>(&odr), static_cast<const Router*>(&udr)}) {
+    const i64 serial = count_unroutable_pairs(t, p, *router, faults);
+    const double serial_frac =
+        routable_pair_fraction(t, p, *router, faults);
+    for (i32 threads : {2, 3, 8, 64}) {
+      EXPECT_EQ(count_unroutable_pairs(t, p, *router, faults, threads),
+                serial)
+          << router->name() << " threads " << threads;
+      // Exact equality: same additions in the same order.
+      EXPECT_EQ(routable_pair_fraction(t, p, *router, faults, threads),
+                serial_frac)
+          << router->name() << " threads " << threads;
+    }
+  }
+  EXPECT_THROW(count_unroutable_pairs(t, p, odr, faults, 0), Error);
+}
+
 TEST(Robustness, SmallVecAndNdRange) {
   EXPECT_THROW((SmallVec<i32>{1, 2, 3, 4, 5, 6, 7, 8, 9}), Error);
   NdRange r(Radices{2});

@@ -16,13 +16,19 @@
 namespace tp {
 namespace {
 
+SimConfig flit_config(i64 flits) {
+  SimConfig config;
+  config.flits_per_message = flits;
+  return config;
+}
+
 TEST(MultiFlit, SingleMessageTakesFlitsTimesHops) {
   Torus t(2, 5);
   OdrRouter odr;
   const NodeId src = 0, dst = t.node_id(Coord{2, 1});
   const i64 hops = t.lee_distance(src, dst);
   for (i64 flits : {1, 2, 4}) {
-    NetworkSim sim(t, nullptr, SimConfig{flits});
+    NetworkSim sim(t, nullptr, flit_config(flits));
     const SimMetrics m =
         sim.run({SimMessage{odr.canonical_path(t, src, dst), 0}});
     EXPECT_EQ(m.cycles, hops * flits) << "flits=" << flits;
@@ -37,7 +43,7 @@ TEST(MultiFlit, ContentionScalesWithFlits) {
   OdrRouter odr;
   std::vector<SimMessage> msgs{{odr.canonical_path(t, 0, 2), 0},
                                {odr.canonical_path(t, 0, 3), 0}};
-  NetworkSim sim(t, nullptr, SimConfig{3});
+  NetworkSim sim(t, nullptr, flit_config(3));
   const SimMetrics m = sim.run(msgs);
   // Unblocked: 3 hops * 3 flits = 9; +3 for the serialized first link.
   EXPECT_EQ(m.cycles, 12);
@@ -51,14 +57,14 @@ TEST(MultiFlit, CompleteExchangeMakespanScalesRoughlyLinearly) {
   const auto traffic = complete_exchange_traffic(t, p, odr, 3);
   const SimMetrics one = NetworkSim(t).run(traffic.messages);
   const SimMetrics four =
-      NetworkSim(t, nullptr, SimConfig{4}).run(traffic.messages);
+      NetworkSim(t, nullptr, flit_config(4)).run(traffic.messages);
   EXPECT_GE(four.cycles, 3 * one.cycles);
   EXPECT_LE(four.cycles, 5 * one.cycles);
 }
 
 TEST(MultiFlit, ConfigValidated) {
   Torus t(2, 3);
-  EXPECT_THROW(NetworkSim(t, nullptr, SimConfig{0}), Error);
+  EXPECT_THROW(NetworkSim(t, nullptr, flit_config(0)), Error);
 }
 
 TEST(Hotspot, AllMessagesTargetTheHotspot) {

@@ -5,7 +5,7 @@
 
 #include <numeric>
 
-#include "src/core/fault_router.h"
+#include "src/routing/fault_router.h"
 #include "src/load/complete_exchange.h"
 #include "src/placement/placement.h"
 #include "src/routing/odr.h"

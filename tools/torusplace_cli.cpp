@@ -26,6 +26,7 @@
 #include "src/core/torusplace.h"
 #include "src/obs/obs.h"
 #include "src/routing/deadlock.h"
+#include "src/util/parallel.h"
 #include "tools/cli_args.h"
 
 namespace tp::cli {
@@ -52,6 +53,20 @@ Coord parse_coord(const std::string& s) {
   Coord c;
   for (i32 v : ints) c.push_back(v);
   return c;
+}
+
+std::vector<double> parse_double_list(const std::string& s) {
+  std::vector<double> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    TP_REQUIRE(end != item.c_str() && *end == '\0',
+               "not a number: '" + item + "'");
+    out.push_back(v);
+  }
+  return out;
 }
 
 int cmd_analyze(const Args& args) {
@@ -312,7 +327,8 @@ int cmd_simulate(const Args& args) {
 
   std::optional<obs::LinkProbe> probe;
   if (want_links) probe.emplace(torus.num_directed_edges(), torus.dims());
-  SimConfig config{flits};
+  SimConfig config;
+  config.flits_per_message = flits;
   config.probe = probe ? &*probe : nullptr;
   NetworkSim sim(torus, n_faults > 0 ? &faults : nullptr, config);
   phase.emplace("sim");
@@ -382,6 +398,92 @@ int cmd_simulate(const Args& args) {
       obs::export_link_jsonl(*probe, meta, link_json);
       std::cout << "\nwrote link telemetry to " << link_json << "\n";
     }
+  }
+  return 0;
+}
+
+int cmd_resilience(const Args& args) {
+  const i32 d = static_cast<i32>(args.get_int("d", 2));
+  const i32 k = static_cast<i32>(args.get_int("k", 8));
+  const i32 t = static_cast<i32>(args.get_int("t", 1));
+  const u64 seed = static_cast<u64>(args.get_int("seed", 1));
+  const auto rates =
+      parse_double_list(args.get("rates", "0,0.0002,0.0005,0.001,0.002"));
+  const std::string json_path = args.get("json");
+  const i64 top_n = args.get_int("criticality", 10);
+
+  ResilienceConfig config;
+  config.traffic_seed = seed;
+  config.schedule_seed = seed * 2 + 5;
+  config.recovery_seed = seed * 3 + 7;
+  config.max_retries = args.get_int("retries", 8);
+  config.backoff_base = args.get_int("backoff", 1);
+  config.repair_prob = args.has("repair")
+                           ? parse_double_list(args.get("repair")).at(0)
+                           : 0.0;
+  config.horizon = args.get_int("horizon", 0);
+
+  std::optional<obs::Scope> phase;
+  phase.emplace("plan");
+  Torus torus(d, k);
+  const Placement p = multiple_linear_placement(torus, t);
+  phase.reset();
+
+  std::cout << p.name() << " on T_" << k << "^" << d << ", |P| = "
+            << p.size() << ", repair_prob = " << fmt(config.repair_prob)
+            << ", retries = " << config.max_retries << "\n\n";
+
+  // Degradation curves: fault rate x router.
+  phase.emplace("sweep");
+  std::vector<DegradationReport> all;
+  Table table({"router", "fault rate", "delivered", "dropped",
+               "delivered fraction", "makespan", "inflation",
+               "degraded E_max", "retries", "reroutes"});
+  for (RouterKind kind :
+       {RouterKind::Odr, RouterKind::Udr, RouterKind::Adaptive}) {
+    const auto router = make_router(kind);
+    const auto curve = resilience_sweep(torus, p, *router, rates, config);
+    for (const DegradationReport& r : curve) {
+      table.add_row({r.router_name, fmt(r.fault_rate, 4),
+                     fmt(static_cast<long long>(r.delivered)),
+                     fmt(static_cast<long long>(r.dropped)),
+                     fmt(r.delivered_fraction),
+                     fmt(static_cast<long long>(r.cycles)),
+                     fmt(r.completion_inflation), fmt(r.degraded_emax),
+                     fmt(static_cast<long long>(r.retries)),
+                     fmt(static_cast<long long>(r.rerouted))});
+      all.push_back(r);
+    }
+  }
+  phase.reset();
+  table.print(std::cout);
+
+  if (args.has("criticality")) {
+    // Per-wire criticality under the selected router (default odr, the
+    // fragile end of the spectrum).
+    const RouterKind kind = parse_router(args.get("router"));
+    const auto router = make_router(kind);
+    const i32 threads =
+        static_cast<i32>(args.get_int("threads", default_threads()));
+    phase.emplace("criticality");
+    const auto ranking = wire_criticality(torus, p, *router, config, threads);
+    phase.reset();
+    std::cout << "\nmost critical wires under " << router->name()
+              << " (single permanent wire fault each):\n";
+    Table crit({"wire", "delivered fraction", "dropped", "reroutes"});
+    const std::size_t rows =
+        std::min(ranking.size(), static_cast<std::size_t>(top_n));
+    for (std::size_t i = 0; i < rows; ++i)
+      crit.add_row({torus.edge_str(ranking[i].wire),
+                    fmt(ranking[i].delivered_fraction),
+                    fmt(static_cast<long long>(ranking[i].dropped)),
+                    fmt(static_cast<long long>(ranking[i].rerouted))});
+    crit.print(std::cout);
+  }
+
+  if (!json_path.empty()) {
+    export_resilience_jsonl(all, json_path);
+    std::cout << "\nwrote degradation curves to " << json_path << "\n";
   }
   return 0;
 }
@@ -472,6 +574,9 @@ int usage() {
       "  routes    enumerate C_{p->q} for a pair      (--d --k --src --dst --router)\n"
       "  simulate  cycle-accurate complete exchange   (--d --k --t --router --faults --flits --seed\n"
       "                                                --link-stats[=N] --link-json <path>)\n"
+      "  resilience degradation under dynamic faults  (--d --k --t --rates --repair --retries\n"
+      "                                                --backoff --horizon --seed --json <path>\n"
+      "                                                --criticality[=N] --router --threads)\n"
       "  verify    certify linear load over a k sweep (--d --ks --t --router)\n"
       "  deadlock  channel-dependency analysis        (--d --k --router)\n"
       "  sweep     E_max table across k               (--d --ks --t --router)\n"
@@ -501,6 +606,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "bisect") return cmd_bisect(args);
   if (cmd == "routes") return cmd_routes(args);
   if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "resilience") return cmd_resilience(args);
   if (cmd == "verify") return cmd_verify(args);
   if (cmd == "deadlock") return cmd_deadlock(args);
   if (cmd == "sweep") return cmd_sweep(args);
@@ -518,8 +624,10 @@ int run(int argc, char** argv) {
   const std::set<std::string> known{
       "d",    "k",  "t",         "router", "src",   "dst",
       "faults", "flits", "seed", "ks",     "placement", "size",
-      "iters", "out", "stats-json", "trace", "link-json"};
-  const std::set<std::string> flags{"link-stats", "measured"};
+      "iters", "out", "stats-json", "trace", "link-json",
+      "rates", "repair", "retries", "backoff", "horizon", "json",
+      "threads"};
+  const std::set<std::string> flags{"link-stats", "measured", "criticality"};
   const Args args(argc, argv, 2, known, flags);
 
   // Global observability flags: turn the registry/tracer on before the

@@ -81,12 +81,20 @@ PlacementPlan plan_placement(const Torus& torus, i32 t, RouterKind kind) {
 
 LoadMap measure_loads(const Torus& torus, const Placement& p,
                       RouterKind kind) {
+  return measure_loads(torus, p, kind, 1);
+}
+
+LoadMap measure_loads(const Torus& torus, const Placement& p,
+                      RouterKind kind, i32 threads) {
   TP_OBS_SCOPE("plan.measure");
+  TP_REQUIRE(threads >= 1, "need at least one analyzer thread");
   switch (kind) {
     case RouterKind::Odr:
-      return odr_loads(torus, p);
+      return threads == 1 ? odr_loads(torus, p)
+                          : odr_loads_parallel(torus, p, threads);
     case RouterKind::Udr:
-      return udr_loads(torus, p);
+      return threads == 1 ? udr_loads(torus, p)
+                          : udr_loads_parallel(torus, p, threads);
     case RouterKind::Adaptive:
       return adaptive_loads(torus, p);
   }

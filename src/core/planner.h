@@ -53,4 +53,13 @@ double measure_emax(const Torus& torus, const PlacementPlan& plan);
 LoadMap measure_loads(const Torus& torus, const Placement& p,
                       RouterKind kind);
 
+/// Exact loads computed with `threads` analyzer workers.  Callers that own
+/// a worker pool (the service engine) pass their configured width instead
+/// of sizing each call off hardware_concurrency.  threads == 1 is the
+/// serial path; ODR parallel results are bit-identical to serial at any
+/// width, UDR matches to ~1 ulp for a fixed width, and Adaptive has no
+/// parallel analyzer (threads is ignored).
+LoadMap measure_loads(const Torus& torus, const Placement& p,
+                      RouterKind kind, i32 threads);
+
 }  // namespace tp

@@ -37,6 +37,22 @@ void HistogramData::record(i64 v) {
   sum += v;
 }
 
+void HistogramData::merge_from(const HistogramData& other) {
+  TP_REQUIRE(bounds == other.bounds,
+             "cannot merge histograms with different bucket bounds");
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
 double HistogramData::mean() const {
   return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
                    : 0.0;
@@ -129,6 +145,14 @@ HistogramHandle MetricsRegistry::histogram(std::string_view name,
   if (static_cast<std::size_t>(idx) == histogram_slots_.size())
     histogram_slots_.emplace_back(std::move(bounds));
   return HistogramHandle{idx};
+}
+
+void MetricsRegistry::merge_histogram(std::string_view name,
+                                      const HistogramData& local) {
+  if (!enabled_ || local.count == 0) return;
+  const HistogramHandle h = histogram(name, local.bounds);
+  if (h.idx >= 0)
+    histogram_slots_[static_cast<std::size_t>(h.idx)].merge_from(local);
 }
 
 void MetricsRegistry::record_duration_us(std::string_view scope, i64 us) {

@@ -69,6 +69,11 @@ struct HistogramData {
   void record(i64 v);
   double mean() const;
 
+  /// Folds another histogram with identical bucket bounds into this one
+  /// (counts, sum, count, min/max all combine).  The reduction step for
+  /// worker pools that accumulate per-worker histograms.
+  void merge_from(const HistogramData& other);
+
   /// Estimated q-quantile (q in [0, 1]) by linear interpolation within the
   /// containing bucket, clamped to the exact observed [min, max].  Exact
   /// for q = 1 (returns max).
@@ -133,6 +138,14 @@ class MetricsRegistry {
   /// first use with duration buckets).  Name lookup per call — intended
   /// for phase-granularity scopes, not inner loops.
   void record_duration_us(std::string_view scope, i64 us);
+
+  /// Folds a locally accumulated histogram into the named slot (created
+  /// on first use with `local`'s bounds).  This is how multi-threaded
+  /// components publish latency distributions under the registry's
+  /// threading contract: workers accumulate private HistogramData, one
+  /// thread merges the reduction (see src/service/engine.cpp).  No-op
+  /// when disabled or `local` is empty.
+  void merge_histogram(std::string_view name, const HistogramData& local);
 
   /// Thread-safe copy of all metrics.
   MetricsSnapshot snapshot() const;

@@ -1,0 +1,338 @@
+#include "src/service/engine.h"
+
+#include <chrono>
+
+#include "src/util/error.h"
+#include "src/util/parallel.h"
+
+namespace tp::service {
+
+using Clock = std::chrono::steady_clock;
+
+struct Engine::Pending {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Response response;
+
+  Engine* engine = nullptr;
+  QueryKey key;
+  Clock::time_point submitted;
+  Clock::time_point deadline;
+  bool has_deadline = false;
+
+  bool expired(Clock::time_point now) const {
+    return has_deadline && now >= deadline;
+  }
+};
+
+struct Engine::InFlight {
+  QueryKey key;
+  // Guarded by the engine's inflight_mu_.
+  std::vector<std::shared_ptr<Pending>> waiters;
+};
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      pool_threads_(config.threads > 0 ? config.threads : default_threads()),
+      cache_(config.cache_capacity, config.cache_shards),
+      request_us_(obs::duration_bucket_bounds()),
+      compute_us_(obs::duration_bucket_bounds()) {
+  TP_REQUIRE(config_.queue_capacity >= 1, "queue capacity must be >= 1");
+  if (config_.measure_threads < 1) config_.measure_threads = 1;
+  pool_.reserve(static_cast<std::size_t>(pool_threads_));
+  for (i32 i = 0; i < pool_threads_; ++i)
+    pool_.emplace_back([this] { worker_loop(); });
+}
+
+Engine::~Engine() {
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (auto& t : pool_) t.join();
+}
+
+Response Engine::timeout_response(const QueryKey& key) {
+  Response r;
+  r.ok = false;
+  r.timeout = true;
+  r.error = "deadline exceeded: " + key.str();
+  return r;
+}
+
+void Engine::fulfill(const std::shared_ptr<Pending>& pending,
+                     Response response, bool count_completed) {
+  // Count BEFORE waking the waiter: once done flips, the submitter may
+  // read stats()/publish_stats() and must see this request accounted for.
+  const i64 us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     Clock::now() - pending->submitted)
+                     .count();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    request_us_.record(us);
+    if (response.ok && count_completed) ++counters_.completed;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(pending->mu);
+    pending->response = std::move(response);
+    pending->done = true;
+  }
+  pending->cv.notify_all();
+}
+
+Engine::Ticket Engine::submit(const Request& req) {
+  auto pending = std::make_shared<Pending>();
+  pending->engine = this;
+  pending->key = req.key;
+  pending->submitted = Clock::now();
+
+  const i64 deadline_ms = req.deadline_ms >= 0 ? req.deadline_ms
+                                               : config_.default_deadline_ms;
+  // Request-level 0 means "already expired"; a config default of 0 means
+  // "no deadline" (the common case).
+  if (req.deadline_ms >= 0 || config_.default_deadline_ms > 0) {
+    pending->has_deadline = true;
+    pending->deadline =
+        pending->submitted + std::chrono::milliseconds(deadline_ms);
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.requests;
+  }
+
+  if (pending->expired(pending->submitted)) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.timeouts;
+    }
+    fulfill(pending, timeout_response(req.key), /*count_completed=*/false);
+    return Ticket(std::move(pending));
+  }
+
+  std::shared_ptr<InFlight> job;
+  {
+    // Cache lookup and in-flight attach are one critical section: a
+    // worker publishes a finished result to the cache *before* removing
+    // its in-flight entry, so under this lock every key is either cached,
+    // in flight, or genuinely new — a request can never slip between the
+    // two and recompute a plan that is being (or has been) computed.
+    const std::lock_guard<std::mutex> lock(inflight_mu_);
+    if (auto cached = cache_.get(req.key)) {
+      {
+        const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++counters_.cache_hits;
+      }
+      Response r;
+      r.ok = true;
+      r.result = std::move(cached);
+      fulfill(pending, std::move(r), /*count_completed=*/true);
+      return Ticket(std::move(pending));
+    }
+    const auto it = inflight_.find(req.key);
+    if (it != inflight_.end()) {
+      it->second->waiters.push_back(pending);
+      const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++counters_.coalesced;
+      return Ticket(std::move(pending));
+    }
+    job = std::make_shared<InFlight>();
+    job->key = req.key;
+    job->waiters.push_back(pending);
+    inflight_.emplace(req.key, job);
+    ++inflight_jobs_;
+    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++counters_.cache_misses;
+  }
+
+  {
+    // Bounded submission queue: back-pressure blocks the submitter, never
+    // a worker.  (Enqueued outside inflight_mu_ so a full queue cannot
+    // wedge workers trying to retire their in-flight entries.)
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_not_full_.wait(lock, [this] {
+      return queue_.size() < config_.queue_capacity || stopping_;
+    });
+    TP_REQUIRE(!stopping_, "submit on a stopped engine");
+    queue_.push_back(std::move(job));
+    const i64 depth = static_cast<i64>(queue_.size());
+    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    if (depth > counters_.peak_queue_depth)
+      counters_.peak_queue_depth = depth;
+  }
+  queue_not_empty_.notify_one();
+  return Ticket(std::move(pending));
+}
+
+Response Engine::run(const Request& req) { return submit(req).wait(); }
+
+Response Engine::Ticket::wait() {
+  Pending& p = *pending_;
+  std::unique_lock<std::mutex> lock(p.mu);
+  if (p.has_deadline) {
+    if (!p.cv.wait_until(lock, p.deadline, [&p] { return p.done; })) {
+      // Deadline passed first.  The computation (if any) continues and
+      // will land in the cache; only this response times out.
+      Engine* engine = p.engine;
+      lock.unlock();
+      {
+        const std::lock_guard<std::mutex> stats_lock(engine->stats_mu_);
+        ++engine->counters_.timeouts;
+      }
+      return timeout_response(p.key);
+    }
+  } else {
+    p.cv.wait(lock, [&p] { return p.done; });
+  }
+  return p.response;
+}
+
+void Engine::worker_loop() {
+  for (;;) {
+    std::shared_ptr<InFlight> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    execute(job);
+  }
+}
+
+void Engine::execute(const std::shared_ptr<InFlight>& job) {
+  // Dequeue-time deadline sweep: when every waiter has already expired
+  // there is no one left to receive the result — skip the computation
+  // entirely (and leave the cache untouched).
+  {
+    const Clock::time_point now = Clock::now();
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    bool all_expired = true;
+    for (const auto& w : job->waiters)
+      if (!w->expired(now)) {
+        all_expired = false;
+        break;
+      }
+    if (all_expired) {
+      std::vector<std::shared_ptr<Pending>> waiters = std::move(job->waiters);
+      inflight_.erase(job->key);
+      --inflight_jobs_;
+      lock.unlock();
+      drain_cv_.notify_all();
+      {
+        const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        counters_.timeouts += static_cast<i64>(waiters.size());
+      }
+      for (const auto& w : waiters)
+        fulfill(w, timeout_response(job->key), /*count_completed=*/false);
+      return;
+    }
+  }
+
+  Response response;
+  const Clock::time_point start = Clock::now();
+  try {
+    auto result = std::make_shared<const QueryResult>(
+        compute_query(job->key, config_.measure_threads));
+    response.ok = true;
+    response.result = std::move(result);
+  } catch (const Error& e) {
+    response.ok = false;
+    response.error = e.what();
+  }
+  const i64 compute_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             Clock::now() - start)
+                             .count();
+
+  // Publish to the cache BEFORE retiring the in-flight entry — the
+  // ordering submit() relies on for exactly-once computation.  Failed
+  // computations are never cached (an error or timeout must not poison
+  // the cache for later, well-formed retries of the same key).
+  if (response.ok) cache_.put(job->key, response.result);
+
+  std::vector<std::shared_ptr<Pending>> waiters;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mu_);
+    waiters = std::move(job->waiters);
+    inflight_.erase(job->key);
+    --inflight_jobs_;
+  }
+  drain_cv_.notify_all();
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.plans_computed;
+    compute_us_.record(compute_us);
+    if (!response.ok) counters_.errors += static_cast<i64>(waiters.size());
+  }
+  for (const auto& w : waiters)
+    fulfill(w, response, /*count_completed=*/true);
+}
+
+void Engine::drain() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  drain_cv_.wait(lock, [this] { return inflight_jobs_ == 0; });
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    s = counters_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    s.queue_depth = static_cast<i64>(queue_.size());
+  }
+  const PlanCache::Stats cs = cache_.stats();
+  s.cache_entries = cs.entries;
+  s.cache_evictions = cs.evictions;
+  return s;
+}
+
+void Engine::publish_stats() {
+  obs::MetricsRegistry& reg = obs::registry();
+  if (!reg.enabled()) return;
+
+  const EngineStats cur = stats();
+  obs::HistogramData request_delta(obs::duration_bucket_bounds());
+  obs::HistogramData compute_delta(obs::duration_bucket_bounds());
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    std::swap(request_delta, request_us_);
+    std::swap(compute_delta, compute_us_);
+  }
+
+  const auto publish = [&reg](const char* name, i64 now, i64& last) {
+    if (now > last) reg.add(reg.counter(name), now - last);
+    last = now;
+  };
+  publish("service.requests", cur.requests, published_.requests);
+  publish("service.completed", cur.completed, published_.completed);
+  publish("service.cache_hits", cur.cache_hits, published_.cache_hits);
+  publish("service.cache_misses", cur.cache_misses, published_.cache_misses);
+  publish("service.coalesced", cur.coalesced, published_.coalesced);
+  publish("service.plans_computed", cur.plans_computed,
+          published_.plans_computed);
+  publish("service.timeouts", cur.timeouts, published_.timeouts);
+  publish("service.errors", cur.errors, published_.errors);
+  publish("service.cache_evictions", cur.cache_evictions,
+          published_.cache_evictions);
+
+  reg.set(reg.gauge("service.queue_depth"), cur.queue_depth);
+  reg.set_max(reg.gauge("service.queue_depth_peak"), cur.peak_queue_depth);
+  reg.set(reg.gauge("service.cache_entries"), cur.cache_entries);
+  reg.set(reg.gauge("service.pool_threads"), pool_threads_);
+
+  reg.merge_histogram("service.request_us", request_delta);
+  reg.merge_histogram("service.compute_us", compute_delta);
+}
+
+}  // namespace tp::service

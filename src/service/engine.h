@@ -1,0 +1,196 @@
+// Concurrent plan/load query engine.
+//
+// The Engine owns a persistent worker pool and answers QueryKey requests
+// with memoization and request coalescing:
+//
+//   submit() ──> cache hit ───────────────> fulfilled immediately
+//            └─> in-flight for this key? ─> attach as waiter (coalesced)
+//            └─> else: new in-flight ─────> bounded queue ─> worker pool
+//
+// Concurrent identical requests block on ONE computation: the first
+// submitter enqueues an in-flight record, later submitters attach to it,
+// and the worker that computes it stores the result in the cache and
+// fulfills every waiter with the same shared immutable QueryResult — so a
+// key is planned exactly once no matter how many clients hammer it
+// (EngineStats::plans_computed counts real computations).
+//
+// Deadlines: a request may carry a relative deadline.  It is checked at
+// submit (an already-expired deadline is answered with a structured
+// timeout response without ever enqueueing), at dequeue (a job whose
+// waiters have all expired is dropped without computing), and while
+// waiting (Ticket::wait returns the timeout response when the deadline
+// passes first; the computation still completes and is cached — timeouts
+// never poison the cache with partial results).
+//
+// Shutdown drains gracefully: the destructor waits for every queued and
+// in-flight computation to finish before joining the pool, so tickets
+// already fulfilled stay valid and nothing is dropped mid-compute.
+//
+// Observability: the engine keeps exact atomic counters and per-request
+// latency histograms internally (workers must not record into the global
+// registry concurrently — see obs/registry.h) and publishes them into the
+// registry from the calling thread via publish_stats():
+//
+//   counters   service.requests / completed / cache_hits / cache_misses /
+//              coalesced / plans_computed / timeouts / errors /
+//              cache_evictions
+//   gauges     service.queue_depth (current), service.queue_depth_peak,
+//              service.cache_entries, service.pool_threads
+//   histograms service.request_us (submit->fulfill), service.compute_us
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/service/plan_cache.h"
+#include "src/service/query.h"
+
+namespace tp::service {
+
+struct EngineConfig {
+  i32 threads = 0;          ///< worker pool width; 0 = default_threads()
+  i32 measure_threads = 1;  ///< analyzer width per query (the engine's
+                            ///< pool width is passed down instead of each
+                            ///< call sizing itself off hardware
+                            ///< concurrency); keep 1 for bit-stable UDR
+                            ///< results independent of machine shape
+  std::size_t queue_capacity = 256;   ///< bounded submission queue
+  std::size_t cache_capacity = 1024;  ///< PlanCache entries
+  std::size_t cache_shards = 8;
+  i64 default_deadline_ms = 0;  ///< 0 = no deadline unless the request
+                                ///< carries one
+};
+
+/// One submitted request: a canonical key plus an optional relative
+/// deadline (-1 = use the engine default; 0 = already expired, which
+/// deterministically yields a timeout response).
+struct Request {
+  QueryKey key;
+  i64 deadline_ms = -1;
+};
+
+/// The engine's answer.  Exactly one of {result, error} is meaningful:
+/// ok => result != nullptr; !ok => error text (timeout => the structured
+/// deadline error).
+struct Response {
+  std::shared_ptr<const QueryResult> result;
+  bool ok = false;
+  bool timeout = false;
+  std::string error;
+};
+
+/// Exact point-in-time engine statistics (all counted atomically).
+struct EngineStats {
+  i64 requests = 0;        ///< total submits
+  i64 completed = 0;       ///< responses fulfilled with a result
+  i64 cache_hits = 0;      ///< answered from the cache at submit
+  i64 cache_misses = 0;    ///< computations started (unique misses)
+  i64 coalesced = 0;       ///< requests attached to an in-flight compute
+  i64 plans_computed = 0;  ///< compute_query executions
+  i64 timeouts = 0;        ///< structured deadline responses
+  i64 errors = 0;          ///< error responses (invalid parameters)
+  i64 queue_depth = 0;     ///< current submission-queue depth
+  i64 peak_queue_depth = 0;
+  i64 cache_entries = 0;
+  i64 cache_evictions = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+
+  /// Drains every queued and in-flight request, then joins the pool.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  class Ticket;
+
+  /// Submits a request.  Blocks only when the submission queue is full
+  /// (back-pressure); cache hits and expired deadlines return an already
+  /// fulfilled ticket.  Tickets must not outlive the engine.
+  Ticket submit(const Request& req);
+
+  /// submit + wait.
+  Response run(const Request& req);
+
+  /// Blocks until every request submitted so far has been computed (or
+  /// dropped as expired).  The pool stays alive for further submits.
+  void drain();
+
+  EngineStats stats() const;
+  const EngineConfig& config() const { return config_; }
+  const PlanCache& cache() const { return cache_; }
+
+  /// Publishes counters/gauges/latency histograms into the global obs
+  /// registry (no-op when the registry is disabled).  Counters are
+  /// published as deltas since the previous call, so repeated publishes
+  /// never double-count.  Call from one thread only (the same contract as
+  /// the registry itself).
+  void publish_stats();
+
+ private:
+  struct Pending;
+  struct InFlight;
+
+ public:
+  /// Handle to one submitted request.
+  class Ticket {
+   public:
+    /// Blocks until the response is ready or the request's deadline
+    /// expires, whichever is first.  Safe to call once per ticket.
+    Response wait();
+
+   private:
+    friend class Engine;
+    explicit Ticket(std::shared_ptr<Pending> pending)
+        : pending_(std::move(pending)) {}
+    std::shared_ptr<Pending> pending_;
+  };
+
+ private:
+  void worker_loop();
+  void execute(const std::shared_ptr<InFlight>& job);
+  void fulfill(const std::shared_ptr<Pending>& pending, Response response,
+               bool count_completed);
+  static Response timeout_response(const QueryKey& key);
+
+  EngineConfig config_;
+  i32 pool_threads_ = 1;
+  PlanCache cache_;
+
+  // Submission queue (bounded) and pool.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<std::shared_ptr<InFlight>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> pool_;
+
+  // In-flight coalescing map, keyed on the query.
+  mutable std::mutex inflight_mu_;
+  std::condition_variable drain_cv_;
+  std::unordered_map<QueryKey, std::shared_ptr<InFlight>, QueryKeyHash>
+      inflight_;
+  i64 inflight_jobs_ = 0;  ///< queued or executing jobs (for drain)
+
+  // Exact stats.  Counters live behind stats_mu_ together with the local
+  // latency histograms; everything is touched once per request, so one
+  // short lock is cheaper than it looks next to a plan computation.
+  mutable std::mutex stats_mu_;
+  EngineStats counters_;
+  obs::HistogramData request_us_;
+  obs::HistogramData compute_us_;
+  EngineStats published_;  ///< last snapshot pushed into the registry
+};
+
+}  // namespace tp::service

@@ -1,0 +1,221 @@
+#include "src/service/jsonl.h"
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/obs.h"
+#include "src/util/error.h"
+
+namespace tp::service {
+
+BatchRequest parse_request_line(std::string_view line, i64 line_no) {
+  const obs::JsonValue doc = obs::parse_json(line);
+  TP_REQUIRE(doc.is_object(), "request must be a JSON object");
+
+  static const char* const kKnown[] = {"id", "op",     "d",     "k",
+                                       "radices", "t", "router", "deadline_ms"};
+  for (const auto& [key, value] : doc.members()) {
+    bool known = false;
+    for (const char* k : kKnown)
+      if (key == k) {
+        known = true;
+        break;
+      }
+    TP_REQUIRE(known, "unknown request field '" + key + "'");
+  }
+
+  BatchRequest out;
+  if (const obs::JsonValue* id = doc.find("id"))
+    out.id = *id;
+  else
+    out.id = obs::JsonValue(line_no);
+
+  const QueryOp op =
+      parse_op(doc.find("op") ? doc.find("op")->as_string() : "");
+  const RouterKind router = parse_router_kind(
+      doc.find("router") ? doc.find("router")->as_string() : "");
+  const i32 t =
+      doc.find("t") ? static_cast<i32>(doc.find("t")->as_int()) : 1;
+
+  Radices radices;
+  if (const obs::JsonValue* rad = doc.find("radices")) {
+    TP_REQUIRE(rad->is_array(), "'radices' must be an array");
+    TP_REQUIRE(!rad->items().empty() && rad->items().size() <= kMaxDims,
+               "'radices' needs 1.." + std::to_string(kMaxDims) +
+                   " entries");
+    for (const obs::JsonValue& r : rad->items())
+      radices.push_back(static_cast<i32>(r.as_int()));
+    if (const obs::JsonValue* d = doc.find("d"))
+      TP_REQUIRE(static_cast<std::size_t>(d->as_int()) == radices.size(),
+                 "'d' contradicts the length of 'radices'");
+    TP_REQUIRE(doc.find("k") == nullptr,
+               "give either 'k' (with 'd') or 'radices', not both");
+  } else {
+    const obs::JsonValue* d = doc.find("d");
+    const obs::JsonValue* k = doc.find("k");
+    TP_REQUIRE(d != nullptr && k != nullptr,
+               "request needs 'd' and 'k' (or 'radices')");
+    const i64 dims = d->as_int();
+    TP_REQUIRE(dims >= 1 && dims <= static_cast<i64>(kMaxDims),
+               "'d' must be in [1, " + std::to_string(kMaxDims) + "]");
+    for (i64 i = 0; i < dims; ++i)
+      radices.push_back(static_cast<i32>(k->as_int()));
+  }
+
+  out.request.key = make_query_key(radices, t, router, op);
+  if (const obs::JsonValue* deadline = doc.find("deadline_ms")) {
+    const i64 ms = deadline->as_int();
+    TP_REQUIRE(ms >= 0, "'deadline_ms' must be >= 0");
+    out.request.deadline_ms = ms;
+  }
+  return out;
+}
+
+obs::JsonValue response_to_json(const obs::JsonValue& id,
+                                const Response& response) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("id", id);
+  out.set("ok", obs::JsonValue(response.ok));
+  if (!response.ok) {
+    out.set("error", obs::JsonValue(response.error));
+    if (response.timeout) out.set("timeout", obs::JsonValue(true));
+    return out;
+  }
+
+  const QueryResult& r = *response.result;
+  out.set("op", obs::JsonValue(op_name(r.key.op())));
+  out.set("key", obs::JsonValue(r.key.str()));
+  out.set("d", obs::JsonValue(static_cast<i64>(r.key.dims())));
+  out.set("k", obs::JsonValue(static_cast<i64>(r.key.radices[0])));
+  out.set("t", obs::JsonValue(static_cast<i64>(r.key.t)));
+  out.set("router", obs::JsonValue(router_name_short(r.key.router)));
+  out.set("placement", obs::JsonValue(r.placement_name));
+  out.set("processors", obs::JsonValue(r.placement_size));
+  out.set("predicted_emax", obs::JsonValue(r.predicted_emax));
+  out.set("prediction_exact", obs::JsonValue(r.prediction_exact));
+  out.set("lower_bound", obs::JsonValue(r.lower_bound));
+  if (r.key.measure) {
+    out.set("measured_emax", obs::JsonValue(r.measured_emax));
+    out.set("mean_load", obs::JsonValue(r.mean_load));
+    out.set("loaded_links", obs::JsonValue(r.loaded_links));
+  }
+  if (r.key.bounds) {
+    obs::JsonValue bounds = obs::JsonValue::array();
+    for (const BoundValue& b : r.bound_table) {
+      obs::JsonValue row = obs::JsonValue::object();
+      row.set("name", obs::JsonValue(b.name));
+      row.set("value", obs::JsonValue(b.value));
+      row.set("applicable", obs::JsonValue(b.applicable));
+      row.set("note", obs::JsonValue(b.note));
+      bounds.push_back(std::move(row));
+    }
+    out.set("bounds", std::move(bounds));
+    if (r.has_slab) {
+      obs::JsonValue slab = obs::JsonValue::object();
+      slab.set("value", obs::JsonValue(r.slab.value));
+      slab.set("dim", obs::JsonValue(static_cast<i64>(r.slab.dim)));
+      slab.set("lo", obs::JsonValue(static_cast<i64>(r.slab.lo)));
+      slab.set("len", obs::JsonValue(static_cast<i64>(r.slab.len)));
+      out.set("slab", std::move(slab));
+    }
+  }
+  out.set("summary", obs::JsonValue(r.summary));
+  return out;
+}
+
+namespace {
+
+/// One batch slot: either a submitted ticket or an immediate (parse)
+/// error response.
+struct Slot {
+  obs::JsonValue id;
+  std::optional<Engine::Ticket> ticket;
+  Response error;
+};
+
+Response error_response(const std::string& what) {
+  Response r;
+  r.ok = false;
+  r.error = what;
+  return r;
+}
+
+/// Best-effort id for a line that failed validation: echo its "id" field
+/// when the line is at least well-formed JSON, else fall back to the line
+/// number.
+obs::JsonValue salvage_id(std::string_view line, i64 line_no) {
+  try {
+    const obs::JsonValue doc = obs::parse_json(line);
+    if (doc.is_object())
+      if (const obs::JsonValue* id = doc.find("id")) return *id;
+  } catch (const Error&) {
+  }
+  return obs::JsonValue(line_no);
+}
+
+}  // namespace
+
+i64 run_batch(Engine& engine, std::istream& in, std::ostream& out) {
+  TP_OBS_SCOPE("service.batch");
+  std::vector<Slot> slots;
+  std::string line;
+  i64 line_no = 0;
+  {
+    // Submit everything first: identical keys coalesce onto one
+    // computation or hit the cache, independent of their distance in the
+    // file.
+    TP_OBS_SCOPE("service.batch_submit");
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      Slot slot;
+      try {
+        BatchRequest req = parse_request_line(line, line_no);
+        slot.id = std::move(req.id);
+        slot.ticket = engine.submit(req.request);
+      } catch (const Error& e) {
+        slot.id = salvage_id(line, line_no);
+        slot.error = error_response(e.what());
+      }
+      slots.push_back(std::move(slot));
+    }
+  }
+  {
+    TP_OBS_SCOPE("service.batch_collect");
+    for (Slot& slot : slots) {
+      const Response response =
+          slot.ticket ? slot.ticket->wait() : slot.error;
+      out << response_to_json(slot.id, response).dump() << "\n";
+    }
+  }
+  return static_cast<i64>(slots.size());
+}
+
+i64 run_serve(Engine& engine, std::istream& in, std::ostream& out) {
+  TP_OBS_SCOPE("service.serve");
+  std::string line;
+  i64 line_no = 0;
+  i64 served = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    obs::JsonValue id(line_no);
+    Response response;
+    try {
+      BatchRequest req = parse_request_line(line, line_no);
+      id = std::move(req.id);
+      response = engine.run(req.request);
+    } catch (const Error& e) {
+      id = salvage_id(line, line_no);
+      response = error_response(e.what());
+    }
+    out << response_to_json(id, response).dump() << "\n" << std::flush;
+    ++served;
+  }
+  return served;
+}
+
+}  // namespace tp::service

@@ -1,0 +1,69 @@
+// JSONL batch/serve front-end for the query engine.
+//
+// One request per line, one response line per request, emitted in request
+// order.  Request schema (unknown keys are rejected so typos fail loudly):
+//
+//   {"id": <any JSON value, echoed back>,      // optional; default: line no.
+//    "op": "plan"|"bounds"|"load"|"analyze",   // optional; default "plan"
+//    "d": 3, "k": 8,                           // uniform torus T_k^d
+//    "radices": [4,6,8],                       // or explicit radices
+//    "t": 1,                                   // optional multiplicity
+//    "router": "odr"|"udr"|"adaptive",         // optional; default "odr"
+//    "deadline_ms": 250}                       // optional deadline
+//
+// Response (success):
+//
+//   {"id":..., "ok":true, "op":"load", "key":"load d3 k8 t1 odr",
+//    "d":3, "k":8, "t":1, "router":"odr",
+//    "placement":"...", "processors":64,
+//    "predicted_emax":32, "prediction_exact":true, "lower_bound":10.5,
+//    "measured_emax":32, "mean_load":..., "loaded_links":...,   // load ops
+//    "bounds":[{"name":...,"value":...,"applicable":...,"note":...},...],
+//    "slab":{"value":...,"dim":...,"lo":...,"len":...},         // bound ops
+//    "summary":"..."}
+//
+// Response (failure):   {"id":..., "ok":false, "error":"...",
+//                        "timeout":true}       // "timeout" only on deadline
+//
+// Responses are a pure function of the request: no timing, thread-count,
+// or cache-state fields — so batch output is byte-identical across worker
+// pool widths and across cold/warm caches (golden-tested).
+
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "src/obs/json.h"
+#include "src/service/engine.h"
+
+namespace tp::service {
+
+/// A parsed request line: the canonical request plus the id to echo.
+struct BatchRequest {
+  obs::JsonValue id;
+  Request request;
+};
+
+/// Parses one JSONL request line.  `line_no` (1-based) becomes the id
+/// when the request carries none.  Throws tp::Error on malformed JSON,
+/// unknown keys, or missing dimensions.
+BatchRequest parse_request_line(std::string_view line, i64 line_no);
+
+/// Renders a response line (deterministic member order, compact).
+obs::JsonValue response_to_json(const obs::JsonValue& id,
+                                const Response& response);
+
+/// Reads every request line from `in`, submits them all to the engine
+/// (identical keys coalesce / hit the cache), and writes one response
+/// line per request in input order.  Malformed lines produce in-place
+/// error responses instead of aborting the batch.  Returns the number of
+/// requests processed.
+i64 run_batch(Engine& engine, std::istream& in, std::ostream& out);
+
+/// Request/response loop for `serve --stdio`: answers each line as it
+/// arrives and flushes after every response, so interactive and piped
+/// clients both work.  Returns the number of requests served.
+i64 run_serve(Engine& engine, std::istream& in, std::ostream& out);
+
+}  // namespace tp::service

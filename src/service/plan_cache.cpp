@@ -1,0 +1,81 @@
+#include "src/service/plan_cache.h"
+
+#include "src/util/error.h"
+
+namespace tp::service {
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards) {
+  TP_REQUIRE(capacity >= 1, "cache capacity must be at least 1");
+  TP_REQUIRE(shards >= 1, "cache needs at least one shard");
+  shards = std::min(shards, capacity);
+  per_shard_capacity_ = std::max<std::size_t>(1, capacity / shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::shared_ptr<const QueryResult> PlanCache::get(const QueryKey& key) {
+  Shard& shard = *shards_[shard_of(key)];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void PlanCache::put(const QueryKey& key,
+                    std::shared_ptr<const QueryResult> result) {
+  TP_REQUIRE(result != nullptr, "cannot cache a null result");
+  Shard& shard = *shards_[shard_of(key)];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(result);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(key, std::move(result));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.entries += static_cast<i64>(shard->lru.size());
+  }
+  return total;
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+std::vector<QueryKey> PlanCache::shard_keys_mru(std::size_t shard_idx) const {
+  TP_REQUIRE(shard_idx < shards_.size(), "shard index out of range");
+  const Shard& shard = *shards_[shard_idx];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<QueryKey> keys;
+  keys.reserve(shard.lru.size());
+  for (const auto& [key, value] : shard.lru) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace tp::service

@@ -16,33 +16,37 @@
 
 namespace tp {
 
-/// Invokes fn(worker_index, begin, end) on `threads` workers, partitioning
-/// [0, count) into contiguous blocks (the last blocks may be one shorter).
-/// With threads == 1 the call runs inline.  fn must be safe to run
-/// concurrently against itself on disjoint ranges.
+/// Invokes fn(worker_index, begin, end) on `workers` blocks, partitioning
+/// [0, count) into contiguous ranges (the last blocks may be one shorter),
+/// where workers = min(threads, count): tiny work items never spawn idle
+/// threads.  The calling thread runs the last block itself, so only
+/// workers - 1 threads are spawned and with threads == 1 (or count <= 1)
+/// the call runs entirely inline.  The partition is deterministic for a
+/// given (count, threads).  fn must be safe to run concurrently against
+/// itself on disjoint ranges.
 template <typename Fn>
 void parallel_for_blocks(i64 count, i32 threads, Fn&& fn) {
   TP_REQUIRE(count >= 0, "negative work count");
   TP_REQUIRE(threads >= 1, "need at least one thread");
-  if (threads == 1 || count <= 1) {
+  const i32 workers =
+      static_cast<i32>(std::min<i64>(threads, std::max<i64>(count, 1)));
+  if (workers == 1) {
     fn(0, i64{0}, count);
     return;
   }
-  const i32 workers = static_cast<i32>(
-      std::min<i64>(threads, std::max<i64>(count, 1)));
   std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
+  pool.reserve(static_cast<std::size_t>(workers - 1));
   const i64 base = count / workers;
   const i64 extra = count % workers;
   i64 begin = 0;
-  for (i32 w = 0; w < workers; ++w) {
+  for (i32 w = 0; w < workers - 1; ++w) {
     const i64 len = base + (w < extra ? 1 : 0);
     const i64 end = begin + len;
     pool.emplace_back([&fn, w, begin, end] { fn(w, begin, end); });
     begin = end;
   }
+  fn(workers - 1, begin, count);
   for (auto& t : pool) t.join();
-  TP_ASSERT(begin == count, "partition did not cover the range");
 }
 
 /// A sensible default worker count for this machine.

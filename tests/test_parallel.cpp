@@ -107,15 +107,17 @@ TEST(ParallelLoads, PairsEvaluatedExactUnderThreads) {
   const i64 expect = p.size() * (p.size() - 1);
 
   odr_loads_parallel(t, p, 4);
-  const i64* odr_pairs =
-      reg.snapshot().counter("load.pairs_evaluated");
+  // Keep the snapshot alive while reading into it: counter() returns a
+  // pointer into the snapshot, not into the registry.
+  const obs::MetricsSnapshot odr_snap = reg.snapshot();
+  const i64* odr_pairs = odr_snap.counter("load.pairs_evaluated");
   ASSERT_NE(odr_pairs, nullptr);
   EXPECT_EQ(*odr_pairs, expect);
 
   reg.reset();
   udr_loads_parallel(t, p, 4);
-  const i64* udr_pairs =
-      reg.snapshot().counter("load.pairs_evaluated");
+  const obs::MetricsSnapshot udr_snap = reg.snapshot();
+  const i64* udr_pairs = udr_snap.counter("load.pairs_evaluated");
   ASSERT_NE(udr_pairs, nullptr);
   EXPECT_EQ(*udr_pairs, expect);
 

@@ -1,0 +1,486 @@
+// Tests for the query service: key normalization, cache LRU semantics,
+// engine coalescing/deadlines/drain, and the JSONL front-end.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/torusplace.h"
+#include "src/obs/obs.h"
+#include "src/service/service.h"
+
+namespace tp::service {
+namespace {
+
+QueryKey key_dk(i32 d, i32 k, i32 t = 1, RouterKind r = RouterKind::Odr,
+                QueryOp op = QueryOp::Plan) {
+  Radices radices;
+  for (i32 i = 0; i < d; ++i) radices.push_back(k);
+  return make_query_key(radices, t, r, op);
+}
+
+std::shared_ptr<const QueryResult> dummy_result(const QueryKey& key) {
+  auto r = std::make_shared<QueryResult>();
+  r->key = key;
+  r->placement_name = "dummy";
+  return r;
+}
+
+// ---------------------------------------------------------------- QueryKey
+
+TEST(QueryKey, NormalizesRadixOrder) {
+  Radices a{6, 4, 8};
+  Radices b{8, 6, 4};
+  const QueryKey ka = make_query_key(a, 1, RouterKind::Odr, QueryOp::Plan);
+  const QueryKey kb = make_query_key(b, 1, RouterKind::Odr, QueryOp::Plan);
+  EXPECT_EQ(ka, kb);
+  EXPECT_EQ(ka.hash(), kb.hash());
+  EXPECT_EQ(ka.radices[0], 4);
+  EXPECT_EQ(ka.radices[2], 8);
+}
+
+TEST(QueryKey, DistinguishesEveryField) {
+  const QueryKey base = key_dk(3, 8);
+  EXPECT_FALSE(base == key_dk(2, 8));
+  EXPECT_FALSE(base == key_dk(3, 6));
+  EXPECT_FALSE(base == key_dk(3, 8, 2));
+  EXPECT_FALSE(base == key_dk(3, 8, 1, RouterKind::Udr));
+  EXPECT_FALSE(base == key_dk(3, 8, 1, RouterKind::Odr, QueryOp::Load));
+}
+
+TEST(QueryKey, HashIsStableAcrossProcessRuns) {
+  // FNV-1a over the normalized fields: a fixed key must hash to a fixed
+  // value forever (the cache shard layout depends on it).
+  EXPECT_EQ(key_dk(3, 8).hash(), key_dk(3, 8).hash());
+  const QueryKey k1 = key_dk(3, 8);
+  const QueryKey k2 = key_dk(3, 8, 1, RouterKind::Odr, QueryOp::Load);
+  EXPECT_NE(k1.hash(), k2.hash());
+}
+
+TEST(QueryKey, OpRoundTrip) {
+  EXPECT_EQ(key_dk(2, 4, 1, RouterKind::Odr, QueryOp::Plan).op(),
+            QueryOp::Plan);
+  EXPECT_EQ(key_dk(2, 4, 1, RouterKind::Odr, QueryOp::Load).op(),
+            QueryOp::Load);
+  EXPECT_EQ(key_dk(2, 4, 1, RouterKind::Odr, QueryOp::Bounds).op(),
+            QueryOp::Bounds);
+  EXPECT_EQ(key_dk(2, 4, 1, RouterKind::Odr, QueryOp::Analyze).op(),
+            QueryOp::Analyze);
+  EXPECT_EQ(key_dk(3, 8, 2, RouterKind::Udr, QueryOp::Load).str(),
+            "load d3 k8 t2 udr");
+}
+
+TEST(ComputeQuery, MatchesPlannerDirectly) {
+  const Torus torus(3, 8);
+  const PlacementPlan plan = plan_placement(torus, 1, RouterKind::Odr);
+  const QueryResult r =
+      compute_query(key_dk(3, 8, 1, RouterKind::Odr, QueryOp::Load));
+  EXPECT_EQ(r.placement_name, plan.placement.name());
+  EXPECT_EQ(r.placement_size, plan.placement.size());
+  EXPECT_EQ(r.predicted_emax, plan.predicted_emax);
+  EXPECT_EQ(r.prediction_exact, plan.prediction_exact);
+  EXPECT_EQ(r.lower_bound, plan.lower_bound);
+  EXPECT_EQ(r.measured_emax, measure_emax(torus, plan));
+  ASSERT_NE(r.loads, nullptr);
+  EXPECT_EQ(r.loads->max_load(), r.measured_emax);
+}
+
+TEST(ComputeQuery, RejectsInvalidParameters) {
+  EXPECT_THROW(compute_query(key_dk(3, 8, 99)), Error);  // t > k
+  Radices mixed{4, 6};
+  EXPECT_THROW(compute_query(make_query_key(mixed, 1, RouterKind::Odr,
+                                            QueryOp::Plan)),
+               Error);  // planning requires uniform radix
+}
+
+// ---------------------------------------------------------------- PlanCache
+
+TEST(PlanCache, DeterministicLruEvictionOrder) {
+  // One shard, capacity 2: the eviction order is the global LRU order.
+  PlanCache cache(2, 1);
+  const QueryKey a = key_dk(2, 4), b = key_dk(2, 6), c = key_dk(2, 8);
+  cache.put(a, dummy_result(a));
+  cache.put(b, dummy_result(b));
+  EXPECT_NE(cache.get(a), nullptr);  // promotes a; b is now LRU
+  cache.put(c, dummy_result(c));     // evicts b
+  EXPECT_EQ(cache.get(b), nullptr);
+  EXPECT_NE(cache.get(a), nullptr);
+  EXPECT_NE(cache.get(c), nullptr);
+
+  const auto mru = cache.shard_keys_mru(0);
+  ASSERT_EQ(mru.size(), 2u);
+  EXPECT_EQ(mru[0], c);  // last touched
+  EXPECT_EQ(mru[1], a);
+
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.entries, 2);
+  EXPECT_EQ(s.misses, 1);  // the get(b) after eviction
+  EXPECT_EQ(s.hits, 3);
+}
+
+TEST(PlanCache, HitReturnsTheExactObjectPut) {
+  PlanCache cache(4, 2);
+  const QueryKey a = key_dk(3, 8);
+  const auto result = dummy_result(a);
+  cache.put(a, result);
+  EXPECT_EQ(cache.get(a).get(), result.get());  // same object, not a copy
+}
+
+TEST(PlanCache, RePutReplacesAndPromotes) {
+  PlanCache cache(2, 1);
+  const QueryKey a = key_dk(2, 4), b = key_dk(2, 6);
+  cache.put(a, dummy_result(a));
+  cache.put(b, dummy_result(b));
+  const auto fresh = dummy_result(a);
+  cache.put(a, fresh);  // replace + promote; nothing evicted
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(cache.get(a).get(), fresh.get());
+  const auto mru = cache.shard_keys_mru(0);
+  EXPECT_EQ(mru[0], a);
+}
+
+TEST(PlanCache, ShardSelectionIsStable) {
+  PlanCache cache(16, 4);
+  const QueryKey a = key_dk(3, 8);
+  EXPECT_EQ(cache.shard_of(a), cache.shard_of(a));
+  EXPECT_EQ(cache.shard_of(a), static_cast<std::size_t>(a.hash()) % 4);
+}
+
+// ------------------------------------------------------------------ Engine
+
+TEST(Engine, AnswersASingleQuery) {
+  EngineConfig config;
+  config.threads = 2;
+  Engine engine(config);
+  const Response r = engine.run({key_dk(3, 8, 1, RouterKind::Odr,
+                                        QueryOp::Load)});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.result->placement_size, 64);
+  EXPECT_EQ(r.result->measured_emax, 32.0);
+}
+
+TEST(Engine, HammeredKeyComputesExactlyOnce) {
+  // N threads submit the identical key concurrently; the engine must
+  // compute one plan and serve every thread the same immutable result.
+  EngineConfig config;
+  config.threads = 4;
+  Engine engine(config);
+  const QueryKey key = key_dk(3, 8, 1, RouterKind::Odr, QueryOp::Load);
+
+  constexpr int kClients = 16;
+  std::vector<std::shared_ptr<const QueryResult>> results(kClients);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i)
+      clients.emplace_back([&engine, &results, &failures, &key, i] {
+        const Response r = engine.run({key});
+        if (r.ok)
+          results[static_cast<std::size_t>(i)] = r.result;
+        else
+          ++failures;
+      });
+    for (auto& c : clients) c.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.plans_computed, 1);
+  EXPECT_EQ(s.cache_misses, 1);
+  EXPECT_EQ(s.requests, kClients);
+  EXPECT_EQ(s.completed, kClients);
+  EXPECT_EQ(s.cache_hits + s.coalesced, kClients - 1);
+
+  // Every client got the exact same object (shared, not re-rendered).
+  for (int i = 1; i < kClients; ++i)
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].get(), results[0].get());
+}
+
+TEST(Engine, ExpiredDeadlineTimesOutWithoutPoisoningTheCache) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  const QueryKey key = key_dk(2, 6, 1, RouterKind::Odr, QueryOp::Load);
+
+  // deadline_ms = 0 expires at submit: a deterministic structured timeout
+  // that never reaches a worker.
+  Request expired;
+  expired.key = key;
+  expired.deadline_ms = 0;
+  const Response t = engine.run(expired);
+  EXPECT_FALSE(t.ok);
+  EXPECT_TRUE(t.timeout);
+  EXPECT_NE(t.error.find("deadline exceeded"), std::string::npos);
+  EXPECT_EQ(t.result, nullptr);
+  EXPECT_EQ(engine.stats().timeouts, 1);
+  EXPECT_EQ(engine.stats().plans_computed, 0);
+  EXPECT_EQ(engine.cache().size(), 0u);  // nothing partial cached
+
+  // The same key still computes fine afterwards — the timeout left no
+  // poisoned entry behind.
+  const Response r = engine.run({key});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(engine.stats().plans_computed, 1);
+  EXPECT_EQ(r.result->measured_emax, 3.0);
+}
+
+TEST(Engine, InvalidRequestYieldsErrorResponseAndIsNotCached) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  const QueryKey bad = key_dk(2, 4, 99);  // t > k
+  const Response r = engine.run({bad});
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.timeout);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(engine.stats().errors, 1);
+  EXPECT_EQ(engine.cache().size(), 0u);
+
+  // Errors are not cached: a retry recomputes (and fails again).
+  const Response again = engine.run({bad});
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(engine.stats().plans_computed, 2);
+}
+
+TEST(Engine, CacheHitReturnsIdenticalResultObject) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  const QueryKey key = key_dk(2, 8, 1, RouterKind::Odr, QueryOp::Analyze);
+  const Response miss = engine.run({key});
+  const Response hit = engine.run({key});
+  ASSERT_TRUE(miss.ok);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(miss.result.get(), hit.result.get());
+  EXPECT_EQ(engine.stats().cache_hits, 1);
+  EXPECT_EQ(engine.stats().plans_computed, 1);
+}
+
+TEST(Engine, DrainWaitsForAllSubmitted) {
+  EngineConfig config;
+  config.threads = 2;
+  Engine engine(config);
+  std::vector<Engine::Ticket> tickets;
+  for (i32 k : {4, 5, 6, 7, 8})
+    tickets.push_back(engine.submit({key_dk(2, k, 1, RouterKind::Odr,
+                                            QueryOp::Load)}));
+  engine.drain();
+  // After drain every ticket is already fulfilled; wait() returns
+  // immediately with the result.
+  for (auto& t : tickets) EXPECT_TRUE(t.wait().ok);
+  EXPECT_EQ(engine.stats().plans_computed, 5);
+  EXPECT_EQ(engine.stats().queue_depth, 0);
+}
+
+TEST(Engine, LruEvictionAppliesUnderTheEngine) {
+  EngineConfig config;
+  config.threads = 1;
+  config.cache_capacity = 2;
+  config.cache_shards = 1;
+  Engine engine(config);
+  ASSERT_TRUE(engine.run({key_dk(2, 4)}).ok);
+  ASSERT_TRUE(engine.run({key_dk(2, 6)}).ok);
+  ASSERT_TRUE(engine.run({key_dk(2, 8)}).ok);  // evicts k=4
+  EXPECT_EQ(engine.stats().cache_evictions, 1);
+  ASSERT_TRUE(engine.run({key_dk(2, 4)}).ok);  // recomputes
+  EXPECT_EQ(engine.stats().plans_computed, 4);
+}
+
+TEST(Engine, PublishStatsIsDeltaBased) {
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.reset();
+  reg.set_enabled(true);
+
+  {
+    EngineConfig config;
+    config.threads = 1;
+    Engine engine(config);
+    ASSERT_TRUE(engine.run({key_dk(2, 4)}).ok);
+    engine.publish_stats();
+    engine.publish_stats();  // no new work: must not double-count
+    ASSERT_TRUE(engine.run({key_dk(2, 4)}).ok);  // cache hit
+    engine.publish_stats();
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    const i64* requests = snap.counter("service.requests");
+    const i64* plans = snap.counter("service.plans_computed");
+    const i64* hits = snap.counter("service.cache_hits");
+    ASSERT_NE(requests, nullptr);
+    ASSERT_NE(plans, nullptr);
+    ASSERT_NE(hits, nullptr);
+    EXPECT_EQ(*requests, 2);
+    EXPECT_EQ(*plans, 1);
+    EXPECT_EQ(*hits, 1);
+    const obs::HistogramData* lat = snap.histogram("service.request_us");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->count, 2);
+  }
+
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+// ------------------------------------------------------------------- JSONL
+
+TEST(Jsonl, ParsesUniformAndExplicitRadices) {
+  const BatchRequest a =
+      parse_request_line(R"({"op":"load","d":3,"k":8,"t":2,"router":"udr"})",
+                         1);
+  EXPECT_EQ(a.request.key, key_dk(3, 8, 2, RouterKind::Udr, QueryOp::Load));
+  EXPECT_EQ(a.id.as_int(), 1);  // defaulted to the line number
+
+  const BatchRequest b = parse_request_line(
+      R"({"id":"x","radices":[8,4,6],"t":1})", 7);
+  Radices expect{4, 6, 8};
+  EXPECT_EQ(b.request.key,
+            make_query_key(expect, 1, RouterKind::Odr, QueryOp::Plan));
+  EXPECT_EQ(b.id.as_string(), "x");
+}
+
+TEST(Jsonl, RejectsMalformedRequests) {
+  EXPECT_THROW(parse_request_line("nope", 1), Error);
+  EXPECT_THROW(parse_request_line(R"({"d":3})", 1), Error);  // missing k
+  EXPECT_THROW(parse_request_line(R"({"d":3,"k":8,"typo":1})", 1), Error);
+  EXPECT_THROW(parse_request_line(R"({"k":4,"radices":[4,4]})", 1), Error);
+  EXPECT_THROW(parse_request_line(R"({"d":3,"k":8,"deadline_ms":-5})", 1),
+               Error);
+  EXPECT_THROW(parse_request_line(R"({"d":99,"k":2})", 1), Error);
+}
+
+TEST(Jsonl, ResponseEchoesArbitraryIdValues) {
+  Response resp;
+  resp.ok = false;
+  resp.error = "boom";
+  const obs::JsonValue id = obs::parse_json(R"({"trace":"abc","n":3})");
+  const obs::JsonValue out = response_to_json(id, resp);
+  EXPECT_EQ(out.dump(),
+            R"({"id":{"trace":"abc","n":3},"ok":false,"error":"boom"})");
+}
+
+std::string batch_output(const std::string& input, i32 threads) {
+  EngineConfig config;
+  config.threads = threads;
+  Engine engine(config);
+  std::istringstream in(input);
+  std::ostringstream out;
+  run_batch(engine, in, out);
+  return out.str();
+}
+
+TEST(Jsonl, BatchOutputIsByteIdenticalAcrossPoolWidths) {
+  // Responses are a pure function of the request — no timing or cache
+  // fields — so the full batch output must match byte-for-byte between a
+  // single worker and a wide pool (including error lines).
+  std::string input;
+  for (i32 k : {4, 6, 8, 4, 6, 8, 5, 7})
+    input += R"({"op":"load","d":2,"k":)" + std::to_string(k) + "}\n";
+  input += R"({"op":"analyze","d":2,"k":6})" "\n";
+  input += R"({"op":"bounds","d":3,"k":4,"router":"udr"})" "\n";
+  input += R"({"id":"bad","d":2})" "\n";  // validation error line
+  const std::string serial = batch_output(input, 1);
+  const std::string parallel = batch_output(input, 8);
+  EXPECT_EQ(serial, parallel);
+  // Repeat run: output is also stable across cold/warm engines.
+  EXPECT_EQ(serial, batch_output(input, 8));
+}
+
+TEST(Jsonl, ServeAnswersLineByLine) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  std::istringstream in(
+      "{\"id\":1,\"op\":\"plan\",\"d\":2,\"k\":4}\n"
+      "garbage\n"
+      "{\"id\":1,\"op\":\"plan\",\"d\":2,\"k\":4}\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_serve(engine, in, out), 3);
+  std::istringstream lines(out.str());
+  std::string l1, l2, l3;
+  std::getline(lines, l1);
+  std::getline(lines, l2);
+  std::getline(lines, l3);
+  EXPECT_EQ(l1, l3);  // second answer came from the cache, same bytes
+  EXPECT_NE(l2.find("\"ok\":false"), std::string::npos);
+  EXPECT_EQ(engine.stats().cache_hits, 1);
+}
+
+// The ISSUE acceptance scenario: a 100-request batch with duplicate keys
+// computes each unique plan exactly once (verified through the obs
+// counters) and every response matches the single-threaded direct
+// computation byte-for-byte.
+TEST(Acceptance, HundredRequestBatchComputesUniquePlansOnce) {
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.reset();
+  reg.set_enabled(true);
+
+  // 100 requests over 10 unique keys (k in 4..8 x {odr, udr}, op load).
+  std::string input;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 100; ++i) {
+    const i32 k = 4 + (i % 5);
+    const char* router = (i / 5) % 2 == 0 ? "odr" : "udr";
+    lines.push_back(R"({"id":)" + std::to_string(i) +
+                    R"(,"op":"load","d":2,"k":)" + std::to_string(k) +
+                    R"(,"router":")" + router + "\"}");
+    input += lines.back() + "\n";
+  }
+
+  EngineConfig config;
+  config.threads = 8;
+  Engine engine(config);
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(run_batch(engine, in, out), 100);
+  engine.publish_stats();
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const i64* plans = snap.counter("service.plans_computed");
+  const i64* requests = snap.counter("service.requests");
+  ASSERT_NE(plans, nullptr);
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(*requests, 100);
+  EXPECT_EQ(*plans, 10);  // exactly once per unique key
+  EXPECT_EQ(engine.stats().cache_hits + engine.stats().coalesced, 90);
+
+  // Cross-check every response against a poolless single-threaded
+  // serve over the same requests (engine with one worker, fresh cache).
+  EngineConfig serial_config;
+  serial_config.threads = 1;
+  Engine serial(serial_config);
+  std::istringstream in2(input);
+  std::ostringstream out2;
+  run_serve(serial, in2, out2);
+  EXPECT_EQ(out.str(), out2.str());
+
+  // And spot-check values against the planner called directly.
+  const Torus torus(2, 6);
+  const PlacementPlan plan = plan_placement(torus, 1, RouterKind::Odr);
+  const double emax = measure_emax(torus, plan);
+  std::istringstream result_lines(out.str());
+  std::string line;
+  int checked = 0;
+  while (std::getline(result_lines, line)) {
+    if (line.find("\"k\":6") == std::string::npos ||
+        line.find("\"router\":\"odr\"") == std::string::npos)
+      continue;
+    const obs::JsonValue doc = obs::parse_json(line);
+    EXPECT_TRUE(doc.find("ok")->as_bool());
+    EXPECT_EQ(doc.find("measured_emax")->as_number(), emax);
+    EXPECT_EQ(doc.find("processors")->as_int(), plan.placement.size());
+    ++checked;
+  }
+  EXPECT_EQ(checked, 10);  // 100 requests / 10 unique, k=6+odr appears 10x
+
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+}  // namespace
+}  // namespace tp::service

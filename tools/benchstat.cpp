@@ -34,6 +34,7 @@
 #include "src/obs/json.h"
 #include "src/obs/linkprobe.h"
 #include "src/obs/timer.h"
+#include "src/service/service.h"
 #include "tools/cli_args.h"
 
 namespace tp {
@@ -105,6 +106,33 @@ std::vector<BenchResult> run_benchmarks(int reps) {
     const LoadMap loads = odr_loads(torus, p);
     results.push_back(time_fn("analyze_imbalance/T8^2", reps, [&] {
       g_sink += analyze_imbalance(torus, loads, 10).cov;
+    }));
+  }
+  {
+    // The query service: a cold miss pays the full plan + exact-load
+    // computation on a fresh engine; a warm hit is answered from the
+    // sharded LRU; the coalesced burst answers 64 concurrent identical
+    // requests with one computation.
+    Radices radices{16, 16};
+    const service::QueryKey key = service::make_query_key(
+        radices, 1, RouterKind::Odr, service::QueryOp::Load);
+    results.push_back(time_fn("service_cold_miss/T16^2", reps, [&] {
+      service::Engine engine;
+      g_sink += engine.run({key}).result->measured_emax;
+    }));
+    service::Engine warm;
+    warm.run({key});
+    results.push_back(time_fn("service_warm_hit/T16^2", reps, [&] {
+      g_sink += warm.run({key}).result->measured_emax;
+    }));
+    results.push_back(time_fn("service_coalesced64/T16^2", reps, [&] {
+      service::EngineConfig config;
+      config.threads = 4;
+      service::Engine engine(config);
+      std::vector<service::Engine::Ticket> tickets;
+      tickets.reserve(64);
+      for (int i = 0; i < 64; ++i) tickets.push_back(engine.submit({key}));
+      for (auto& t : tickets) g_sink += t.wait().ok ? 1.0 : 0.0;
     }));
   }
   return results;

@@ -14,18 +14,25 @@
 //       channel-dependency-graph analysis with and without datelines
 //   torusplace sweep     --d 3 --ks 4,6,8 --router odr
 //       E_max table across k with the paper's formulas
+//   torusplace batch     requests.jsonl --threads 8
+//       answer a JSONL request file through the query engine
+//   torusplace serve     --stdio
+//       JSONL request/response loop over stdin/stdout
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/analysis/grid_render.h"
 #include "src/analysis/table.h"
 #include "src/core/torusplace.h"
 #include "src/obs/obs.h"
 #include "src/routing/deadlock.h"
+#include "src/service/service.h"
 #include "src/util/parallel.h"
 #include "tools/cli_args.h"
 
@@ -69,14 +76,75 @@ std::vector<double> parse_double_list(const std::string& s) {
   return out;
 }
 
+/// Engine configuration shared by every command that routes through the
+/// query service (analyze, sweep, batch, serve).
+service::EngineConfig engine_config(const Args& args) {
+  service::EngineConfig config;
+  config.threads = static_cast<i32>(args.get_int("threads", 0));
+  config.measure_threads =
+      static_cast<i32>(args.get_int("measure-threads", 1));
+  config.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 1024));
+  config.default_deadline_ms = args.get_int("deadline-ms", 0);
+  return config;
+}
+
 int cmd_analyze(const Args& args) {
   const i32 d = static_cast<i32>(args.get_int("d", 3));
   const i32 k = static_cast<i32>(args.get_int("k", 8));
   const i32 t = static_cast<i32>(args.get_int("t", 1));
   const RouterKind kind = parse_router(args.get("router"));
   Torus torus(d, k);
-  const Placement placement = make_placement(
-      torus, args.get("placement", "multiple:" + std::to_string(t)));
+
+  if (!args.has("placement")) {
+    // The default design (multiple linear placement) is exactly what the
+    // query engine serves: one Analyze query — plan + exact loads +
+    // bounds — sharing the PlanCache/obs machinery with batch and sweep.
+    service::Engine engine(engine_config(args));
+    const service::Response resp = engine.run(
+        {service::make_query_key(torus.radices(), t, kind,
+                                 service::QueryOp::Analyze)});
+    if (!resp.ok) throw Error(resp.error);
+    const service::QueryResult& r = *resp.result;
+
+    std::cout << r.placement_name << " + " << r.router_name << " on T_" << k
+              << "^" << d << ", |P| = " << r.placement_size << "\n\n";
+
+    Table table({"quantity", "value"});
+    table.add_row({"measured E_max", fmt(r.measured_emax)});
+    table.add_row({"E_max / |P|",
+                   fmt(r.measured_emax /
+                       static_cast<double>(r.placement_size))});
+    table.add_row({"mean link load", fmt(r.mean_load)});
+    table.add_row({"loaded links",
+                   fmt(static_cast<long long>(r.loaded_links))});
+    table.print(std::cout);
+
+    std::cout << "\nlower bounds:\n";
+    Table bounds({"bound", "value", "applicable", "note"});
+    for (const BoundValue& b : r.bound_table)
+      bounds.add_row({b.name, fmt(b.value), fmt_bool(b.applicable), b.note});
+    if (r.has_slab)
+      bounds.add_row({"slab search", fmt(r.slab.value), "yes",
+                      "dim " + std::to_string(r.slab.dim) + ", layers [" +
+                          std::to_string(r.slab.lo) + "," +
+                          std::to_string(r.slab.lo + r.slab.len) + ")"});
+    bounds.print(std::cout);
+
+    if (d == 2 && k <= 12) {
+      // The grid render needs the Placement object; rebuild the (cheap,
+      // deterministic) default design for it.
+      std::cout << "\n"
+                << render_loads(torus, multiple_linear_placement(torus, t),
+                                *r.loads);
+    }
+    engine.publish_stats();
+    return 0;
+  }
+
+  // Custom placement spec: not a cacheable (d, k, t, router) design, so
+  // compute directly.
+  const Placement placement = make_placement(torus, args.get("placement"));
   std::cout << placement.name() << " + " << make_router(kind)->name()
             << " on T_" << k << "^" << d << ", |P| = " << placement.size()
             << "\n\n";
@@ -544,21 +612,77 @@ int cmd_sweep(const Args& args) {
   const RouterKind kind = parse_router(args.get("router"));
   const i32 t = static_cast<i32>(args.get_int("t", 1));
 
+  // Every cell goes through the query engine: repeated (d, k, t, router)
+  // cells coalesce onto one computation / hit the cache instead of being
+  // re-planned, and distinct cells compute concurrently on the pool.
+  // --stats-json reports the dedup (service.cache_hits / coalesced).
+  service::Engine engine(engine_config(args));
+  std::vector<service::Engine::Ticket> tickets;
+  tickets.reserve(ks.size());
+  for (i32 k : ks)
+    tickets.push_back(engine.submit(
+        {service::make_query_key(Torus(d, k).radices(), t, kind,
+                                 service::QueryOp::Load)}));
+
   Table table({"k", "|P|", "E_max", "E_max/|P|", "best lower bound",
                "paper prediction"});
-  for (i32 k : ks) {
-    Torus torus(d, k);
-    const PlacementPlan plan = plan_placement(torus, t, kind);
-    const double emax = measure_emax(torus, plan);
-    table.add_row({fmt(static_cast<long long>(k)),
-                   fmt(static_cast<long long>(plan.placement.size())),
-                   fmt(emax),
-                   fmt(emax / static_cast<double>(plan.placement.size())),
-                   fmt(plan.lower_bound),
-                   (plan.prediction_exact ? "= " : "<= ") +
-                       fmt(plan.predicted_emax)});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const service::Response resp = tickets[i].wait();
+    if (!resp.ok) throw Error(resp.error);
+    const service::QueryResult& r = *resp.result;
+    table.add_row({fmt(static_cast<long long>(ks[i])),
+                   fmt(static_cast<long long>(r.placement_size)),
+                   fmt(r.measured_emax),
+                   fmt(r.measured_emax /
+                       static_cast<double>(r.placement_size)),
+                   fmt(r.lower_bound),
+                   (r.prediction_exact ? "= " : "<= ") +
+                       fmt(r.predicted_emax)});
   }
   table.print(std::cout);
+  engine.publish_stats();
+  return 0;
+}
+
+int cmd_batch(const Args& args) {
+  std::string path = args.get("in");
+  if (path.empty() && !args.positional().empty())
+    path = args.positional().front();
+  TP_REQUIRE(!path.empty(), "batch needs a <requests.jsonl> file (or --in)");
+  std::ifstream in(path);
+  TP_REQUIRE(in.good(), "cannot open '" + path + "'");
+
+  service::Engine engine(engine_config(args));
+  i64 n = 0;
+  const std::string out_path = args.get("out");
+  if (out_path.empty()) {
+    n = service::run_batch(engine, in, std::cout);
+  } else {
+    std::ofstream out(out_path);
+    TP_REQUIRE(out.good(), "cannot write '" + out_path + "'");
+    n = service::run_batch(engine, in, out);
+  }
+  engine.publish_stats();
+  // Responses own stdout (JSONL); the human-readable summary goes to
+  // stderr so piped output stays parseable.
+  const service::EngineStats s = engine.stats();
+  std::cerr << "batch: " << n << " request(s), " << s.plans_computed
+            << " plan(s) computed, " << s.cache_hits << " cache hit(s), "
+            << s.coalesced << " coalesced, " << s.timeouts
+            << " timeout(s), " << s.errors << " error(s)\n";
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  TP_REQUIRE(args.has("stdio"),
+             "serve currently supports --stdio only (JSONL over "
+             "stdin/stdout)");
+  service::Engine engine(engine_config(args));
+  const i64 n = service::run_serve(engine, std::cin, std::cout);
+  engine.publish_stats();
+  const service::EngineStats s = engine.stats();
+  std::cerr << "serve: " << n << " request(s), " << s.plans_computed
+            << " plan(s) computed, " << s.cache_hits << " cache hit(s)\n";
   return 0;
 }
 
@@ -579,7 +703,12 @@ int usage() {
       "                                                --criticality[=N] --router --threads)\n"
       "  verify    certify linear load over a k sweep (--d --ks --t --router)\n"
       "  deadlock  channel-dependency analysis        (--d --k --router)\n"
-      "  sweep     E_max table across k               (--d --ks --t --router)\n"
+      "  sweep     E_max table across k               (--d --ks --t --router --threads --cache)\n"
+      "  batch     answer a JSONL request file        (<file> | --in <file>; --out <path>\n"
+      "                                                --threads --cache --measure-threads\n"
+      "                                                --deadline-ms)\n"
+      "  serve     JSONL request/response loop        (--stdio --threads --cache\n"
+      "                                                --measure-threads --deadline-ms)\n"
       "  tables    compiled routing-table statistics  (--d --k --placement)\n"
       "  optimize  search same-size placements        (--d --k --size --router --iters --seed)\n"
       "  profile   per-dimension/direction loads      (--d --k --placement --router)\n"
@@ -588,6 +717,12 @@ int usage() {
       "\n"
       "placements (--placement): linear[:c] multiple:t diagonal[:s] full\n"
       "  random:n[:seed] clustered:n subtorus:dim:v perfect_lee modular:m[:c]\n"
+      "\n"
+      "JSONL request schema (batch/serve), one object per line:\n"
+      "  {\"id\":1, \"op\":\"plan|bounds|load|analyze\", \"d\":3, \"k\":8,\n"
+      "   \"t\":1, \"router\":\"odr\", \"deadline_ms\":250}\n"
+      "  (\"radices\":[4,6,8] instead of d/k for mixed-radix tori;\n"
+      "   see docs/service.md for the full schema)\n"
       "\n"
       "global flags (all commands):\n"
       "  --stats-json <path>  dump counters/histograms as one JSON line\n"
@@ -610,6 +745,8 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "verify") return cmd_verify(args);
   if (cmd == "deadlock") return cmd_deadlock(args);
   if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "batch") return cmd_batch(args);
+  if (cmd == "serve") return cmd_serve(args);
   if (cmd == "tables") return cmd_tables(args);
   if (cmd == "optimize") return cmd_optimize(args);
   if (cmd == "profile") return cmd_profile(args);
@@ -626,8 +763,9 @@ int run(int argc, char** argv) {
       "faults", "flits", "seed", "ks",     "placement", "size",
       "iters", "out", "stats-json", "trace", "link-json",
       "rates", "repair", "retries", "backoff", "horizon", "json",
-      "threads"};
-  const std::set<std::string> flags{"link-stats", "measured", "criticality"};
+      "threads", "in", "cache", "measure-threads", "deadline-ms"};
+  const std::set<std::string> flags{"link-stats", "measured", "criticality",
+                                    "stdio"};
   const Args args(argc, argv, 2, known, flags);
 
   // Global observability flags: turn the registry/tracer on before the

@@ -7,10 +7,10 @@
 // timing section backs the same three paths with wall times.
 
 #include <sstream>
-#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/util/thread_annotations.h"
 #include "src/service/service.h"
 
 namespace tp {
@@ -42,7 +42,7 @@ void print_tables() {
     service::EngineConfig config;
     config.threads = 4;
     service::Engine burst(config);
-    std::vector<std::thread> clients;
+    std::vector<tp::Thread> clients;
     clients.reserve(64);
     for (int i = 0; i < 64; ++i)
       clients.emplace_back([&burst, &key] { burst.run({key}); });

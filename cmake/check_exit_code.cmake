@@ -1,0 +1,23 @@
+# Runs a command and asserts its exact exit code (and optionally that its
+# combined output matches a regex).  ctest's PASS_REGULAR_EXPRESSION
+# overrides the exit-code check entirely, so tests that pin the CLI's
+# exit-code contract (0 ok / 2 usage / 3 internal) go through this script.
+#
+# Variables:
+#   CMD     semicolon-separated command line to run
+#   EXPECT  required exact exit code
+#   MATCH   optional regex the combined stdout+stderr must match
+execute_process(
+  COMMAND ${CMD}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+set(all "${out}${err}")
+if(NOT rc EQUAL ${EXPECT})
+  message(FATAL_ERROR
+    "exit code ${rc}, expected ${EXPECT}\ncommand: ${CMD}\noutput:\n${all}")
+endif()
+if(DEFINED MATCH AND NOT all MATCHES "${MATCH}")
+  message(FATAL_ERROR
+    "output does not match \"${MATCH}\"\ncommand: ${CMD}\noutput:\n${all}")
+endif()

@@ -119,7 +119,7 @@ i32 find_or_append(std::vector<std::string>& names, std::string_view name,
 }  // namespace
 
 CounterHandle MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const i32 idx = find_or_append(counter_names_, name, kMaxMetrics);
   if (static_cast<std::size_t>(idx) == counter_slots_.size())
     counter_slots_.push_back(0);
@@ -127,7 +127,7 @@ CounterHandle MetricsRegistry::counter(std::string_view name) {
 }
 
 GaugeHandle MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const i32 idx = find_or_append(gauge_names_, name, kMaxMetrics);
   if (static_cast<std::size_t>(idx) == gauge_slots_.size())
     gauge_slots_.push_back(0);
@@ -140,7 +140,7 @@ HistogramHandle MetricsRegistry::histogram(std::string_view name) {
 
 HistogramHandle MetricsRegistry::histogram(std::string_view name,
                                            std::vector<i64> bounds) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const i32 idx = find_or_append(histogram_names_, name, kMaxMetrics);
   if (static_cast<std::size_t>(idx) == histogram_slots_.size())
     histogram_slots_.emplace_back(std::move(bounds));
@@ -149,21 +149,21 @@ HistogramHandle MetricsRegistry::histogram(std::string_view name,
 
 void MetricsRegistry::merge_histogram(std::string_view name,
                                       const HistogramData& local) {
-  if (!enabled_ || local.count == 0) return;
+  if (!enabled() || local.count == 0) return;
   const HistogramHandle h = histogram(name, local.bounds);
   if (h.idx >= 0)
     histogram_slots_[static_cast<std::size_t>(h.idx)].merge_from(local);
 }
 
 void MetricsRegistry::record_duration_us(std::string_view scope, i64 us) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   std::string name(scope);
   name += "_us";
   record(histogram(name, duration_bucket_bounds()), us);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (std::size_t i = 0; i < counter_names_.size(); ++i)
     snap.counters.emplace_back(counter_names_[i], counter_slots_[i]);
@@ -175,7 +175,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::fill(counter_slots_.begin(), counter_slots_.end(), 0);
   std::fill(gauge_slots_.begin(), gauge_slots_.end(), 0);
   for (HistogramData& h : histogram_slots_) {

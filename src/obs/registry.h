@@ -23,12 +23,13 @@
 
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/util/math.h"
+#include "src/util/thread_annotations.h"
+#include "src/util/worker_context.h"
 
 namespace tp::obs {
 
@@ -102,12 +103,18 @@ class MetricsRegistry {
 
   /// Registration: resolves (or creates) the slot for `name`.  Takes a
   /// mutex — call once and keep the handle, not per record.
-  CounterHandle counter(std::string_view name);
-  GaugeHandle gauge(std::string_view name);
-  HistogramHandle histogram(std::string_view name);
-  HistogramHandle histogram(std::string_view name, std::vector<i64> bounds);
+  CounterHandle counter(std::string_view name) TP_EXCLUDES(mu_);
+  GaugeHandle gauge(std::string_view name) TP_EXCLUDES(mu_);
+  HistogramHandle histogram(std::string_view name) TP_EXCLUDES(mu_);
+  HistogramHandle histogram(std::string_view name, std::vector<i64> bounds)
+      TP_EXCLUDES(mu_);
 
-  bool enabled() const { return enabled_; }
+  /// False on pool-worker threads even when the registry is on: recording
+  /// is single-writer by contract, and every record operation gates on
+  /// this, so nested instrumentation (router counters, planner scopes)
+  /// reached from parallel_for_blocks or engine workers drops out instead
+  /// of racing.  See util/worker_context.h.
+  bool enabled() const { return enabled_ && !in_pool_worker(); }
   void set_enabled(bool on) { enabled_ = on; }
 
   // --- hot path -----------------------------------------------------------
@@ -148,17 +155,22 @@ class MetricsRegistry {
   void merge_histogram(std::string_view name, const HistogramData& local);
 
   /// Thread-safe copy of all metrics.
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const TP_EXCLUDES(mu_);
 
   /// Zeroes every slot (registrations survive).
-  void reset();
+  void reset() TP_EXCLUDES(mu_);
 
  private:
   bool enabled_ = false;
-  mutable std::mutex mu_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> histogram_names_;
+  mutable Mutex mu_;
+  std::vector<std::string> counter_names_ TP_GUARDED_BY(mu_);
+  std::vector<std::string> gauge_names_ TP_GUARDED_BY(mu_);
+  std::vector<std::string> histogram_names_ TP_GUARDED_BY(mu_);
+  // Slot vectors are deliberately NOT guarded: the hot-path record
+  // operations index them without the lock (see the threading contract in
+  // the header comment — recording is single-threaded by design, and
+  // reserve(kMaxMetrics) keeps the storage stable while registration
+  // appends under mu_).
   std::vector<i64> counter_slots_;
   std::vector<i64> gauge_slots_;
   std::vector<HistogramData> histogram_slots_;

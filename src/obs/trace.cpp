@@ -1,7 +1,6 @@
 #include "src/obs/trace.h"
 
 #include <atomic>
-#include <thread>
 
 #include "src/obs/timer.h"
 
@@ -23,7 +22,7 @@ Tracer::Tracer() : epoch_ns_(Stopwatch::now_ns()) {}
 void Tracer::push(std::string_view name, std::string_view cat, char phase,
                   i64 value) {
   const i64 ts = Stopwatch::now_ns() - epoch_ns_;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   events_.push_back(TraceEvent{std::string(name), std::string(cat), phase,
                                ts, current_tid(), value});
 }
@@ -50,12 +49,12 @@ void Tracer::counter(std::string_view name, i64 value,
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return events_;
 }
 
 void Tracer::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   events_.clear();
 }
 

@@ -10,12 +10,12 @@
 
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/util/math.h"
+#include "src/util/thread_annotations.h"
 
 namespace tp::obs {
 
@@ -52,18 +52,18 @@ class Tracer {
                std::string_view cat = "counter");
 
   /// Copy of the recorded buffer (thread-safe).
-  std::vector<TraceEvent> events() const;
+  std::vector<TraceEvent> events() const TP_EXCLUDES(mu_);
 
-  void clear();
+  void clear() TP_EXCLUDES(mu_);
 
  private:
   void push(std::string_view name, std::string_view cat, char phase,
-            i64 value = 0);
+            i64 value = 0) TP_EXCLUDES(mu_);
 
   bool enabled_ = false;
   i64 epoch_ns_ = 0;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ TP_GUARDED_BY(mu_);
 };
 
 /// The process-wide tracer used by all built-in instrumentation.

@@ -4,16 +4,17 @@
 
 #include "src/util/error.h"
 #include "src/util/parallel.h"
+#include "src/util/worker_context.h"
 
 namespace tp::service {
 
 using Clock = std::chrono::steady_clock;
 
 struct Engine::Pending {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Response response;
+  Mutex mu;
+  CondVar cv;
+  bool done TP_GUARDED_BY(mu) = false;
+  Response response TP_GUARDED_BY(mu);
 
   Engine* engine = nullptr;
   QueryKey key;
@@ -48,7 +49,7 @@ Engine::Engine(EngineConfig config)
 Engine::~Engine() {
   drain();
   {
-    const std::lock_guard<std::mutex> lock(queue_mu_);
+    const MutexLock lock(queue_mu_);
     stopping_ = true;
   }
   queue_not_empty_.notify_all();
@@ -72,12 +73,12 @@ void Engine::fulfill(const std::shared_ptr<Pending>& pending,
                      Clock::now() - pending->submitted)
                      .count();
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const MutexLock lock(stats_mu_);
     request_us_.record(us);
     if (response.ok && count_completed) ++counters_.completed;
   }
   {
-    const std::lock_guard<std::mutex> lock(pending->mu);
+    const MutexLock lock(pending->mu);
     pending->response = std::move(response);
     pending->done = true;
   }
@@ -101,13 +102,13 @@ Engine::Ticket Engine::submit(const Request& req) {
   }
 
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const MutexLock lock(stats_mu_);
     ++counters_.requests;
   }
 
   if (pending->expired(pending->submitted)) {
     {
-      const std::lock_guard<std::mutex> lock(stats_mu_);
+      const MutexLock lock(stats_mu_);
       ++counters_.timeouts;
     }
     fulfill(pending, timeout_response(req.key), /*count_completed=*/false);
@@ -121,10 +122,10 @@ Engine::Ticket Engine::submit(const Request& req) {
     // its in-flight entry, so under this lock every key is either cached,
     // in flight, or genuinely new — a request can never slip between the
     // two and recompute a plan that is being (or has been) computed.
-    const std::lock_guard<std::mutex> lock(inflight_mu_);
+    const MutexLock lock(inflight_mu_);
     if (auto cached = cache_.get(req.key)) {
       {
-        const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        const MutexLock stats_lock(stats_mu_);
         ++counters_.cache_hits;
       }
       Response r;
@@ -136,7 +137,7 @@ Engine::Ticket Engine::submit(const Request& req) {
     const auto it = inflight_.find(req.key);
     if (it != inflight_.end()) {
       it->second->waiters.push_back(pending);
-      const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      const MutexLock stats_lock(stats_mu_);
       ++counters_.coalesced;
       return Ticket(std::move(pending));
     }
@@ -145,7 +146,7 @@ Engine::Ticket Engine::submit(const Request& req) {
     job->waiters.push_back(pending);
     inflight_.emplace(req.key, job);
     ++inflight_jobs_;
-    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const MutexLock stats_lock(stats_mu_);
     ++counters_.cache_misses;
   }
 
@@ -153,14 +154,13 @@ Engine::Ticket Engine::submit(const Request& req) {
     // Bounded submission queue: back-pressure blocks the submitter, never
     // a worker.  (Enqueued outside inflight_mu_ so a full queue cannot
     // wedge workers trying to retire their in-flight entries.)
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    queue_not_full_.wait(lock, [this] {
-      return queue_.size() < config_.queue_capacity || stopping_;
-    });
+    MutexLock lock(queue_mu_);
+    while (queue_.size() >= config_.queue_capacity && !stopping_)
+      queue_not_full_.wait(lock);
     TP_REQUIRE(!stopping_, "submit on a stopped engine");
     queue_.push_back(std::move(job));
     const i64 depth = static_cast<i64>(queue_.size());
-    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const MutexLock stats_lock(stats_mu_);
     if (depth > counters_.peak_queue_depth)
       counters_.peak_queue_depth = depth;
   }
@@ -172,32 +172,39 @@ Response Engine::run(const Request& req) { return submit(req).wait(); }
 
 Response Engine::Ticket::wait() {
   Pending& p = *pending_;
-  std::unique_lock<std::mutex> lock(p.mu);
+  MutexLock lock(p.mu);
   if (p.has_deadline) {
-    if (!p.cv.wait_until(lock, p.deadline, [&p] { return p.done; })) {
-      // Deadline passed first.  The computation (if any) continues and
-      // will land in the cache; only this response times out.
-      Engine* engine = p.engine;
-      lock.unlock();
-      {
-        const std::lock_guard<std::mutex> stats_lock(engine->stats_mu_);
-        ++engine->counters_.timeouts;
+    while (!p.done) {
+      if (p.cv.wait_until(lock, p.deadline) == std::cv_status::timeout &&
+          !p.done) {
+        // Deadline passed first.  The computation (if any) continues and
+        // will land in the cache; only this response times out.
+        Engine* engine = p.engine;
+        lock.unlock();
+        {
+          const MutexLock stats_lock(engine->stats_mu_);
+          ++engine->counters_.timeouts;
+        }
+        return timeout_response(p.key);
       }
-      return timeout_response(p.key);
     }
   } else {
-    p.cv.wait(lock, [&p] { return p.done; });
+    while (!p.done) p.cv.wait(lock);
   }
   return p.response;
 }
 
 void Engine::worker_loop() {
+  // Engine workers are pool workers: compute_query's nested
+  // instrumentation (planner scopes, router counters) must not record
+  // into the single-writer registry from here.  The engine's own exact
+  // counters/histograms are published by the caller via publish_stats().
+  const PoolWorkerScope worker_scope;
   for (;;) {
     std::shared_ptr<InFlight> job;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_not_empty_.wait(lock,
-                            [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_not_empty_.wait(lock);
       if (queue_.empty()) return;  // stopping and fully drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -213,7 +220,7 @@ void Engine::execute(const std::shared_ptr<InFlight>& job) {
   // entirely (and leave the cache untouched).
   {
     const Clock::time_point now = Clock::now();
-    std::unique_lock<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     bool all_expired = true;
     for (const auto& w : job->waiters)
       if (!w->expired(now)) {
@@ -227,7 +234,7 @@ void Engine::execute(const std::shared_ptr<InFlight>& job) {
       lock.unlock();
       drain_cv_.notify_all();
       {
-        const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        const MutexLock stats_lock(stats_mu_);
         counters_.timeouts += static_cast<i64>(waiters.size());
       }
       for (const auto& w : waiters)
@@ -259,7 +266,7 @@ void Engine::execute(const std::shared_ptr<InFlight>& job) {
 
   std::vector<std::shared_ptr<Pending>> waiters;
   {
-    const std::lock_guard<std::mutex> lock(inflight_mu_);
+    const MutexLock lock(inflight_mu_);
     waiters = std::move(job->waiters);
     inflight_.erase(job->key);
     --inflight_jobs_;
@@ -267,7 +274,7 @@ void Engine::execute(const std::shared_ptr<InFlight>& job) {
   drain_cv_.notify_all();
 
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const MutexLock lock(stats_mu_);
     ++counters_.plans_computed;
     compute_us_.record(compute_us);
     if (!response.ok) counters_.errors += static_cast<i64>(waiters.size());
@@ -277,18 +284,18 @@ void Engine::execute(const std::shared_ptr<InFlight>& job) {
 }
 
 void Engine::drain() {
-  std::unique_lock<std::mutex> lock(inflight_mu_);
-  drain_cv_.wait(lock, [this] { return inflight_jobs_ == 0; });
+  MutexLock lock(inflight_mu_);
+  while (inflight_jobs_ != 0) drain_cv_.wait(lock);
 }
 
 EngineStats Engine::stats() const {
   EngineStats s;
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const MutexLock lock(stats_mu_);
     s = counters_;
   }
   {
-    const std::lock_guard<std::mutex> lock(queue_mu_);
+    const MutexLock lock(queue_mu_);
     s.queue_depth = static_cast<i64>(queue_.size());
   }
   const PlanCache::Stats cs = cache_.stats();
@@ -305,7 +312,7 @@ void Engine::publish_stats() {
   obs::HistogramData request_delta(obs::duration_bucket_bounds());
   obs::HistogramData compute_delta(obs::duration_bucket_bounds());
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const MutexLock lock(stats_mu_);
     std::swap(request_delta, request_us_);
     std::swap(compute_delta, compute_us_);
   }

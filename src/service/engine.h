@@ -40,18 +40,16 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/obs/registry.h"
 #include "src/service/plan_cache.h"
 #include "src/service/query.h"
+#include "src/util/thread_annotations.h"
 
 namespace tp::service {
 
@@ -118,16 +116,18 @@ class Engine {
   /// Submits a request.  Blocks only when the submission queue is full
   /// (back-pressure); cache hits and expired deadlines return an already
   /// fulfilled ticket.  Tickets must not outlive the engine.
-  Ticket submit(const Request& req);
+  Ticket submit(const Request& req)
+      TP_EXCLUDES(queue_mu_, inflight_mu_, stats_mu_);
 
   /// submit + wait.
-  Response run(const Request& req);
+  Response run(const Request& req)
+      TP_EXCLUDES(queue_mu_, inflight_mu_, stats_mu_);
 
   /// Blocks until every request submitted so far has been computed (or
   /// dropped as expired).  The pool stays alive for further submits.
-  void drain();
+  void drain() TP_EXCLUDES(inflight_mu_);
 
-  EngineStats stats() const;
+  EngineStats stats() const TP_EXCLUDES(stats_mu_, queue_mu_);
   const EngineConfig& config() const { return config_; }
   const PlanCache& cache() const { return cache_; }
 
@@ -136,7 +136,7 @@ class Engine {
   /// published as deltas since the previous call, so repeated publishes
   /// never double-count.  Call from one thread only (the same contract as
   /// the registry itself).
-  void publish_stats();
+  void publish_stats() TP_EXCLUDES(stats_mu_);
 
  private:
   struct Pending;
@@ -169,28 +169,31 @@ class Engine {
   PlanCache cache_;
 
   // Submission queue (bounded) and pool.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_not_empty_;
-  std::condition_variable queue_not_full_;
-  std::deque<std::shared_ptr<InFlight>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> pool_;
+  mutable Mutex queue_mu_;
+  CondVar queue_not_empty_;
+  CondVar queue_not_full_;
+  std::deque<std::shared_ptr<InFlight>> queue_ TP_GUARDED_BY(queue_mu_);
+  bool stopping_ TP_GUARDED_BY(queue_mu_) = false;
+  std::vector<Thread> pool_;
 
   // In-flight coalescing map, keyed on the query.
-  mutable std::mutex inflight_mu_;
-  std::condition_variable drain_cv_;
+  mutable Mutex inflight_mu_;
+  CondVar drain_cv_;
   std::unordered_map<QueryKey, std::shared_ptr<InFlight>, QueryKeyHash>
-      inflight_;
-  i64 inflight_jobs_ = 0;  ///< queued or executing jobs (for drain)
+      inflight_ TP_GUARDED_BY(inflight_mu_);
+  i64 inflight_jobs_ TP_GUARDED_BY(inflight_mu_) =
+      0;  ///< queued or executing jobs (for drain)
 
   // Exact stats.  Counters live behind stats_mu_ together with the local
   // latency histograms; everything is touched once per request, so one
   // short lock is cheaper than it looks next to a plan computation.
-  mutable std::mutex stats_mu_;
-  EngineStats counters_;
-  obs::HistogramData request_us_;
-  obs::HistogramData compute_us_;
-  EngineStats published_;  ///< last snapshot pushed into the registry
+  mutable Mutex stats_mu_;
+  EngineStats counters_ TP_GUARDED_BY(stats_mu_);
+  obs::HistogramData request_us_ TP_GUARDED_BY(stats_mu_);
+  obs::HistogramData compute_us_ TP_GUARDED_BY(stats_mu_);
+  EngineStats published_;  ///< last snapshot pushed into the registry;
+                           ///< single-caller contract (publish_stats), so
+                           ///< deliberately unguarded
 };
 
 }  // namespace tp::service

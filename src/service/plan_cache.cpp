@@ -16,7 +16,7 @@ PlanCache::PlanCache(std::size_t capacity, std::size_t shards) {
 
 std::shared_ptr<const QueryResult> PlanCache::get(const QueryKey& key) {
   Shard& shard = *shards_[shard_of(key)];
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -31,7 +31,7 @@ void PlanCache::put(const QueryKey& key,
                     std::shared_ptr<const QueryResult> result) {
   TP_REQUIRE(result != nullptr, "cannot cache a null result");
   Shard& shard = *shards_[shard_of(key)];
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = std::move(result);
@@ -50,7 +50,7 @@ void PlanCache::put(const QueryKey& key,
 PlanCache::Stats PlanCache::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const MutexLock lock(shard->mu);
     total.hits += shard->hits;
     total.misses += shard->misses;
     total.evictions += shard->evictions;
@@ -62,7 +62,7 @@ PlanCache::Stats PlanCache::stats() const {
 std::size_t PlanCache::size() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const MutexLock lock(shard->mu);
     n += shard->lru.size();
   }
   return n;
@@ -71,7 +71,7 @@ std::size_t PlanCache::size() const {
 std::vector<QueryKey> PlanCache::shard_keys_mru(std::size_t shard_idx) const {
   TP_REQUIRE(shard_idx < shards_.size(), "shard index out of range");
   const Shard& shard = *shards_[shard_idx];
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   std::vector<QueryKey> keys;
   keys.reserve(shard.lru.size());
   for (const auto& [key, value] : shard.lru) keys.push_back(key);

@@ -15,11 +15,11 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/service/query.h"
+#include "src/util/thread_annotations.h"
 
 namespace tp::service {
 
@@ -63,13 +63,15 @@ class PlanCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     // front = most recently used; eviction pops the back.
-    std::list<std::pair<QueryKey, std::shared_ptr<const QueryResult>>> lru;
-    std::unordered_map<QueryKey, decltype(lru)::iterator, QueryKeyHash> index;
-    i64 hits = 0;
-    i64 misses = 0;
-    i64 evictions = 0;
+    std::list<std::pair<QueryKey, std::shared_ptr<const QueryResult>>> lru
+        TP_GUARDED_BY(mu);
+    std::unordered_map<QueryKey, decltype(lru)::iterator, QueryKeyHash> index
+        TP_GUARDED_BY(mu);
+    i64 hits TP_GUARDED_BY(mu) = 0;
+    i64 misses TP_GUARDED_BY(mu) = 0;
+    i64 evictions TP_GUARDED_BY(mu) = 0;
   };
 
   std::size_t per_shard_capacity_;

@@ -13,6 +13,8 @@
 
 #include "src/util/error.h"
 #include "src/util/math.h"
+#include "src/util/thread_annotations.h"
+#include "src/util/worker_context.h"
 
 namespace tp {
 
@@ -24,6 +26,13 @@ namespace tp {
 /// the call runs entirely inline.  The partition is deterministic for a
 /// given (count, threads).  fn must be safe to run concurrently against
 /// itself on disjoint ranges.
+///
+/// Every block (spawned AND inline, including the workers == 1 fast path)
+/// runs under a PoolWorkerScope: obs-registry recording inside fn is
+/// dropped so nested instrumentation cannot race the single-writer
+/// registry, and the registry sees the same records for every thread
+/// count.  Record reduced per-worker tallies after this returns instead
+/// (see load/complete_exchange.cpp).
 template <typename Fn>
 void parallel_for_blocks(i64 count, i32 threads, Fn&& fn) {
   TP_REQUIRE(count >= 0, "negative work count");
@@ -31,10 +40,11 @@ void parallel_for_blocks(i64 count, i32 threads, Fn&& fn) {
   const i32 workers =
       static_cast<i32>(std::min<i64>(threads, std::max<i64>(count, 1)));
   if (workers == 1) {
+    const PoolWorkerScope worker_scope;
     fn(0, i64{0}, count);
     return;
   }
-  std::vector<std::thread> pool;
+  std::vector<Thread> pool;
   pool.reserve(static_cast<std::size_t>(workers - 1));
   const i64 base = count / workers;
   const i64 extra = count % workers;
@@ -42,10 +52,16 @@ void parallel_for_blocks(i64 count, i32 threads, Fn&& fn) {
   for (i32 w = 0; w < workers - 1; ++w) {
     const i64 len = base + (w < extra ? 1 : 0);
     const i64 end = begin + len;
-    pool.emplace_back([&fn, w, begin, end] { fn(w, begin, end); });
+    pool.emplace_back([&fn, w, begin, end] {
+      const PoolWorkerScope worker_scope;
+      fn(w, begin, end);
+    });
     begin = end;
   }
-  fn(workers - 1, begin, count);
+  {
+    const PoolWorkerScope worker_scope;
+    fn(workers - 1, begin, count);
+  }
   for (auto& t : pool) t.join();
 }
 

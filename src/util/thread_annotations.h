@@ -1,0 +1,184 @@
+// Annotated synchronization primitives for torusplace.
+//
+// House rule (enforced by tools/tp_lint): library code outside src/util/
+// never names std::mutex / std::thread / std::lock_guard directly.  It
+// uses the wrappers below, which carry Clang thread-safety attributes so
+// the locking discipline is checked at compile time:
+//
+//   clang++ -Wthread-safety -Werror=thread-safety ...
+//
+// (the `thread-safety` CMake preset; see docs/static-analysis.md).  On
+// GCC the attributes compile away and the wrappers are zero-cost shims
+// over the std types.
+//
+// Idiom — label every piece of guarded state and hold locks via RAII:
+//
+//   class Cache {
+//     mutable tp::Mutex mu_;
+//     std::map<Key, Value> entries_ TP_GUARDED_BY(mu_);
+//    public:
+//     Value get(const Key& k) const TP_EXCLUDES(mu_) {
+//       const tp::MutexLock lock(mu_);
+//       return entries_.at(k);   // checked: mu_ is held here
+//     }
+//   };
+//
+// Condition variables: tp::CondVar deliberately has NO predicate
+// overloads.  Clang's analysis does not propagate the held-lock set into
+// lambda bodies, so a `cv.wait(lock, [&]{ return guarded_field; })` would
+// read guarded state in a scope the checker believes is unlocked.  Write
+// the loop explicitly instead — the guarded reads then sit in the scope
+// that provably holds the lock:
+//
+//   tp::MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(lock);
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (no-ops outside Clang).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define TP_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TP_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a class to be a lockable capability (tp::Mutex below).
+#define TP_CAPABILITY(x) TP_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability.
+#define TP_SCOPED_CAPABILITY TP_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member `x` may only be touched while holding the named mutex.
+#define TP_GUARDED_BY(x) TP_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member: the pointee (not the pointer) is guarded.
+#define TP_PT_GUARDED_BY(x) TP_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// The function must be called with the named mutexes held.
+#define TP_REQUIRES(...) \
+  TP_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// The function acquires the named mutexes (held on return).
+#define TP_ACQUIRE(...) \
+  TP_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the named mutexes (held on entry).
+#define TP_RELEASE(...) \
+  TP_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// The function acquires the mutex iff it returns `ret`.
+#define TP_TRY_ACQUIRE(ret, ...) \
+  TP_THREAD_ANNOTATION__(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The function must NOT be called with the named mutexes held
+/// (deadlock prevention for self-calling APIs).
+#define TP_EXCLUDES(...) TP_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named mutex.
+#define TP_RETURN_CAPABILITY(x) TP_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function.  Every use must
+/// carry a comment explaining why the checker cannot see the invariant.
+#define TP_NO_THREAD_SAFETY_ANALYSIS \
+  TP_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace tp {
+
+class CondVar;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// std::mutex with a capability annotation so members can be labelled
+/// TP_GUARDED_BY(mu_).  Prefer tp::MutexLock over manual lock()/unlock().
+class TP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TP_ACQUIRE() { mu_.lock(); }
+  void unlock() TP_RELEASE() { mu_.unlock(); }
+  bool try_lock() TP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// ---------------------------------------------------------------------------
+// MutexLock
+// ---------------------------------------------------------------------------
+
+/// RAII lock holder (the annotated replacement for both std::lock_guard
+/// and std::unique_lock).  Supports early release — unlock() — and
+/// re-acquisition for the handful of sites that drop the lock to notify
+/// or to take another one.
+class TP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TP_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() TP_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before scope end (no-op state for the destructor).
+  void unlock() TP_RELEASE() { lock_.unlock(); }
+  /// Re-acquires after an early unlock().
+  void lock() TP_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+/// std::condition_variable over tp::Mutex/MutexLock.  No predicate
+/// overloads on purpose — write explicit while loops so the thread-safety
+/// analysis sees every guarded read under the lock (see the header
+/// comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, blocks, re-acquires before returning.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// wait() with a deadline; std::cv_status::timeout when it passed.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.lock_, tp);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread
+// ---------------------------------------------------------------------------
+
+/// The one blessed spelling of a worker thread outside src/util/
+/// (tp_lint's raw-sync rule bans the std:: name so thread creation stays
+/// auditable from this header).  Plain std::thread semantics.
+using Thread = std::thread;
+
+}  // namespace tp

@@ -1,0 +1,51 @@
+// Thread-role context: is the current thread a pool worker?
+//
+// The metrics registry (obs/registry.h) is single-writer by contract:
+// recording is plain unsynchronized stores, so pool workers must NOT
+// record — components accumulate per-worker tallies and record the
+// reduced totals after the join.  That contract used to be enforced by
+// review only; instrumentation buried deep in shared code (router tie
+// counters, planner phase scopes) raced the moment a sweep ran it from
+// parallel_for_blocks or an engine worker with the registry enabled.
+//
+// PoolWorkerScope makes the contract mechanical.  Every pool entry point
+// (parallel_for_blocks blocks, service::Engine workers) installs one, and
+// MetricsRegistry::enabled() reports false on such threads, turning every
+// nested record into the same predicted-branch no-op as a disabled
+// registry.  A side benefit: registry contents become thread-count
+// invariant, because a sweep contributes the same (reduced) records
+// whether it ran on 1 thread or 16.
+//
+// This lives in util (not obs) so that parallel.h can install the scope
+// without inverting the util <- obs layering; obs only reads the flag.
+
+#pragma once
+
+namespace tp {
+
+namespace detail {
+/// One flag per thread; inline so the header stays self-contained.
+inline thread_local bool t_pool_worker = false;
+}  // namespace detail
+
+/// True on threads (or inline blocks) running under a PoolWorkerScope.
+inline bool in_pool_worker() { return detail::t_pool_worker; }
+
+/// RAII: marks the current thread a pool worker for the scope's lifetime.
+/// Nests correctly (restores the previous value), so a worker that itself
+/// fans out keeps its role.
+class PoolWorkerScope {
+ public:
+  PoolWorkerScope() : prev_(detail::t_pool_worker) {
+    detail::t_pool_worker = true;
+  }
+  ~PoolWorkerScope() { detail::t_pool_worker = prev_; }
+
+  PoolWorkerScope(const PoolWorkerScope&) = delete;
+  PoolWorkerScope& operator=(const PoolWorkerScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace tp

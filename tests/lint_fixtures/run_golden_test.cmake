@@ -1,0 +1,33 @@
+# Golden test for tp_lint (driven by the `lint_golden` ctest).
+#
+# Variables:
+#   TP_LINT   path to the built tp_lint binary
+#   FIXTURES  path to tests/lint_fixtures
+#
+# Asserts that (1) linting the violating fixture tree reproduces
+# expected.txt byte-for-byte with exit code 1, and (2) the clean fixture
+# alone lints silently with exit code 0.
+execute_process(
+  COMMAND ${TP_LINT} --root ${FIXTURES} src
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "expected exit 1 on the violating tree, got ${rc}\n${out}${err}")
+endif()
+file(READ ${FIXTURES}/expected.txt want)
+if(NOT out STREQUAL want)
+  message(FATAL_ERROR
+    "diagnostics drifted from expected.txt.\n--- got ---\n${out}\n--- want ---\n${want}\n"
+    "If the change is intentional, regenerate with\n"
+    "  tp_lint --root tests/lint_fixtures src > tests/lint_fixtures/expected.txt")
+endif()
+
+execute_process(
+  COMMAND ${TP_LINT} --root ${FIXTURES} src/clean.cpp
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out STREQUAL "")
+  message(FATAL_ERROR "clean fixture must lint silently: exit ${rc}\n${out}${err}")
+endif()

@@ -1,0 +1,11 @@
+// Fixture: bare-assert — C assert in library code.
+#include <cassert>
+
+namespace bad {
+
+int half(int n) {
+  assert(n % 2 == 0);
+  return n / 2;
+}
+
+}  // namespace bad

@@ -1,0 +1,8 @@
+// Fixture: cout-in-lib — a library file printing to stdout directly.
+#include <iostream>
+
+namespace bad {
+
+void report(int value) { std::cout << "value = " << value << "\n"; }
+
+}  // namespace bad

@@ -1,0 +1,13 @@
+// Fixture: iostream-in-header — a library header pulling in <iostream>.
+#pragma once
+
+#include <iostream>
+
+namespace bad {
+
+struct Printer {
+  template <typename T>
+  void print(const T& value) { std::cerr << value; }
+};
+
+}  // namespace bad

@@ -1,0 +1,15 @@
+// Fixture: raw-random — unseeded randomness / wall-clock entropy.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace bad {
+
+int roll() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  return rand() % 6;
+}
+
+unsigned hw_entropy() { return std::random_device{}(); }
+
+}  // namespace bad

@@ -1,0 +1,13 @@
+// Fixture: require-message — TP_REQUIRE/TP_ASSERT without a usable
+// failure message (missing entirely, or the empty string literal).
+namespace bad {
+
+int checked(int n, int d) {
+  TP_REQUIRE(d != 0);
+  TP_REQUIRE(n >= 0, "");
+  TP_ASSERT((n / d) * d + n % d == n,
+            "");
+  return n / d;
+}
+
+}  // namespace bad

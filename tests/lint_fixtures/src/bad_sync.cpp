@@ -1,0 +1,17 @@
+// Fixture: raw-sync — std synchronization primitives outside src/util/.
+#include <mutex>
+#include <thread>
+
+namespace bad {
+
+std::mutex g_mu;
+
+void spawn() {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  std::thread worker([] {});
+  worker.join();
+}
+
+std::condition_variable* leaked();
+
+}  // namespace bad

@@ -1,0 +1,24 @@
+// Fixture: a clean library file that MENTIONS every banned token in
+// comments and string literals only — the linter must stay silent here.
+//
+// std::mutex, std::thread, std::lock_guard — discussed, not used.
+// rand() and time() show up in prose all the time (e.g. "mutates over
+// time (a wire fails)"), as does assert( in documentation.
+/* Block comments too: std::cout << std::random_device{}(); */
+#include <string>
+
+namespace clean {
+
+// TP_REQUIRE-style contract checks carry real messages.
+inline int divide(int n, int d) {
+  TP_REQUIRE(d != 0, "division by zero");
+  TP_ASSERT(n >= 0, std::string("negative numerator: ") + std::to_string(n));
+  return n / d;
+}
+
+inline std::string docs() {
+  return "never call rand() or time(0); srand( is banned; "
+         "use tp::Mutex not std::mutex; assert( only in tests";
+}
+
+}  // namespace clean

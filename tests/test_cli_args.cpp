@@ -77,6 +77,44 @@ TEST(CliArgs, FlagWithEqualsValueAndBareFallback) {
   EXPECT_EQ(bare.get_int("top", 10), 10);  // bare flag -> fallback value
 }
 
+TEST(CliArgs, MalformedOptionsThrowUsageErrorSpecifically) {
+  // The distinct exception type is what maps bad command lines to exit
+  // code 2 instead of 3 — pin it, not just the Error base.
+  std::vector<std::string> unknown_storage{"prog", "cmd", "--bogus", "1"};
+  auto unknown_argv = argv_of(unknown_storage);
+  EXPECT_THROW(Args(static_cast<int>(unknown_argv.size()),
+                    unknown_argv.data(), 2, {"d"}),
+               UsageError);
+
+  std::vector<std::string> missing_storage{"prog", "cmd", "--d"};
+  auto missing_argv = argv_of(missing_storage);
+  EXPECT_THROW(Args(static_cast<int>(missing_argv.size()),
+                    missing_argv.data(), 2, {"d"}),
+               UsageError);
+}
+
+TEST(CliExitCodes, UsageErrorExitsTwo) {
+  const int rc = run_guarded(0, nullptr, [](int, char**) -> int {
+    throw UsageError("unknown option --bogus");
+  });
+  EXPECT_EQ(rc, kExitUsage);
+  EXPECT_EQ(rc, 2);
+}
+
+TEST(CliExitCodes, InternalRequireFailureExitsThree) {
+  const int rc = run_guarded(0, nullptr, [](int, char**) -> int {
+    TP_REQUIRE(false, "simulated internal invariant failure");
+    return 0;
+  });
+  EXPECT_EQ(rc, kExitInternal);
+  EXPECT_EQ(rc, 3);
+}
+
+TEST(CliExitCodes, NormalReturnPassesThrough) {
+  const int rc = run_guarded(0, nullptr, [](int, char**) { return 0; });
+  EXPECT_EQ(rc, kExitOk);
+}
+
 TEST(CliArgs, BareFlagAtEndOfLine) {
   std::vector<std::string> storage{"prog", "cmd", "--measured"};
   auto argv = argv_of(storage);

@@ -11,6 +11,7 @@
 #include "src/placement/placement.h"
 #include "src/util/error.h"
 #include "src/util/parallel.h"
+#include "src/util/worker_context.h"
 
 namespace tp {
 namespace {
@@ -123,6 +124,79 @@ TEST(ParallelLoads, PairsEvaluatedExactUnderThreads) {
 
   reg.set_enabled(false);
   reg.reset();
+}
+
+TEST(WorkerContext, PoolWorkerScopeNestsAndRestores) {
+  EXPECT_FALSE(in_pool_worker());
+  {
+    const PoolWorkerScope outer;
+    EXPECT_TRUE(in_pool_worker());
+    {
+      const PoolWorkerScope inner;  // a worker fanning out stays a worker
+      EXPECT_TRUE(in_pool_worker());
+    }
+    EXPECT_TRUE(in_pool_worker());
+  }
+  EXPECT_FALSE(in_pool_worker());
+}
+
+TEST(ParallelFor, EveryBlockRunsAsAPoolWorker) {
+  // All three execution shapes — the workers == 1 inline fast path, the
+  // spawned threads, and the caller-inline last block — must carry the
+  // pool-worker mark, or nested instrumentation would race the registry
+  // on exactly one of them (which is how the original bug hid: the
+  // caller-inline block raced only when a sibling thread recorded too).
+  for (const i32 threads : {1, 4}) {
+    std::atomic<int> unmarked{0};
+    parallel_for_blocks(64, threads, [&](i32, i64, i64) {
+      if (!in_pool_worker()) ++unmarked;
+    });
+    EXPECT_EQ(unmarked.load(), 0) << "threads=" << threads;
+    EXPECT_FALSE(in_pool_worker()) << "mark leaked past the join";
+  }
+}
+
+TEST(ParallelFor, NestedInstrumentationIsDroppedNotRaced) {
+  // TSan regression for the race this PR fixed: the routers count
+  // router.paths_enumerated / router.tie_breaks via TP_OBS_COUNT deep
+  // inside the per-source accumulators, so an enabled registry used to
+  // take plain unsynchronized increments from every sweep worker at
+  // once.  The registry now reports disabled on pool workers: nested
+  // records are dropped identically for every thread count, and only the
+  // post-join reduced tallies land.  (Run under the tsan preset this
+  // test failed before the fix and is silent after.)
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.set_enabled(true);
+  reg.reset();
+  Torus t(2, 6);
+  const Placement p = linear_placement(t);
+
+  odr_loads_parallel(t, p, 1);
+  const obs::MetricsSnapshot one = reg.snapshot();
+  reg.reset();
+  odr_loads_parallel(t, p, 4);
+  const obs::MetricsSnapshot four = reg.snapshot();
+  reg.set_enabled(false);
+  reg.reset();
+
+  // The worker-side router counter never fires (the name may exist from
+  // an earlier call site resolution; the value must be zero)...
+  for (const obs::MetricsSnapshot* snap : {&one, &four}) {
+    const i64* paths = snap->counter("router.paths_enumerated");
+    if (paths != nullptr) {
+      EXPECT_EQ(*paths, 0);
+    }
+  }
+  // ...while the reduced post-join tally is exact for both widths, so
+  // registry contents are thread-count invariant.
+  const i64 expect = p.size() * (p.size() - 1);
+  const i64* pairs_one = one.counter("load.pairs_evaluated");
+  const i64* pairs_four = four.counter("load.pairs_evaluated");
+  ASSERT_NE(pairs_one, nullptr);
+  ASSERT_NE(pairs_four, nullptr);
+  EXPECT_EQ(*pairs_one, expect);
+  EXPECT_EQ(*pairs_four, expect);
+  EXPECT_EQ(one.counters, four.counters);
 }
 
 }  // namespace

@@ -327,6 +327,62 @@ TEST(Engine, PublishStatsIsDeltaBased) {
   reg.reset();
 }
 
+TEST(Engine, WorkersDropNestedInstrumentationUnderAnEnabledRegistry) {
+  // TSan regression for the second race family this PR fixed: engine
+  // workers run compute_query -> plan_placement, whose TP_OBS_SCOPE
+  // spans (plan.plan / plan.place / plan.route) used to record straight
+  // into the single-writer registry from several workers at once when a
+  // caller had the registry enabled.  Workers now carry the pool-worker
+  // mark, so the nested spans drop out; the engine's own exact counters
+  // still arrive via the publish_stats() delta path.  (Under the tsan
+  // preset this hammer raced before the fix and is silent after.)
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.reset();
+  reg.set_enabled(true);
+
+  {
+    EngineConfig config;
+    config.threads = 4;
+    Engine engine(config);
+    constexpr int kClients = 8;
+    std::atomic<int> failures{0};
+    {
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&engine, &failures, i] {
+          // Distinct keys: every request really computes a plan.
+          const Response r = engine.run({key_dk(2, 4 + 2 * i)});
+          if (!r.ok) ++failures;
+        });
+      for (auto& c : clients) c.join();
+    }
+    EXPECT_EQ(failures.load(), 0);
+    engine.publish_stats();
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    // No worker-side planner span leaked into the registry (the name may
+    // exist from an earlier call-site resolution; the count must be 0).
+    for (const char* name : {"plan.plan_us", "plan.place_us",
+                             "plan.route_us"}) {
+      const obs::HistogramData* h = snap.histogram(name);
+      if (h != nullptr) {
+        EXPECT_EQ(h->count, 0) << name;
+      }
+    }
+    // The engine's published exact counters did arrive.
+    const i64* requests = snap.counter("service.requests");
+    const i64* plans = snap.counter("service.plans_computed");
+    ASSERT_NE(requests, nullptr);
+    ASSERT_NE(plans, nullptr);
+    EXPECT_EQ(*requests, kClients);
+    EXPECT_EQ(*plans, kClients);
+  }
+
+  reg.set_enabled(false);
+  reg.reset();
+}
+
 // ------------------------------------------------------------------- JSONL
 
 TEST(Jsonl, ParsesUniformAndExplicitRadices) {

@@ -1,8 +1,21 @@
 #include "tools/cli_args.h"
 
 #include <cstdlib>
+#include <iostream>
 
 namespace tp::cli {
+
+int run_guarded(int argc, char** argv, int (*run)(int argc, char** argv)) {
+  try {
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    return kExitUsage;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitInternal;
+  }
+}
 
 Args::Args(int argc, char** argv, int first, std::set<std::string> known,
            std::set<std::string> flags) {
@@ -22,10 +35,10 @@ Args::Args(int argc, char** argv, int first, std::set<std::string> known,
       if (i + 1 < argc)
         value = argv[++i];
       else
-        throw Error("option --" + arg + " needs a value");
+        throw UsageError("option --" + arg + " needs a value");
     }
     if (known.find(arg) == known.end() && flags.find(arg) == flags.end())
-      throw Error("unknown option --" + arg);
+      throw UsageError("unknown option --" + arg);
     options_[arg] = value;
   }
 }

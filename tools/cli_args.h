@@ -16,6 +16,29 @@
 
 namespace tp::cli {
 
+/// Process exit codes.  Scripts and CI distinguish "you called it wrong"
+/// from "an internal contract (TP_REQUIRE/TP_ASSERT) failed", so the two
+/// error classes map to distinct codes (the conventional 2 for usage,
+/// mirroring getopt-style tools).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitInternal = 3;
+
+/// Thrown for malformed command lines (unknown option, missing value,
+/// bad command).  Derived from tp::Error so legacy catch sites keep
+/// working; run_guarded() maps it to kExitUsage instead of kExitInternal.
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Wraps a CLI entry point with the exit-code contract: UsageError
+/// prints "usage error: ..." and returns kExitUsage (2); any other
+/// tp::Error prints "error: ..." and returns kExitInternal (3); a normal
+/// return passes through.  Kept out of main() so the mapping itself is
+/// unit-testable (see tests/test_cli_args.cpp).
+int run_guarded(int argc, char** argv, int (*run)(int argc, char** argv));
+
 class Args {
  public:
   /// Parses argv[first..); `known` lists the accepted option names

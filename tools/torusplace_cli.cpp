@@ -733,7 +733,7 @@ int usage() {
       "  --link-stats[=N]     per-link probes: top-N hotspot table (default\n"
       "                       10), CoV/max-to-mean, measured-vs-predicted\n"
       "  --link-json <path>   per-link + per-window JSONL dump\n";
-  return 1;
+  return kExitUsage;
 }
 
 int dispatch(const std::string& cmd, const Args& args) {
@@ -792,10 +792,9 @@ int run(int argc, char** argv) {
 }  // namespace tp::cli
 
 int main(int argc, char** argv) {
-  try {
-    return tp::cli::run(argc, argv);
-  } catch (const tp::Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
+  // Exit-code contract (see tools/cli_args.h): 0 ok, 2 usage error,
+  // 3 internal TP_REQUIRE/TP_ASSERT failure.
+  return tp::cli::run_guarded(argc, argv, [](int ac, char** av) {
+    return tp::cli::run(ac, av);
+  });
 }

@@ -7,11 +7,22 @@
 #   CMD     semicolon-separated command line to run
 #   EXPECT  required exact exit code
 #   MATCH   optional regex the combined stdout+stderr must match
-execute_process(
-  COMMAND ${CMD}
-  RESULT_VARIABLE rc
-  OUTPUT_VARIABLE out
-  ERROR_VARIABLE err)
+#   STDIN   optional file fed to the command's standard input (for the
+#           JSONL serve/batch front-ends)
+if(DEFINED STDIN)
+  execute_process(
+    COMMAND ${CMD}
+    INPUT_FILE ${STDIN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+else()
+  execute_process(
+    COMMAND ${CMD}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+endif()
 set(all "${out}${err}")
 if(NOT rc EQUAL ${EXPECT})
   message(FATAL_ERROR

@@ -12,6 +12,19 @@ namespace tp {
 using routing_detail::allowed_dirs;
 using routing_detail::steps_in_dir;
 
+namespace {
+
+/// Minimum source-destination pairs per worker before the parallel load
+/// analyzers fan out.  One pair costs roughly d segment walks (~hundreds
+/// of ns); a spawned-and-joined thread costs tens of µs, so each worker
+/// needs thousands of pairs to amortize it.  4096 puts the T8^3 linear
+/// placement (64·63 = 4032 pairs) on the serial path — the BENCH_4
+/// odr_loads_parallel4 regression — while T16^3 (4096·4095 pairs) still
+/// fans out fully.
+constexpr i64 kMinPairsPerWorker = 4096;
+
+}  // namespace
+
 LoadMap reference_loads(const Torus& torus, const Placement& p,
                         const Router& router) {
   p.check_torus(torus);
@@ -80,10 +93,18 @@ LoadMap odr_loads_ordered(const Torus& torus, const Placement& p,
 
 LoadMap odr_loads_parallel(const Torus& torus, const Placement& p,
                            i32 threads, TieBreak tie) {
-  TP_OBS_SCOPE("load.odr");
   p.check_torus(torus);
   SmallVec<i32> order;
   for (i32 dim = 0; dim < torus.dims(); ++dim) order.push_back(dim);
+  // Work-size cutover (see util/parallel.h): small tori run serial —
+  // below ~kMinPairsPerWorker pairs per worker, spawn/join plus the
+  // per-edge reduction costs more than the parallelism saves.  The serial
+  // path computes the identical map (same order, same tie break), so the
+  // cutover is invisible to callers.
+  if (effective_workers(p.size() * (p.size() - 1), threads,
+                        kMinPairsPerWorker) == 1)
+    return odr_loads_ordered(torus, p, order, tie);
+  TP_OBS_SCOPE("load.odr");
   std::vector<LoadMap> partial(static_cast<std::size_t>(threads),
                                LoadMap(torus));
   // Registry counters are not atomic (obs/registry.h): workers tally into
@@ -107,8 +128,14 @@ LoadMap odr_loads_parallel(const Torus& torus, const Placement& p,
 
 LoadMap udr_loads_parallel(const Torus& torus, const Placement& p,
                            i32 threads, TieBreak tie) {
-  TP_OBS_SCOPE("load.udr");
   p.check_torus(torus);
+  // Same work-size cutover as odr_loads_parallel; udr_loads is the exact
+  // subset-weight computation, so the serial path is bit-identical (the
+  // parallel reduce can differ by ~1 ulp, never the other way).
+  if (effective_workers(p.size() * (p.size() - 1), threads,
+                        kMinPairsPerWorker) == 1)
+    return udr_loads(torus, p, tie);
+  TP_OBS_SCOPE("load.udr");
   std::vector<LoadMap> partial(static_cast<std::size_t>(threads),
                                LoadMap(torus));
   // Same per-worker tally + post-join reduce as odr_loads_parallel.

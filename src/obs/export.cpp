@@ -75,6 +75,13 @@ void export_chrome_trace(const Tracer& tr, std::ostream& os) {
                   static_cast<long long>(e.ts_ns / 1000),
                   static_cast<long long>(e.ts_ns % 1000));
     os << ",\"ts\":" << ts;
+    if (e.phase == 'X') {
+      char dur[40];
+      std::snprintf(dur, sizeof(dur), "%lld.%03lld",
+                    static_cast<long long>(e.dur_ns / 1000),
+                    static_cast<long long>(e.dur_ns % 1000));
+      os << ",\"dur\":" << dur;
+    }
     if (e.phase == 'i') os << ",\"s\":\"t\"";
     if (e.phase == 'C')
       os << ",\"args\":{\"value\":" << e.value << "}";

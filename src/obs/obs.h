@@ -29,6 +29,7 @@
 #include "src/obs/export.h"
 #include "src/obs/json.h"
 #include "src/obs/linkprobe.h"
+#include "src/obs/prometheus.h"
 #include "src/obs/registry.h"
 #include "src/obs/timer.h"
 #include "src/obs/timeseries.h"

@@ -1,0 +1,49 @@
+#include "src/obs/prometheus.h"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace tp::obs {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "tp_";
+  out.reserve(name.size() + 3);
+  for (const char c : name)
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  return out;
+}
+
+void prometheus_text(const MetricsSnapshot& snap, std::ostream& os) {
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    // Prometheus buckets are cumulative; HistogramData's are per-bucket
+    // (bounds are inclusive upper edges, the extra count is overflow).
+    i64 cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      os << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+         << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << n << "_sum " << h.sum << "\n";
+    os << n << "_count " << h.count << "\n";
+  }
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  prometheus_text(snap, os);
+  return os.str();
+}
+
+}  // namespace tp::obs

@@ -1,0 +1,33 @@
+// Prometheus text exposition of a metrics snapshot.
+//
+// Renders a MetricsSnapshot in the Prometheus text format (version 0.0.4,
+// the format every scraper and pushgateway accepts): counters and gauges
+// as single samples, histograms as the conventional cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`.  Metric names are
+// sanitized ('.' and any other non-[a-zA-Z0-9_] become '_') and prefixed
+// with "tp_" so the whole registry lands in one namespace.
+//
+// The exporter is pure (snapshot in, text out): the service admin surface
+// wraps it behind {"op":"metricsz","format":"prometheus"} and a future
+// HTTP front-end can serve it from /metrics verbatim.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/obs/registry.h"
+
+namespace tp::obs {
+
+/// A metric name sanitized for Prometheus: "service.request_us" ->
+/// "tp_service_request_us".
+std::string prometheus_name(std::string_view name);
+
+/// The whole snapshot in Prometheus text exposition format.  Every metric
+/// is preceded by its `# TYPE` line; output order follows the snapshot
+/// (registration order), so repeated exports diff cleanly.
+void prometheus_text(const MetricsSnapshot& snap, std::ostream& os);
+std::string prometheus_text(const MetricsSnapshot& snap);
+
+}  // namespace tp::obs

@@ -1,5 +1,7 @@
 #include "src/obs/timeseries.h"
 
+#include <algorithm>
+
 #include "src/util/error.h"
 
 namespace tp::obs {
@@ -33,6 +35,55 @@ void TimeSeries::clear() {
   for (WindowStats& w : windows_) w = WindowStats{};
   width_ = initial_width_;
   used_ = 0;
+}
+
+RollingSeries::RollingSeries(std::size_t capacity) : slots_(capacity) {
+  TP_REQUIRE(capacity >= 1, "rolling series needs at least one slot");
+}
+
+void RollingSeries::record(i64 tick, i64 v) {
+  TP_REQUIRE(tick >= 0, "rolling series tick must be >= 0");
+  Slot& slot = slots_[static_cast<std::size_t>(tick) % slots_.size()];
+  if (slot.tick != tick) {
+    slot.tick = tick;
+    slot.stats = WindowStats{};
+  }
+  slot.stats.record(v);
+}
+
+WindowStats RollingSeries::last(i64 now_tick, i64 n) const {
+  WindowStats out;
+  n = std::min<i64>(n, static_cast<i64>(slots_.size()));
+  for (const Slot& slot : slots_)
+    if (slot.tick > now_tick - n && slot.tick <= now_tick)
+      out.merge(slot.stats);
+  return out;
+}
+
+RollingHistogram::RollingHistogram(std::vector<i64> bounds,
+                                   std::size_t capacity)
+    : bounds_(std::move(bounds)), slots_(capacity) {
+  TP_REQUIRE(capacity >= 1, "rolling histogram needs at least one slot");
+  for (Slot& slot : slots_) slot.h = HistogramData(bounds_);
+}
+
+void RollingHistogram::record(i64 tick, i64 v) {
+  TP_REQUIRE(tick >= 0, "rolling histogram tick must be >= 0");
+  Slot& slot = slots_[static_cast<std::size_t>(tick) % slots_.size()];
+  if (slot.tick != tick) {
+    slot.tick = tick;
+    slot.h = HistogramData(bounds_);
+  }
+  slot.h.record(v);
+}
+
+HistogramData RollingHistogram::merged(i64 now_tick, i64 n) const {
+  HistogramData out(bounds_);
+  n = std::min<i64>(n, static_cast<i64>(slots_.size()));
+  for (const Slot& slot : slots_)
+    if (slot.tick > now_tick - n && slot.tick <= now_tick)
+      out.merge_from(slot.h);
+  return out;
 }
 
 std::size_t TimeSeries::grow_to(i64 t) {

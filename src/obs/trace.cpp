@@ -20,11 +20,13 @@ i64 current_tid() {
 Tracer::Tracer() : epoch_ns_(Stopwatch::now_ns()) {}
 
 void Tracer::push(std::string_view name, std::string_view cat, char phase,
-                  i64 value) {
-  const i64 ts = Stopwatch::now_ns() - epoch_ns_;
+                  i64 value, i64 dur_ns) {
+  // Complete events end now and started dur_ns ago; everything else is
+  // stamped at the current instant.
+  const i64 ts = Stopwatch::now_ns() - epoch_ns_ - (phase == 'X' ? dur_ns : 0);
   const MutexLock lock(mu_);
   events_.push_back(TraceEvent{std::string(name), std::string(cat), phase,
-                               ts, current_tid(), value});
+                               ts, current_tid(), value, dur_ns});
 }
 
 void Tracer::begin(std::string_view name, std::string_view cat) {
@@ -46,6 +48,12 @@ void Tracer::counter(std::string_view name, i64 value,
                      std::string_view cat) {
   if (!enabled_) return;
   push(name, cat, 'C', value);
+}
+
+void Tracer::complete(std::string_view name, i64 dur_ns,
+                      std::string_view cat) {
+  if (!enabled_) return;
+  push(name, cat, 'X', 0, dur_ns < 0 ? 0 : dur_ns);
 }
 
 std::vector<TraceEvent> Tracer::events() const {

@@ -24,10 +24,12 @@ namespace tp::obs {
 struct TraceEvent {
   std::string name;
   std::string cat;
-  char phase = 'B';  ///< 'B' begin, 'E' end, 'i' instant, 'C' counter
+  char phase = 'B';  ///< 'B' begin, 'E' end, 'i' instant, 'C' counter,
+                     ///< 'X' complete (carries dur_ns)
   i64 ts_ns = 0;
   i64 tid = 0;
-  i64 value = 0;  ///< counter events only: the sampled value
+  i64 value = 0;   ///< counter events only: the sampled value
+  i64 dur_ns = 0;  ///< complete events only: the span duration
 };
 
 class Tracer {
@@ -45,6 +47,14 @@ class Tracer {
   /// A zero-duration marker event.
   void instant(std::string_view name, std::string_view cat = "event");
 
+  /// A complete ('X') event: one self-contained span that ENDS now and
+  /// lasted `dur_ns`.  Unlike begin/end pairs this needs no LIFO nesting
+  /// per thread, which is what makes it safe for per-request spans whose
+  /// lifetimes interleave arbitrarily across engine workers (the tracer
+  /// itself is mutex-protected; see src/service/engine.cpp).
+  void complete(std::string_view name, i64 dur_ns,
+                std::string_view cat = "span");
+
   /// A counter sample: Chrome/Perfetto render successive samples of the
   /// same name as a filled value-over-time track, which is how the
   /// simulators surface per-window link saturation on the timeline.
@@ -58,7 +68,7 @@ class Tracer {
 
  private:
   void push(std::string_view name, std::string_view cat, char phase,
-            i64 value = 0) TP_EXCLUDES(mu_);
+            i64 value = 0, i64 dur_ns = 0) TP_EXCLUDES(mu_);
 
   bool enabled_ = false;
   i64 epoch_ns_ = 0;

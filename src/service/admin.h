@@ -1,0 +1,44 @@
+// Admin query surface for the JSONL front-end.
+//
+// Admin requests share the JSONL transport with query requests — one JSON
+// object per line — but are recognized by their "op" and answered on the
+// front-end thread itself, never enqueued: an admin probe is answerable
+// mid-stream even when every pool worker is busy and the submission queue
+// is full.  Supported ops (schemas in docs/service.md):
+//
+//   {"op":"statusz"}   uptime, build info, queue/worker/in-flight state,
+//                      rolling 1s/10s/60s rates
+//   {"op":"metricsz"}  live registry snapshot; "format":"prometheus"
+//                      switches the payload to Prometheus text exposition
+//   {"op":"cachez"}    per-shard plan-cache occupancy/hits/evictions and
+//                      the entry-age histogram
+//   {"op":"slowz"}     slow-query log: N slowest + N most recent failures
+//   {"op":"quitz"}     acknowledge and stop reading input (graceful
+//                      drain: in-flight work still completes)
+//
+// Admin responses deliberately carry live timing fields — they are exempt
+// from the "responses are a pure function of the request" determinism
+// contract that query responses honor (jsonl.h).  Golden tests therefore
+// pin their member-name sequence, not their values.
+
+#pragma once
+
+#include "src/obs/json.h"
+#include "src/service/engine.h"
+
+namespace tp::service {
+
+/// True when `doc` is a request for one of the admin ops above (an object
+/// whose "op" member is one of the admin names).  Malformed documents are
+/// not admin requests — they fall through to normal request parsing and
+/// its error reporting.
+bool is_admin_op(const obs::JsonValue& doc);
+
+/// Answers one admin request.  `id` is echoed back (same contract as
+/// query responses).  Sets *quit when the op asks the front-end to stop
+/// reading (quitz).  Throws tp::Error on unknown members or a bad
+/// "format", so typos fail loudly like query requests do.
+obs::JsonValue handle_admin(Engine& engine, const obs::JsonValue& doc,
+                            const obs::JsonValue& id, bool* quit);
+
+}  // namespace tp::service

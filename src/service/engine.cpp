@@ -1,7 +1,9 @@
 #include "src/service/engine.h"
 
 #include <chrono>
+#include <cstdio>
 
+#include "src/obs/trace.h"
 #include "src/util/error.h"
 #include "src/util/parallel.h"
 #include "src/util/worker_context.h"
@@ -9,6 +11,22 @@
 namespace tp::service {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+i64 us_between(Clock::time_point from, Clock::time_point to) {
+  const i64 us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us < 0 ? 0 : us;
+}
+
+/// Coalesce fan-in buckets: small exact powers of two — fan-in is a count
+/// of waiters, not a duration.
+std::vector<i64> fanin_bucket_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128};
+}
+
+}  // namespace
 
 struct Engine::Pending {
   Mutex mu;
@@ -18,9 +36,18 @@ struct Engine::Pending {
 
   Engine* engine = nullptr;
   QueryKey key;
+  std::string id;
   Clock::time_point submitted;
   Clock::time_point deadline;
   bool has_deadline = false;
+
+  // Span ingredients, written by the single thread that fulfills this
+  // request BEFORE fulfill() flips `done` (waiters only read `response`
+  // after `done`, so these need no extra lock).
+  SpanOutcome outcome = SpanOutcome::Hit;
+  i64 queue_us = 0;
+  i64 compute_us = 0;
+  i64 fanin = 1;
 
   bool expired(Clock::time_point now) const {
     return has_deadline && now >= deadline;
@@ -37,13 +64,21 @@ Engine::Engine(EngineConfig config)
     : config_(config),
       pool_threads_(config.threads > 0 ? config.threads : default_threads()),
       cache_(config.cache_capacity, config.cache_shards),
+      start_(Clock::now()),
       request_us_(obs::duration_bucket_bounds()),
-      compute_us_(obs::duration_bucket_bounds()) {
+      compute_us_(obs::duration_bucket_bounds()),
+      queue_wait_us_(obs::duration_bucket_bounds()),
+      fanin_(fanin_bucket_bounds()),
+      deadline_margin_us_(obs::duration_bucket_bounds()),
+      slow_log_(config.slow_log_capacity < 1 ? 1 : config.slow_log_capacity),
+      requests_ring_(64),
+      latency_ring_(obs::duration_bucket_bounds(), 64) {
   TP_REQUIRE(config_.queue_capacity >= 1, "queue capacity must be >= 1");
   if (config_.measure_threads < 1) config_.measure_threads = 1;
+  worker_state_.assign(static_cast<std::size_t>(pool_threads_), "idle");
   pool_.reserve(static_cast<std::size_t>(pool_threads_));
   for (i32 i = 0; i < pool_threads_; ++i)
-    pool_.emplace_back([this] { worker_loop(); });
+    pool_.emplace_back([this, i] { worker_loop(i); });
 }
 
 Engine::~Engine() {
@@ -69,14 +104,58 @@ void Engine::fulfill(const std::shared_ptr<Pending>& pending,
                      Response response, bool count_completed) {
   // Count BEFORE waking the waiter: once done flips, the submitter may
   // read stats()/publish_stats() and must see this request accounted for.
-  const i64 us = std::chrono::duration_cast<std::chrono::microseconds>(
-                     Clock::now() - pending->submitted)
-                     .count();
+  const Clock::time_point now = Clock::now();
+  const i64 us = us_between(pending->submitted, now);
+
+  RequestSpan span;
+  span.request_id = pending->id;
+  span.key = pending->key.str();
+  span.total_us = us;
+  span.queue_us = pending->queue_us;
+  span.compute_us = pending->compute_us;
+  span.fanin = pending->fanin;
+  span.shard = static_cast<i64>(cache_.shard_of(pending->key));
+  span.has_deadline = pending->has_deadline;
+  if (pending->has_deadline)
+    span.deadline_margin_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            pending->deadline - now)
+            .count();
+  if (!response.ok)
+    span.outcome = response.timeout ? SpanOutcome::Timeout : SpanOutcome::Error;
+  else if (pending->expired(now))
+    // The result arrived, but past the deadline: the waiter's wait() has
+    // already returned the structured timeout, so that is what this
+    // request's span must say happened.
+    span.outcome = SpanOutcome::Timeout;
+  else
+    span.outcome = pending->outcome;
+
+  const i64 tick = std::chrono::duration_cast<std::chrono::seconds>(
+                       now - start_)
+                       .count();
   {
     const MutexLock lock(stats_mu_);
     request_us_.record(us);
+    queue_wait_us_.record(span.queue_us);
+    fanin_.record(span.fanin);
+    if (span.has_deadline)
+      deadline_margin_us_.record(
+          span.deadline_margin_us < 0 ? 0 : span.deadline_margin_us);
+    slow_log_.record(span);
+    requests_ring_.record(tick, span.outcome == SpanOutcome::Hit ? 1 : 0);
+    latency_ring_.record(tick, us);
     if (response.ok && count_completed) ++counters_.completed;
   }
+
+  // Trace outside the stats lock: the tracer has its own mutex and (when
+  // enabled) allocates.  'X' complete events need no per-thread nesting,
+  // so interleaved requests from many threads render correctly.
+  obs::Tracer& tracer = obs::tracer();
+  if (tracer.enabled())
+    tracer.complete(span.request_id + " " + span.key, us * 1000, "service");
+
+  response.request_id = pending->id;
   {
     const MutexLock lock(pending->mu);
     pending->response = std::move(response);
@@ -104,6 +183,16 @@ Engine::Ticket Engine::submit(const Request& req) {
   {
     const MutexLock lock(stats_mu_);
     ++counters_.requests;
+    // Stable request id: client-supplied wins; otherwise derive one from
+    // the submit sequence number (unique for the engine's lifetime).
+    if (req.id.empty()) {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "r%lld",
+                    static_cast<long long>(counters_.requests));
+      pending->id = buf;
+    } else {
+      pending->id = req.id;
+    }
   }
 
   if (pending->expired(pending->submitted)) {
@@ -131,16 +220,19 @@ Engine::Ticket Engine::submit(const Request& req) {
       Response r;
       r.ok = true;
       r.result = std::move(cached);
+      pending->outcome = SpanOutcome::Hit;
       fulfill(pending, std::move(r), /*count_completed=*/true);
       return Ticket(std::move(pending));
     }
     const auto it = inflight_.find(req.key);
     if (it != inflight_.end()) {
+      pending->outcome = SpanOutcome::Coalesced;
       it->second->waiters.push_back(pending);
       const MutexLock stats_lock(stats_mu_);
       ++counters_.coalesced;
       return Ticket(std::move(pending));
     }
+    pending->outcome = SpanOutcome::Computed;
     job = std::make_shared<InFlight>();
     job->key = req.key;
     job->waiters.push_back(pending);
@@ -180,12 +272,15 @@ Response Engine::Ticket::wait() {
         // Deadline passed first.  The computation (if any) continues and
         // will land in the cache; only this response times out.
         Engine* engine = p.engine;
+        const std::string id = p.id;
         lock.unlock();
         {
           const MutexLock stats_lock(engine->stats_mu_);
           ++engine->counters_.timeouts;
         }
-        return timeout_response(p.key);
+        Response r = timeout_response(p.key);
+        r.request_id = id;
+        return r;
       }
     }
   } else {
@@ -194,12 +289,13 @@ Response Engine::Ticket::wait() {
   return p.response;
 }
 
-void Engine::worker_loop() {
+void Engine::worker_loop(i32 worker) {
   // Engine workers are pool workers: compute_query's nested
   // instrumentation (planner scopes, router counters) must not record
   // into the single-writer registry from here.  The engine's own exact
   // counters/histograms are published by the caller via publish_stats().
   const PoolWorkerScope worker_scope;
+  const std::size_t slot = static_cast<std::size_t>(worker);
   for (;;) {
     std::shared_ptr<InFlight> job;
     {
@@ -210,20 +306,29 @@ void Engine::worker_loop() {
       queue_.pop_front();
     }
     queue_not_full_.notify_one();
+    {
+      const MutexLock lock(stats_mu_);
+      worker_state_[slot] = "compute " + job->key.str();
+    }
     execute(job);
+    {
+      const MutexLock lock(stats_mu_);
+      worker_state_[slot] = "idle";
+    }
   }
 }
 
 void Engine::execute(const std::shared_ptr<InFlight>& job) {
+  const Clock::time_point dequeued = Clock::now();
+
   // Dequeue-time deadline sweep: when every waiter has already expired
   // there is no one left to receive the result — skip the computation
   // entirely (and leave the cache untouched).
   {
-    const Clock::time_point now = Clock::now();
     MutexLock lock(inflight_mu_);
     bool all_expired = true;
     for (const auto& w : job->waiters)
-      if (!w->expired(now)) {
+      if (!w->expired(dequeued)) {
         all_expired = false;
         break;
       }
@@ -237,8 +342,11 @@ void Engine::execute(const std::shared_ptr<InFlight>& job) {
         const MutexLock stats_lock(stats_mu_);
         counters_.timeouts += static_cast<i64>(waiters.size());
       }
-      for (const auto& w : waiters)
+      for (const auto& w : waiters) {
+        w->queue_us = us_between(w->submitted, dequeued);
+        w->fanin = static_cast<i64>(waiters.size());
         fulfill(w, timeout_response(job->key), /*count_completed=*/false);
+      }
       return;
     }
   }
@@ -254,9 +362,7 @@ void Engine::execute(const std::shared_ptr<InFlight>& job) {
     response.ok = false;
     response.error = e.what();
   }
-  const i64 compute_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                             Clock::now() - start)
-                             .count();
+  const i64 compute_us = us_between(start, Clock::now());
 
   // Publish to the cache BEFORE retiring the in-flight entry — the
   // ordering submit() relies on for exactly-once computation.  Failed
@@ -279,8 +385,12 @@ void Engine::execute(const std::shared_ptr<InFlight>& job) {
     compute_us_.record(compute_us);
     if (!response.ok) counters_.errors += static_cast<i64>(waiters.size());
   }
-  for (const auto& w : waiters)
+  for (const auto& w : waiters) {
+    w->queue_us = us_between(w->submitted, dequeued);
+    w->compute_us = compute_us;
+    w->fanin = static_cast<i64>(waiters.size());
     fulfill(w, response, /*count_completed=*/true);
+  }
 }
 
 void Engine::drain() {
@@ -298,10 +408,58 @@ EngineStats Engine::stats() const {
     const MutexLock lock(queue_mu_);
     s.queue_depth = static_cast<i64>(queue_.size());
   }
+  {
+    const MutexLock lock(inflight_mu_);
+    s.inflight = inflight_jobs_;
+  }
   const PlanCache::Stats cs = cache_.stats();
   s.cache_entries = cs.entries;
   s.cache_evictions = cs.evictions;
   return s;
+}
+
+i64 Engine::uptime_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               start_)
+      .count();
+}
+
+std::vector<std::string> Engine::worker_states() const {
+  const MutexLock lock(stats_mu_);
+  return worker_state_;
+}
+
+ServiceRates Engine::rates() const {
+  const i64 tick = std::chrono::duration_cast<std::chrono::seconds>(
+                       Clock::now() - start_)
+                       .count();
+  const MutexLock lock(stats_mu_);
+  ServiceRates r;
+  const obs::WindowStats w1 = requests_ring_.last(tick, 1);
+  const obs::WindowStats w10 = requests_ring_.last(tick, 10);
+  const obs::WindowStats w60 = requests_ring_.last(tick, 60);
+  r.qps_1s = static_cast<double>(w1.count);
+  r.qps_10s = static_cast<double>(w10.count) / 10.0;
+  r.qps_60s = static_cast<double>(w60.count) / 60.0;
+  r.hit_ratio_60s = w60.count > 0 ? static_cast<double>(w60.sum) /
+                                        static_cast<double>(w60.count)
+                                  : 0.0;
+  const obs::HistogramData lat = latency_ring_.merged(tick, 10);
+  if (lat.count > 0) {
+    r.p50_us_10s = lat.percentile(0.50);
+    r.p99_us_10s = lat.percentile(0.99);
+  }
+  return r;
+}
+
+std::vector<RequestSpan> Engine::slowest_requests() const {
+  const MutexLock lock(stats_mu_);
+  return slow_log_.slowest();
+}
+
+std::vector<RequestSpan> Engine::recent_failures() const {
+  const MutexLock lock(stats_mu_);
+  return slow_log_.recent_failures();
 }
 
 void Engine::publish_stats() {
@@ -311,10 +469,16 @@ void Engine::publish_stats() {
   const EngineStats cur = stats();
   obs::HistogramData request_delta(obs::duration_bucket_bounds());
   obs::HistogramData compute_delta(obs::duration_bucket_bounds());
+  obs::HistogramData queue_wait_delta(obs::duration_bucket_bounds());
+  obs::HistogramData fanin_delta(fanin_bucket_bounds());
+  obs::HistogramData margin_delta(obs::duration_bucket_bounds());
   {
     const MutexLock lock(stats_mu_);
     std::swap(request_delta, request_us_);
     std::swap(compute_delta, compute_us_);
+    std::swap(queue_wait_delta, queue_wait_us_);
+    std::swap(fanin_delta, fanin_);
+    std::swap(margin_delta, deadline_margin_us_);
   }
 
   const auto publish = [&reg](const char* name, i64 now, i64& last) {
@@ -337,9 +501,13 @@ void Engine::publish_stats() {
   reg.set_max(reg.gauge("service.queue_depth_peak"), cur.peak_queue_depth);
   reg.set(reg.gauge("service.cache_entries"), cur.cache_entries);
   reg.set(reg.gauge("service.pool_threads"), pool_threads_);
+  reg.set(reg.gauge("service.inflight"), cur.inflight);
 
   reg.merge_histogram("service.request_us", request_delta);
   reg.merge_histogram("service.compute_us", compute_delta);
+  reg.merge_histogram("service.queue_wait_us", queue_wait_delta);
+  reg.merge_histogram("service.fanin", fanin_delta);
+  reg.merge_histogram("service.deadline_margin_us", margin_delta);
 }
 
 }  // namespace tp::service

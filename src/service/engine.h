@@ -26,20 +26,33 @@
 // in-flight computation to finish before joining the pool, so tickets
 // already fulfilled stay valid and nothing is dropped mid-compute.
 //
-// Observability: the engine keeps exact atomic counters and per-request
-// latency histograms internally (workers must not record into the global
-// registry concurrently — see obs/registry.h) and publishes them into the
-// registry from the calling thread via publish_stats():
+// Request-scoped observability: every request carries a stable id
+// (client-supplied via Request::id or generated "r<seq>") from submit
+// through compute to fulfill.  Each fulfilled request produces a
+// RequestSpan (telemetry.h) — outcome, queue wait, compute time, coalesce
+// fan-in, cache shard, deadline margin — that feeds the slow-query log,
+// the rolling 1s/10s/60s rate windows behind rates(), and (when the
+// tracer is on) a Chrome complete event.  The {"op":"statusz"} /
+// {"op":"slowz"} admin responses (admin.h) render these live.
+//
+// Registry publication: the engine keeps exact atomic counters and
+// per-request latency histograms internally (workers must not record
+// into the global registry concurrently — see obs/registry.h) and
+// publishes them from the calling thread via publish_stats():
 //
 //   counters   service.requests / completed / cache_hits / cache_misses /
 //              coalesced / plans_computed / timeouts / errors /
 //              cache_evictions
 //   gauges     service.queue_depth (current), service.queue_depth_peak,
-//              service.cache_entries, service.pool_threads
-//   histograms service.request_us (submit->fulfill), service.compute_us
+//              service.cache_entries, service.pool_threads,
+//              service.inflight
+//   histograms service.request_us (submit->fulfill), service.compute_us,
+//              service.queue_wait_us, service.fanin,
+//              service.deadline_margin_us
 
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <string>
@@ -47,8 +60,10 @@
 #include <vector>
 
 #include "src/obs/registry.h"
+#include "src/obs/timeseries.h"
 #include "src/service/plan_cache.h"
 #include "src/service/query.h"
+#include "src/service/telemetry.h"
 #include "src/util/thread_annotations.h"
 
 namespace tp::service {
@@ -65,24 +80,28 @@ struct EngineConfig {
   std::size_t cache_shards = 8;
   i64 default_deadline_ms = 0;  ///< 0 = no deadline unless the request
                                 ///< carries one
+  std::size_t slow_log_capacity = 16;  ///< spans per slow/failed ring
 };
 
-/// One submitted request: a canonical key plus an optional relative
-/// deadline (-1 = use the engine default; 0 = already expired, which
+/// One submitted request: a canonical key, an optional stable id (empty =
+/// the engine generates "r<seq>"), and an optional relative deadline
+/// (-1 = use the engine default; 0 = already expired, which
 /// deterministically yields a timeout response).
 struct Request {
   QueryKey key;
+  std::string id{};
   i64 deadline_ms = -1;
 };
 
 /// The engine's answer.  Exactly one of {result, error} is meaningful:
 /// ok => result != nullptr; !ok => error text (timeout => the structured
-/// deadline error).
+/// deadline error).  request_id echoes the request's stable id.
 struct Response {
   std::shared_ptr<const QueryResult> result;
   bool ok = false;
   bool timeout = false;
   std::string error;
+  std::string request_id;
 };
 
 /// Exact point-in-time engine statistics (all counted atomically).
@@ -97,8 +116,21 @@ struct EngineStats {
   i64 errors = 0;          ///< error responses (invalid parameters)
   i64 queue_depth = 0;     ///< current submission-queue depth
   i64 peak_queue_depth = 0;
+  i64 inflight = 0;        ///< jobs queued or executing right now
   i64 cache_entries = 0;
   i64 cache_evictions = 0;
+};
+
+/// Windowed rates over the recent past (statusz reports these instead of
+/// lifetime totals).  The 1s window is the current partial second, so
+/// qps_1s is a live gauge, not a settled average.
+struct ServiceRates {
+  double qps_1s = 0.0;
+  double qps_10s = 0.0;
+  double qps_60s = 0.0;
+  double hit_ratio_60s = 0.0;  ///< cache hits / requests over 60s
+  double p50_us_10s = 0.0;     ///< request latency percentiles over 10s
+  double p99_us_10s = 0.0;
 };
 
 class Engine {
@@ -127,9 +159,25 @@ class Engine {
   /// dropped as expired).  The pool stays alive for further submits.
   void drain() TP_EXCLUDES(inflight_mu_);
 
-  EngineStats stats() const TP_EXCLUDES(stats_mu_, queue_mu_);
+  EngineStats stats() const TP_EXCLUDES(stats_mu_, queue_mu_, inflight_mu_);
   const EngineConfig& config() const { return config_; }
   const PlanCache& cache() const { return cache_; }
+
+  /// Milliseconds since the engine was constructed.
+  i64 uptime_ms() const;
+
+  /// One human-readable state string per pool worker ("idle" or
+  /// "compute <key>"), indexed by worker.
+  std::vector<std::string> worker_states() const TP_EXCLUDES(stats_mu_);
+
+  /// Windowed QPS / hit-ratio / latency percentiles (see ServiceRates).
+  ServiceRates rates() const TP_EXCLUDES(stats_mu_);
+
+  /// Slow-query log views (telemetry.h): the slowest spans seen
+  /// (slowest first) and the most recent timeout/error spans (newest
+  /// first).
+  std::vector<RequestSpan> slowest_requests() const TP_EXCLUDES(stats_mu_);
+  std::vector<RequestSpan> recent_failures() const TP_EXCLUDES(stats_mu_);
 
   /// Publishes counters/gauges/latency histograms into the global obs
   /// registry (no-op when the registry is disabled).  Counters are
@@ -158,7 +206,7 @@ class Engine {
   };
 
  private:
-  void worker_loop();
+  void worker_loop(i32 worker);
   void execute(const std::shared_ptr<InFlight>& job);
   void fulfill(const std::shared_ptr<Pending>& pending, Response response,
                bool count_completed);
@@ -167,6 +215,7 @@ class Engine {
   EngineConfig config_;
   i32 pool_threads_ = 1;
   PlanCache cache_;
+  std::chrono::steady_clock::time_point start_;
 
   // Submission queue (bounded) and pool.
   mutable Mutex queue_mu_;
@@ -184,13 +233,22 @@ class Engine {
   i64 inflight_jobs_ TP_GUARDED_BY(inflight_mu_) =
       0;  ///< queued or executing jobs (for drain)
 
-  // Exact stats.  Counters live behind stats_mu_ together with the local
-  // latency histograms; everything is touched once per request, so one
-  // short lock is cheaper than it looks next to a plan computation.
+  // Exact stats and request-scoped telemetry.  Counters live behind
+  // stats_mu_ together with the local latency histograms, the slow-query
+  // log, and the rolling rate windows; everything is touched once per
+  // request, so one short lock is cheaper than it looks next to a plan
+  // computation.
   mutable Mutex stats_mu_;
   EngineStats counters_ TP_GUARDED_BY(stats_mu_);
   obs::HistogramData request_us_ TP_GUARDED_BY(stats_mu_);
   obs::HistogramData compute_us_ TP_GUARDED_BY(stats_mu_);
+  obs::HistogramData queue_wait_us_ TP_GUARDED_BY(stats_mu_);
+  obs::HistogramData fanin_ TP_GUARDED_BY(stats_mu_);
+  obs::HistogramData deadline_margin_us_ TP_GUARDED_BY(stats_mu_);
+  SlowQueryLog slow_log_ TP_GUARDED_BY(stats_mu_);
+  obs::RollingSeries requests_ring_ TP_GUARDED_BY(stats_mu_);
+  obs::RollingHistogram latency_ring_ TP_GUARDED_BY(stats_mu_);
+  std::vector<std::string> worker_state_ TP_GUARDED_BY(stats_mu_);
   EngineStats published_;  ///< last snapshot pushed into the registry;
                            ///< single-caller contract (publish_stats), so
                            ///< deliberately unguarded

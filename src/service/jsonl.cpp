@@ -7,12 +7,16 @@
 #include <vector>
 
 #include "src/obs/obs.h"
+#include "src/service/admin.h"
 #include "src/util/error.h"
 
 namespace tp::service {
 
 BatchRequest parse_request_line(std::string_view line, i64 line_no) {
-  const obs::JsonValue doc = obs::parse_json(line);
+  return parse_request_doc(obs::parse_json(line), line_no);
+}
+
+BatchRequest parse_request_doc(const obs::JsonValue& doc, i64 line_no) {
   TP_REQUIRE(doc.is_object(), "request must be a JSON object");
 
   static const char* const kKnown[] = {"id", "op",     "d",     "k",
@@ -28,10 +32,15 @@ BatchRequest parse_request_line(std::string_view line, i64 line_no) {
   }
 
   BatchRequest out;
-  if (const obs::JsonValue* id = doc.find("id"))
+  if (const obs::JsonValue* id = doc.find("id")) {
     out.id = *id;
-  else
+    // The echoed id doubles as the engine-level request id (strings pass
+    // through; other JSON values keep their serialized form).  Lines
+    // without an id leave it empty so the engine generates one.
+    out.request.id = id->is_string() ? id->as_string() : id->dump();
+  } else {
     out.id = obs::JsonValue(line_no);
+  }
 
   const QueryOp op =
       parse_op(doc.find("op") ? doc.find("op")->as_string() : "");
@@ -128,11 +137,12 @@ obs::JsonValue response_to_json(const obs::JsonValue& id,
 
 namespace {
 
-/// One batch slot: either a submitted ticket or an immediate (parse)
-/// error response.
+/// One batch slot: a submitted ticket, an already rendered admin
+/// response, or an immediate (parse) error response.
 struct Slot {
   obs::JsonValue id;
   std::optional<Engine::Ticket> ticket;
+  std::optional<obs::JsonValue> admin;
   Response error;
 };
 
@@ -168,14 +178,27 @@ i64 run_batch(Engine& engine, std::istream& in, std::ostream& out) {
     // computation or hit the cache, independent of their distance in the
     // file.
     TP_OBS_SCOPE("service.batch_submit");
-    while (std::getline(in, line)) {
+    bool quit = false;
+    while (!quit && std::getline(in, line)) {
       ++line_no;
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       Slot slot;
       try {
-        BatchRequest req = parse_request_line(line, line_no);
-        slot.id = std::move(req.id);
-        slot.ticket = engine.submit(req.request);
+        const obs::JsonValue doc = obs::parse_json(line);
+        if (is_admin_op(doc)) {
+          // Admin ops are answered on this thread at submit time (their
+          // point is a live view while the pool is busy); quitz stops
+          // reading further lines, already-submitted work still completes.
+          if (const obs::JsonValue* id = doc.find("id"))
+            slot.id = *id;
+          else
+            slot.id = obs::JsonValue(line_no);
+          slot.admin = handle_admin(engine, doc, slot.id, &quit);
+        } else {
+          BatchRequest req = parse_request_doc(doc, line_no);
+          slot.id = std::move(req.id);
+          slot.ticket = engine.submit(req.request);
+        }
       } catch (const Error& e) {
         slot.id = salvage_id(line, line_no);
         slot.error = error_response(e.what());
@@ -186,6 +209,10 @@ i64 run_batch(Engine& engine, std::istream& in, std::ostream& out) {
   {
     TP_OBS_SCOPE("service.batch_collect");
     for (Slot& slot : slots) {
+      if (slot.admin) {
+        out << slot.admin->dump() << "\n";
+        continue;
+      }
       const Response response =
           slot.ticket ? slot.ticket->wait() : slot.error;
       out << response_to_json(slot.id, response).dump() << "\n";
@@ -203,17 +230,26 @@ i64 run_serve(Engine& engine, std::istream& in, std::ostream& out) {
     ++line_no;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     obs::JsonValue id(line_no);
-    Response response;
+    obs::JsonValue reply;
+    bool quit = false;
     try {
-      BatchRequest req = parse_request_line(line, line_no);
-      id = std::move(req.id);
-      response = engine.run(req.request);
+      const obs::JsonValue doc = obs::parse_json(line);
+      if (is_admin_op(doc)) {
+        if (const obs::JsonValue* client_id = doc.find("id"))
+          id = *client_id;
+        reply = handle_admin(engine, doc, id, &quit);
+      } else {
+        BatchRequest req = parse_request_doc(doc, line_no);
+        id = std::move(req.id);
+        reply = response_to_json(id, engine.run(req.request));
+      }
     } catch (const Error& e) {
       id = salvage_id(line, line_no);
-      response = error_response(e.what());
+      reply = response_to_json(id, error_response(e.what()));
     }
-    out << response_to_json(id, response).dump() << "\n" << std::flush;
+    out << reply.dump() << "\n" << std::flush;
     ++served;
+    if (quit) break;
   }
   return served;
 }

@@ -27,7 +27,16 @@
 //
 // Responses are a pure function of the request: no timing, thread-count,
 // or cache-state fields — so batch output is byte-identical across worker
-// pool widths and across cold/warm caches (golden-tested).
+// pool widths and across cold/warm caches (golden-tested).  The client
+// "id" (or its JSON dump for non-strings) doubles as the engine-level
+// request id carried through submit/compute/fulfill for tracing and the
+// slow-query log; lines without an id get an engine-generated one, which
+// never appears in the response.
+//
+// Admin ops (statusz/metricsz/cachez/slowz/quitz — see admin.h) share
+// the transport: both front-ends answer them inline on the reading
+// thread, so they work mid-stream while every worker is busy, and quitz
+// stops further reading while in-flight requests still complete.
 
 #pragma once
 
@@ -49,6 +58,10 @@ struct BatchRequest {
 /// when the request carries none.  Throws tp::Error on malformed JSON,
 /// unknown keys, or missing dimensions.
 BatchRequest parse_request_line(std::string_view line, i64 line_no);
+
+/// Same, from an already parsed document (the front-ends parse each line
+/// once to sniff admin ops, then reuse the document here).
+BatchRequest parse_request_doc(const obs::JsonValue& doc, i64 line_no);
 
 /// Renders a response line (deterministic member order, compact).
 obs::JsonValue response_to_json(const obs::JsonValue& id,

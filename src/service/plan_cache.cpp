@@ -1,5 +1,6 @@
 #include "src/service/plan_cache.h"
 
+#include "src/obs/timer.h"
 #include "src/util/error.h"
 
 namespace tp::service {
@@ -24,26 +25,28 @@ std::shared_ptr<const QueryResult> PlanCache::get(const QueryKey& key) {
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  return it->second->result;
 }
 
 void PlanCache::put(const QueryKey& key,
                     std::shared_ptr<const QueryResult> result) {
   TP_REQUIRE(result != nullptr, "cannot cache a null result");
+  const i64 now_ns = obs::Stopwatch::now_ns();
   Shard& shard = *shards_[shard_of(key)];
   const MutexLock lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = std::move(result);
+    it->second->result = std::move(result);
+    it->second->insert_ns = now_ns;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   if (shard.lru.size() >= per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
+    shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.emplace_front(key, std::move(result));
+  shard.lru.push_front(Entry{key, std::move(result), now_ns});
   shard.index.emplace(key, shard.lru.begin());
 }
 
@@ -57,6 +60,32 @@ PlanCache::Stats PlanCache::stats() const {
     total.entries += static_cast<i64>(shard->lru.size());
   }
   return total;
+}
+
+std::vector<PlanCache::Stats> PlanCache::shard_stats() const {
+  std::vector<Stats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const MutexLock lock(shard->mu);
+    Stats s;
+    s.hits = shard->hits;
+    s.misses = shard->misses;
+    s.evictions = shard->evictions;
+    s.entries = static_cast<i64>(shard->lru.size());
+    out.push_back(s);
+  }
+  return out;
+}
+
+obs::HistogramData PlanCache::age_histogram() const {
+  obs::HistogramData ages(obs::duration_bucket_bounds());
+  const i64 now_ns = obs::Stopwatch::now_ns();
+  for (const auto& shard : shards_) {
+    const MutexLock lock(shard->mu);
+    for (const Entry& e : shard->lru)
+      ages.record((now_ns - e.insert_ns) / 1000);
+  }
+  return ages;
 }
 
 std::size_t PlanCache::size() const {
@@ -74,7 +103,7 @@ std::vector<QueryKey> PlanCache::shard_keys_mru(std::size_t shard_idx) const {
   const MutexLock lock(shard.mu);
   std::vector<QueryKey> keys;
   keys.reserve(shard.lru.size());
-  for (const auto& [key, value] : shard.lru) keys.push_back(key);
+  for (const Entry& e : shard.lru) keys.push_back(e.key);
   return keys;
 }
 

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/registry.h"
 #include "src/service/query.h"
 #include "src/util/thread_annotations.h"
 
@@ -51,6 +52,17 @@ class PlanCache {
   /// Aggregated over all shards.
   Stats stats() const;
 
+  /// One Stats per shard, indexed by shard id — the {"op":"cachez"}
+  /// admin view (docs/service.md).
+  std::vector<Stats> shard_stats() const;
+
+  /// Ages (µs since insert, duration buckets) of every resident entry.
+  /// Refreshing a key via put() resets its age; a get() promotion does
+  /// not — age measures data staleness, not access recency.
+  obs::HistogramData age_histogram() const;
+
+  std::size_t per_shard_capacity() const { return per_shard_capacity_; }
+
   std::size_t size() const;
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t shard_of(const QueryKey& key) const {
@@ -62,11 +74,16 @@ class PlanCache {
   std::vector<QueryKey> shard_keys_mru(std::size_t shard) const;
 
  private:
+  struct Entry {
+    QueryKey key;
+    std::shared_ptr<const QueryResult> result;
+    i64 insert_ns = 0;  ///< steady clock at insert/refresh (for ages)
+  };
+
   struct Shard {
     mutable Mutex mu;
     // front = most recently used; eviction pops the back.
-    std::list<std::pair<QueryKey, std::shared_ptr<const QueryResult>>> lru
-        TP_GUARDED_BY(mu);
+    std::list<Entry> lru TP_GUARDED_BY(mu);
     std::unordered_map<QueryKey, decltype(lru)::iterator, QueryKeyHash> index
         TP_GUARDED_BY(mu);
     i64 hits TP_GUARDED_BY(mu) = 0;

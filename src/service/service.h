@@ -4,6 +4,8 @@
 //   compute_query           the synchronous work function        (query.h)
 //   PlanCache               sharded LRU over results         (plan_cache.h)
 //   Engine                  worker pool + coalescing + deadlines (engine.h)
+//   RequestSpan/SlowQueryLog per-request telemetry            (telemetry.h)
+//   is_admin_op/handle_admin statusz/metricsz/cachez/slowz/quitz (admin.h)
 //   run_batch / run_serve   JSONL front-ends                      (jsonl.h)
 //
 // The service turns the paper's closed-form deliverable — "given
@@ -14,7 +16,9 @@
 
 #pragma once
 
+#include "src/service/admin.h"
 #include "src/service/engine.h"
 #include "src/service/jsonl.h"
 #include "src/service/plan_cache.h"
 #include "src/service/query.h"
+#include "src/service/telemetry.h"

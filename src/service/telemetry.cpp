@@ -1,0 +1,56 @@
+#include "src/service/telemetry.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace tp::service {
+
+const char* span_outcome_name(SpanOutcome o) {
+  switch (o) {
+    case SpanOutcome::Hit:
+      return "hit";
+    case SpanOutcome::Computed:
+      return "computed";
+    case SpanOutcome::Coalesced:
+      return "coalesced";
+    case SpanOutcome::Timeout:
+      return "timeout";
+    case SpanOutcome::Error:
+      return "error";
+  }
+  TP_ASSERT(false, "unknown span outcome");
+}
+
+SlowQueryLog::SlowQueryLog(std::size_t capacity) : capacity_(capacity) {
+  TP_REQUIRE(capacity >= 1, "slow-query log needs capacity >= 1");
+  slow_.reserve(capacity);
+}
+
+void SlowQueryLog::record(const RequestSpan& span) {
+  // Slowest ring: cheap reject first (the common case on a warm cache),
+  // then a short sorted insert — the ring is small by construction.
+  if (slow_.size() < capacity_ || span.total_us > slow_.back().total_us) {
+    const auto pos = std::upper_bound(
+        slow_.begin(), slow_.end(), span,
+        [](const RequestSpan& a, const RequestSpan& b) {
+          return a.total_us > b.total_us;
+        });
+    slow_.insert(pos, span);
+    if (slow_.size() > capacity_) slow_.pop_back();
+  }
+
+  if (span.outcome == SpanOutcome::Timeout ||
+      span.outcome == SpanOutcome::Error) {
+    failures_.push_back(span);
+    if (failures_.size() > capacity_) failures_.pop_front();
+  }
+}
+
+std::vector<RequestSpan> SlowQueryLog::slowest() const { return slow_; }
+
+std::vector<RequestSpan> SlowQueryLog::recent_failures() const {
+  return std::vector<RequestSpan>(failures_.rbegin(), failures_.rend());
+}
+
+}  // namespace tp::service

@@ -1,0 +1,30 @@
+// Build provenance baked in at configure time.
+//
+// The definitions live in a CMake-generated build_info.cpp (template:
+// cmake/build_info.cpp.in) compiled into tp_util, so every binary in the
+// tree can answer "which build is this?" — `torusplace version` prints
+// it, and the service's {"op":"statusz"} admin response carries it so a
+// live server is attributable to a commit without shell access.
+//
+// Fields are plain strings resolved once per configure: git describe is
+// captured with execute_process (falling back to "unknown" outside a git
+// checkout, e.g. a source tarball), so an incremental build after new
+// commits can lag until the next CMake rerun — provenance, not a
+// tamper-proof seal.
+
+#pragma once
+
+namespace tp {
+
+struct BuildInfo {
+  const char* version;      ///< project version (CMake PROJECT_VERSION)
+  const char* git_describe; ///< `git describe --always --dirty --tags`
+  const char* compiler;     ///< compiler id + version
+  const char* flags;        ///< CXX flags incl. the build-type set
+  const char* build_type;   ///< CMAKE_BUILD_TYPE
+};
+
+/// The build this binary came from.
+const BuildInfo& build_info();
+
+}  // namespace tp

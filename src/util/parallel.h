@@ -65,6 +65,20 @@ void parallel_for_blocks(i64 count, i32 threads, Fn&& fn) {
   for (auto& t : pool) t.join();
 }
 
+/// Work-size cutover: how many of `threads` workers are worth spawning
+/// for `count` work items when each worker should own at least
+/// `min_per_worker` of them.  Below the threshold the answer is 1 —
+/// thread spawn/join (~tens of µs) plus the per-worker buffer reduction
+/// costs more than it saves, which is exactly the odr_loads_parallel4
+/// regression BENCH_4 flagged on T8^3 (4032 pairs across 4 workers).
+/// Callers take the serial path when this returns 1.
+inline i32 effective_workers(i64 count, i32 threads, i64 min_per_worker) {
+  TP_REQUIRE(threads >= 1, "need at least one thread");
+  TP_REQUIRE(min_per_worker >= 1, "need a positive work cutover");
+  const i64 by_work = std::max<i64>(count / min_per_worker, 1);
+  return static_cast<i32>(std::min<i64>(threads, by_work));
+}
+
 /// A sensible default worker count for this machine.
 inline i32 default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();

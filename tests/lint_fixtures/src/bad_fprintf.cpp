@@ -1,0 +1,15 @@
+// Fixture: no-fprintf — library code chattering on stderr with printf.
+// std::snprintf into a buffer is formatting, not output, and must pass.
+#include <cstdio>
+
+namespace bad {
+
+void warn(int code) { fprintf(stderr, "warning: code %d\n", code); }
+
+void shout(int code) { std::printf("code %d\n", code); }
+
+int format(char* buf, int n, int code) {
+  return std::snprintf(buf, static_cast<unsigned long>(n), "%d", code);
+}
+
+}  // namespace bad

@@ -341,5 +341,110 @@ TEST(Export, ScopeRecordsDurationAndSpanOnLocalSingletons) {
   obs::tracer().clear();
 }
 
+// --- rolling windows ------------------------------------------------------
+
+TEST(RollingSeries, WindowedStatsCoverOnlyTheRequestedTicks) {
+  obs::RollingSeries ring(64);
+  ring.record(0, 10);
+  ring.record(1, 20);
+  ring.record(1, 30);
+  ring.record(5, 40);
+
+  const obs::WindowStats last1 = ring.last(5, 1);  // tick 5 only
+  EXPECT_EQ(last1.count, 1);
+  EXPECT_EQ(last1.sum, 40);
+
+  const obs::WindowStats last5 = ring.last(5, 5);  // ticks 1..5
+  EXPECT_EQ(last5.count, 3);
+  EXPECT_EQ(last5.sum, 90);
+  EXPECT_EQ(last5.min, 20);
+  EXPECT_EQ(last5.max, 40);
+
+  const obs::WindowStats all = ring.last(5, 100);  // clamped to capacity
+  EXPECT_EQ(all.count, 4);
+  EXPECT_EQ(all.sum, 100);
+}
+
+TEST(RollingSeries, StaleSlotsAreLazilyOverwrittenOnWraparound) {
+  obs::RollingSeries ring(4);
+  ring.record(0, 100);  // slot 0
+  ring.record(4, 7);    // same slot, 4 ticks later: must evict tick 0
+  const obs::WindowStats w = ring.last(4, 4);
+  EXPECT_EQ(w.count, 1);
+  EXPECT_EQ(w.sum, 7);
+
+  // An idle stretch leaves only stale slots behind: reads ignore them.
+  EXPECT_EQ(ring.last(100, 4).count, 0);
+}
+
+TEST(RollingHistogram, MergedPercentilesSpanTheWindow) {
+  obs::RollingHistogram ring({10, 100, 1000}, 64);
+  for (i64 t = 0; t < 10; ++t) ring.record(t, t < 9 ? 5 : 500);
+
+  const obs::HistogramData recent = ring.merged(9, 10);
+  EXPECT_EQ(recent.count, 10);
+  EXPECT_LE(recent.percentile(0.50), 10.0);
+  EXPECT_GT(recent.percentile(0.99), 100.0);
+
+  // A 1-tick window sees only the last sample.
+  EXPECT_EQ(ring.merged(9, 1).count, 1);
+  EXPECT_EQ(ring.merged(9, 1).sum, 500);
+}
+
+// --- prometheus exposition ------------------------------------------------
+
+TEST(Prometheus, SanitizesAndPrefixesMetricNames) {
+  EXPECT_EQ(obs::prometheus_name("service.request_us"),
+            "tp_service_request_us");
+  EXPECT_EQ(obs::prometheus_name("odd-name/x"), "tp_odd_name_x");
+}
+
+TEST(Prometheus, TextExpositionIsGolden) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.add(reg.counter("svc.requests"), 3);
+  reg.set(reg.gauge("svc.depth"), 2);
+  const obs::HistogramHandle h = reg.histogram("svc.lat_us", {10, 100});
+  reg.record(h, 5);
+  reg.record(h, 50);
+  reg.record(h, 5000);  // overflow bucket
+
+  EXPECT_EQ(obs::prometheus_text(reg.snapshot()),
+            "# TYPE tp_svc_requests counter\n"
+            "tp_svc_requests 3\n"
+            "# TYPE tp_svc_depth gauge\n"
+            "tp_svc_depth 2\n"
+            "# TYPE tp_svc_lat_us histogram\n"
+            "tp_svc_lat_us_bucket{le=\"10\"} 1\n"
+            "tp_svc_lat_us_bucket{le=\"100\"} 2\n"
+            "tp_svc_lat_us_bucket{le=\"+Inf\"} 3\n"
+            "tp_svc_lat_us_sum 5055\n"
+            "tp_svc_lat_us_count 3\n");
+}
+
+// --- complete trace events ------------------------------------------------
+
+TEST(Tracer, CompleteEventsCarryDurationAndNeedNoNesting) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  // Interleaved completes (impossible with LIFO begin/end pairs).
+  tracer.complete("r1 plan", 5000, "service");
+  tracer.complete("r2 plan", 2000, "service");
+
+  const std::vector<obs::TraceEvent> ev = tracer.events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].phase, 'X');
+  EXPECT_EQ(ev[0].name, "r1 plan");
+  EXPECT_EQ(ev[0].dur_ns, 5000);
+  EXPECT_EQ(ev[1].dur_ns, 2000);
+
+  std::ostringstream os;
+  obs::export_chrome_trace(tracer, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5.000"), std::string::npos);  // µs precision
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tp

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -465,6 +466,367 @@ TEST(Jsonl, ServeAnswersLineByLine) {
   EXPECT_EQ(l1, l3);  // second answer came from the cache, same bytes
   EXPECT_NE(l2.find("\"ok\":false"), std::string::npos);
   EXPECT_EQ(engine.stats().cache_hits, 1);
+}
+
+// -------------------------------------------------------------- Telemetry
+
+TEST(SlowQueryLog, KeepsTheNSlowestSorted) {
+  SlowQueryLog log(3);
+  for (i64 us : {50, 10, 90, 30, 70}) {
+    RequestSpan span;
+    span.total_us = us;
+    span.outcome = SpanOutcome::Computed;
+    log.record(span);
+  }
+  const auto slowest = log.slowest();
+  ASSERT_EQ(slowest.size(), 3u);  // bounded at capacity
+  EXPECT_EQ(slowest[0].total_us, 90);
+  EXPECT_EQ(slowest[1].total_us, 70);
+  EXPECT_EQ(slowest[2].total_us, 50);
+  EXPECT_TRUE(log.recent_failures().empty());  // no timeout/error recorded
+}
+
+TEST(SlowQueryLog, FailureRingIsNewestFirstAndBounded) {
+  SlowQueryLog log(2);
+  for (int i = 0; i < 4; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "f%d", i);  // GCC 12 restrict workaround
+    RequestSpan span;
+    span.request_id = buf;
+    span.total_us = i;
+    span.outcome = i % 2 == 0 ? SpanOutcome::Timeout : SpanOutcome::Error;
+    log.record(span);
+  }
+  const auto failures = log.recent_failures();
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_EQ(failures[0].request_id, "f3");  // newest first
+  EXPECT_EQ(failures[1].request_id, "f2");
+}
+
+TEST(Engine, EchoesClientRequestIdThroughEveryOutcome) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+
+  Request computed;
+  computed.key = key_dk(2, 4, 1, RouterKind::Odr, QueryOp::Load);
+  computed.id = "first";
+  EXPECT_EQ(engine.run(computed).request_id, "first");
+
+  Request hit = computed;
+  hit.id = "again";
+  const Response r = engine.run(hit);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.request_id, "again");
+
+  Request expired;
+  expired.key = computed.key;
+  expired.id = "late";
+  expired.deadline_ms = 0;
+  const Response t = engine.run(expired);
+  EXPECT_TRUE(t.timeout);
+  EXPECT_EQ(t.request_id, "late");
+
+  Request bad;
+  bad.key = key_dk(2, 4, 99);  // t > k: computation error
+  bad.id = "broken";
+  EXPECT_EQ(engine.run(bad).request_id, "broken");
+}
+
+TEST(Engine, GeneratesStableIdsWhenTheClientSendsNone) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  EXPECT_EQ(engine.run({key_dk(2, 4)}).request_id, "r1");
+  EXPECT_EQ(engine.run({key_dk(2, 4)}).request_id, "r2");
+}
+
+TEST(Engine, SlowQueryLogRecordsOutcomesAndFailures) {
+  EngineConfig config;
+  config.threads = 1;
+  config.slow_log_capacity = 4;
+  Engine engine(config);
+
+  Request ok;
+  ok.key = key_dk(2, 6, 1, RouterKind::Odr, QueryOp::Load);
+  ok.id = "good";
+  ASSERT_TRUE(engine.run(ok).ok);
+
+  Request bad;
+  bad.key = key_dk(2, 4, 99);
+  bad.id = "bad";
+  ASSERT_FALSE(engine.run(bad).ok);
+
+  const auto slowest = engine.slowest_requests();
+  ASSERT_EQ(slowest.size(), 2u);
+  for (const RequestSpan& span : slowest)
+    EXPECT_GE(span.total_us, 0);
+
+  const auto failures = engine.recent_failures();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].request_id, "bad");
+  EXPECT_EQ(failures[0].outcome, SpanOutcome::Error);
+  EXPECT_EQ(std::string(span_outcome_name(failures[0].outcome)), "error");
+}
+
+TEST(Engine, ReportsWorkerStatesUptimeAndRates) {
+  EngineConfig config;
+  config.threads = 3;
+  Engine engine(config);
+  ASSERT_TRUE(engine.run({key_dk(2, 4)}).ok);
+  ASSERT_TRUE(engine.run({key_dk(2, 4)}).ok);  // hit
+
+  EXPECT_GE(engine.uptime_ms(), 0);
+  const auto states = engine.worker_states();
+  ASSERT_EQ(states.size(), 3u);
+  engine.drain();
+  for (const std::string& s : engine.worker_states()) EXPECT_EQ(s, "idle");
+
+  // Both requests landed within the last 60s; one was a cache hit.
+  const ServiceRates rates = engine.rates();
+  EXPECT_GE(rates.qps_1s, 0.0);
+  EXPECT_GT(rates.qps_60s, 0.0);
+  EXPECT_GT(rates.hit_ratio_60s, 0.0);
+  EXPECT_LE(rates.hit_ratio_60s, 1.0);
+}
+
+TEST(Engine, PublishesRequestScopedHistograms) {
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.reset();
+  reg.set_enabled(true);
+  {
+    EngineConfig config;
+    config.threads = 1;
+    Engine engine(config);
+    Request req;
+    req.key = key_dk(2, 4);
+    req.deadline_ms = 60000;  // far future: margin recorded, not missed
+    ASSERT_TRUE(engine.run(req).ok);
+    engine.publish_stats();
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    for (const char* name :
+         {"service.queue_wait_us", "service.fanin",
+          "service.deadline_margin_us"}) {
+      const obs::HistogramData* h = snap.histogram(name);
+      ASSERT_NE(h, nullptr) << name;
+      EXPECT_EQ(h->count, 1) << name;
+    }
+    const i64* inflight = snap.gauge("service.inflight");
+    ASSERT_NE(inflight, nullptr);
+    EXPECT_EQ(*inflight, 0);
+  }
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+// ------------------------------------------------------------------- Admin
+
+std::string serve_one(Engine& engine, const std::string& line) {
+  std::istringstream in(line + "\n");
+  std::ostringstream out;
+  run_serve(engine, in, out);
+  std::string first = out.str();
+  const std::size_t nl = first.find('\n');
+  if (nl != std::string::npos) first.resize(nl);
+  return first;
+}
+
+/// Top-level member names in document order — the schema fingerprint the
+/// golden tests pin (admin responses carry live values, so the *names*
+/// are the stable part).
+std::string member_keys(const obs::JsonValue& doc) {
+  std::string keys;
+  for (const auto& [key, value] : doc.members()) {
+    if (!keys.empty()) keys += ",";
+    keys += key;
+  }
+  return keys;
+}
+
+TEST(Admin, StatuszGoldenSchema) {
+  EngineConfig config;
+  config.threads = 2;
+  Engine engine(config);
+  ASSERT_TRUE(engine.run({key_dk(2, 4)}).ok);
+
+  const obs::JsonValue doc =
+      obs::parse_json(serve_one(engine, R"({"id":"s1","op":"statusz"})"));
+  EXPECT_EQ(member_keys(doc),
+            "id,ok,op,uptime_ms,version,git,compiler,build_type,engine,"
+            "rates,totals");
+  EXPECT_EQ(doc.find("id")->as_string(), "s1");
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("op")->as_string(), "statusz");
+  EXPECT_FALSE(doc.find("version")->as_string().empty());
+
+  EXPECT_EQ(member_keys(*doc.find("engine")),
+            "pool_threads,queue_depth,queue_capacity,inflight,workers");
+  EXPECT_EQ(doc.find("engine")->find("pool_threads")->as_int(), 2);
+  EXPECT_EQ(doc.find("engine")->find("workers")->items().size(), 2u);
+
+  EXPECT_EQ(member_keys(*doc.find("rates")),
+            "qps_1s,qps_10s,qps_60s,hit_ratio_60s,p50_us_10s,p99_us_10s");
+  EXPECT_EQ(member_keys(*doc.find("totals")),
+            "requests,completed,cache_hits,coalesced,plans_computed,"
+            "timeouts,errors");
+  EXPECT_EQ(doc.find("totals")->find("requests")->as_int(), 1);
+}
+
+TEST(Admin, CachezGoldenSchema) {
+  EngineConfig config;
+  config.threads = 1;
+  config.cache_shards = 2;
+  config.cache_capacity = 8;
+  Engine engine(config);
+  ASSERT_TRUE(engine.run({key_dk(2, 4)}).ok);
+
+  const obs::JsonValue doc =
+      obs::parse_json(serve_one(engine, R"({"op":"cachez"})"));
+  EXPECT_EQ(member_keys(doc), "id,ok,op,capacity,entries,shards,age_us");
+  EXPECT_EQ(doc.find("entries")->as_int(), 1);
+  EXPECT_EQ(doc.find("capacity")->as_int(), 8);
+  const auto& shards = doc.find("shards")->items();
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(member_keys(shards[0]), "shard,entries,hits,misses,evictions");
+  // One real miss happened; it landed in exactly one shard.
+  EXPECT_EQ(shards[0].find("misses")->as_int() +
+                shards[1].find("misses")->as_int(),
+            1);
+  EXPECT_EQ(doc.find("age_us")->find("count")->as_int(), 1);
+}
+
+TEST(Admin, SlowzGoldenSchema) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  Request req;
+  req.key = key_dk(2, 4, 1, RouterKind::Odr, QueryOp::Load);
+  req.id = "probe";
+  req.deadline_ms = 60000;
+  ASSERT_TRUE(engine.run(req).ok);
+
+  const obs::JsonValue doc =
+      obs::parse_json(serve_one(engine, R"({"op":"slowz"})"));
+  EXPECT_EQ(member_keys(doc), "id,ok,op,slowest,failed");
+  const auto& slowest = doc.find("slowest")->items();
+  ASSERT_EQ(slowest.size(), 1u);
+  EXPECT_EQ(member_keys(slowest[0]),
+            "request_id,key,outcome,total_us,queue_us,compute_us,fanin,"
+            "shard,deadline_margin_us");
+  EXPECT_EQ(slowest[0].find("request_id")->as_string(), "probe");
+  EXPECT_EQ(slowest[0].find("outcome")->as_string(), "computed");
+  EXPECT_EQ(doc.find("failed")->items().size(), 0u);
+}
+
+TEST(Admin, MetricszReportsRegistryAndPrometheus) {
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.reset();
+  reg.set_enabled(true);
+  {
+    EngineConfig config;
+    config.threads = 1;
+    Engine engine(config);
+    ASSERT_TRUE(engine.run({key_dk(2, 4)}).ok);
+
+    const obs::JsonValue json =
+        obs::parse_json(serve_one(engine, R"({"op":"metricsz"})"));
+    EXPECT_EQ(member_keys(json), "id,ok,op,format,metrics");
+    EXPECT_EQ(json.find("format")->as_string(), "json");
+    const obs::JsonValue* counters = json.find("metrics")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(counters->find("service.requests"), nullptr);
+    EXPECT_EQ(counters->find("service.requests")->as_int(), 1);
+
+    const obs::JsonValue prom = obs::parse_json(serve_one(
+        engine, R"({"op":"metricsz","format":"prometheus"})"));
+    EXPECT_EQ(member_keys(prom), "id,ok,op,format,text");
+    const std::string& text = prom.find("text")->as_string();
+    EXPECT_NE(text.find("# TYPE tp_service_requests counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("tp_service_request_us_bucket{le="),
+              std::string::npos);
+
+    EXPECT_NE(serve_one(engine, R"({"op":"metricsz","format":"xml"})")
+                  .find("\"ok\":false"),
+              std::string::npos);
+  }
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+TEST(Admin, UnknownAdminFieldFailsLoudly) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  const std::string reply =
+      serve_one(engine, R"({"op":"statusz","verbose":true})");
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(reply.find("unknown admin request field"), std::string::npos);
+}
+
+TEST(Admin, QuitzStopsServeReadingFurtherLines) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  std::istringstream in(
+      "{\"id\":1,\"op\":\"plan\",\"d\":2,\"k\":4}\n"
+      "{\"id\":\"bye\",\"op\":\"quitz\"}\n"
+      "{\"id\":2,\"op\":\"plan\",\"d\":2,\"k\":6}\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_serve(engine, in, out), 2);  // third line never read
+  EXPECT_NE(out.str().find("\"draining\":true"), std::string::npos);
+  EXPECT_EQ(out.str().find("\"id\":2"), std::string::npos);
+}
+
+TEST(Admin, BatchAnswersAdminMidStreamAndQuitzStopsIntake) {
+  EngineConfig config;
+  config.threads = 2;
+  Engine engine(config);
+  std::istringstream in(
+      "{\"id\":\"q1\",\"op\":\"load\",\"d\":2,\"k\":4}\n"
+      "{\"id\":\"probe\",\"op\":\"statusz\"}\n"
+      "{\"id\":\"q2\",\"op\":\"load\",\"d\":2,\"k\":6}\n"
+      "{\"op\":\"quitz\"}\n"
+      "{\"id\":\"q3\",\"op\":\"load\",\"d\":2,\"k\":8}\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_batch(engine, in, out), 4);  // q3 never submitted
+  std::istringstream lines(out.str());
+  std::string l1, l2, l3, l4;
+  std::getline(lines, l1);
+  std::getline(lines, l2);
+  std::getline(lines, l3);
+  std::getline(lines, l4);
+  EXPECT_NE(l1.find("\"id\":\"q1\""), std::string::npos);
+  EXPECT_NE(l2.find("\"op\":\"statusz\""), std::string::npos);
+  EXPECT_NE(l3.find("\"id\":\"q2\""), std::string::npos);
+  EXPECT_NE(l4.find("\"draining\":true"), std::string::npos);
+  EXPECT_EQ(out.str().find("\"id\":\"q3\""), std::string::npos);
+}
+
+TEST(Jsonl, BatchOutputIsByteIdenticalWithInstrumentationOn) {
+  // The per-request telemetry (ids, spans, slow-query log, rolling
+  // windows, tracer events) must never leak timing into query responses:
+  // with the registry AND tracer live, batch output still matches
+  // byte-for-byte across pool widths.
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.reset();
+  reg.set_enabled(true);
+  obs::tracer().set_enabled(true);
+
+  std::string input;
+  for (i32 k : {4, 6, 8, 4, 6})
+    input += R"({"id":"k)" + std::to_string(k) +
+             R"(","op":"load","d":2,"k":)" + std::to_string(k) + "}\n";
+  input += R"({"id":"bad","d":2})" "\n";
+  const std::string serial = batch_output(input, 1);
+  const std::string parallel = batch_output(input, 8);
+  EXPECT_EQ(serial, parallel);
+
+  obs::tracer().set_enabled(false);
+  obs::tracer().clear();
+  reg.set_enabled(false);
+  reg.reset();
 }
 
 // The ISSUE acceptance scenario: a 100-request batch with duplicate keys

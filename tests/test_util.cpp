@@ -6,8 +6,10 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string_view>
 #include <vector>
 
+#include "src/util/build_info.h"
 #include "src/util/combinatorics.h"
 #include "src/util/error.h"
 #include "src/util/math.h"
@@ -269,6 +271,19 @@ TEST(Combinatorics, SubsetMasksDistinct) {
 TEST(Combinatorics, Popcount) {
   EXPECT_EQ(popcount32(0), 0);
   EXPECT_EQ(popcount32(0b1011), 3);
+}
+
+TEST(BuildInfo, EveryProvenanceFieldIsPopulated) {
+  // Values come from configure-time CMake substitution; the contract is
+  // that nothing is null or empty (git_describe degrades to "unknown"
+  // outside a checkout, never to "").
+  const BuildInfo& info = build_info();
+  for (const char* field : {info.version, info.git_describe, info.compiler,
+                            info.flags, info.build_type}) {
+    ASSERT_NE(field, nullptr);
+    EXPECT_NE(std::string_view(field), "");
+  }
+  EXPECT_NE(std::string_view(info.version).find('.'), std::string_view::npos);
 }
 
 }  // namespace

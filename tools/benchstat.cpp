@@ -1,7 +1,8 @@
 // benchstat — perf baselines as committed JSON, with regression diffs.
 //
 //   benchstat [--out BENCH_2.json] [--dir .] [--reps 5]
-//             [--threshold 0.10] [--check]
+//             [--threshold 0.10] [--gate name=frac[,name=frac...]]
+//             [--check]
 //
 // Times a fixed set of representative workloads (load analyzers, the
 // cycle-accurate simulators with and without link probes, the hotspot
@@ -14,7 +15,15 @@
 // and diffs them against the most recent prior BENCH_*.json found in
 // --dir (lexicographically latest name other than --out).  A benchmark
 // whose mean regressed by more than --threshold (default 10%) is flagged;
+// --gate overrides the threshold per benchmark (tighter or looser), and
 // with --check the process then exits 2, so CI can gate on it.
+//
+// Besides the baseline diff, one intra-run invariant is asserted: the
+// threaded analyzer must not lose to the serial one on a small torus
+// (odr_loads_parallel4/T8^3 <= 1.05 x odr_loads/T8^3) — the work-size
+// cutover in odr_loads_parallel (src/load/complete_exchange.cpp) exists
+// precisely to keep small tori on the serial path, and this check keeps
+// it honest without needing a baseline file.
 //
 // google-benchmark (bench/) remains the precision tool; benchstat trades
 // precision for a committed, diffable baseline file.
@@ -25,6 +34,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -176,9 +186,29 @@ std::string find_baseline(const std::string& dir, const std::string& out) {
   return best;
 }
 
+/// "--gate name=frac[,name=frac...]" -> {name: frac}.
+std::map<std::string, double> parse_gates(const std::string& spec) {
+  std::map<std::string, double> gates;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    TP_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < item.size(),
+               "--gate entries look like name=frac, got '" + item + "'");
+    char* end = nullptr;
+    const double frac = std::strtod(item.c_str() + eq + 1, &end);
+    TP_REQUIRE(end != nullptr && *end == '\0' && frac > 0.0,
+               "--gate fraction must be a positive number: '" + item + "'");
+    gates[item.substr(0, eq)] = frac;
+  }
+  return gates;
+}
+
 /// Prints the diff table; returns the number of regressions.
 int diff_against(const std::string& baseline_path,
-                 const std::vector<BenchResult>& results, double threshold) {
+                 const std::vector<BenchResult>& results, double threshold,
+                 const std::map<std::string, double>& gates) {
   std::ifstream in(baseline_path);
   TP_REQUIRE(in.good(), "cannot open baseline " + baseline_path);
   std::stringstream ss;
@@ -204,13 +234,16 @@ int diff_against(const std::string& baseline_path,
                "baseline benchmark missing mean_ns: " + r.name);
     const double old_ns = old_mean->as_number();
     const double delta = old_ns > 0.0 ? r.mean_ns / old_ns - 1.0 : 0.0;
+    const auto gate = gates.find(r.name);
+    const double limit = gate != gates.end() ? gate->second : threshold;
     std::string status = "ok";
-    if (delta > threshold) {
+    if (delta > limit) {
       status = "REGRESSED";
       ++regressions;
-    } else if (delta < -threshold) {
+    } else if (delta < -limit) {
       status = "improved";
     }
+    if (gate != gates.end() && status == "ok") status = "ok (gated)";
     std::ostringstream delta_str;
     delta_str << (delta >= 0 ? "+" : "") << fmt(delta * 100.0, 1) << "%";
     table.add_row({r.name, fmt(old_ns / 1e6, 3) + " ms",
@@ -221,14 +254,43 @@ int diff_against(const std::string& baseline_path,
   return regressions;
 }
 
+/// Intra-run invariant: the threaded load analyzer must stay within 5%
+/// of the serial one on T8^3 (the work-size cutover should route such
+/// small tori to the serial path outright).  Returns 0 or 1 regressions.
+int check_parallel_cutover(const std::vector<BenchResult>& results) {
+  const BenchResult* serial = nullptr;
+  const BenchResult* parallel = nullptr;
+  for (const BenchResult& r : results) {
+    if (r.name == "odr_loads/T8^3") serial = &r;
+    if (r.name == "odr_loads_parallel4/T8^3") parallel = &r;
+  }
+  if (serial == nullptr || parallel == nullptr || serial->min_ns <= 0)
+    return 0;
+  // Compare mins, not means: both names run the same serial code when the
+  // cutover holds, so any mean gap is scheduler noise — min is the
+  // noise-robust statistic for an identical-code-path invariant.
+  const double ratio = static_cast<double>(parallel->min_ns) /
+                       static_cast<double>(serial->min_ns);
+  if (ratio <= 1.05) {
+    std::cout << "parallel cutover ok: odr_loads_parallel4/T8^3 = "
+              << fmt(ratio, 3) << "x odr_loads/T8^3 (limit 1.05x)\n";
+    return 0;
+  }
+  std::cout << "REGRESSED: odr_loads_parallel4/T8^3 is " << fmt(ratio, 3)
+            << "x odr_loads/T8^3 (limit 1.05x) — the work-size cutover "
+               "should keep T8^3 on the serial path\n";
+  return 1;
+}
+
 int run(int argc, char** argv) {
   const cli::Args args(argc, argv, 1,
-                       {"out", "dir", "reps", "threshold"}, {"check"});
+                       {"out", "dir", "reps", "threshold", "gate"}, {"check"});
   const std::string out = args.get("out", "BENCH_2.json");
   const std::string dir = args.get("dir", ".");
   const int reps = static_cast<int>(args.get_int("reps", 5));
   const double threshold =
       std::strtod(args.get("threshold", "0.10").c_str(), nullptr);
+  const std::map<std::string, double> gates = parse_gates(args.get("gate"));
   TP_REQUIRE(reps >= 1, "need at least one rep");
   TP_REQUIRE(threshold > 0.0, "threshold must be positive");
 
@@ -244,11 +306,11 @@ int run(int argc, char** argv) {
   std::cout << "\nwrote " << out << "\n";
 
   const std::string baseline = find_baseline(dir, out);
-  int regressions = 0;
+  int regressions = check_parallel_cutover(results);
   if (baseline.empty()) {
     std::cout << "no prior BENCH_*.json in " << dir << ", nothing to diff\n";
   } else {
-    regressions = diff_against(baseline, results, threshold);
+    regressions += diff_against(baseline, results, threshold, gates);
   }
   if (regressions > 0) {
     std::cout << regressions << " benchmark(s) regressed beyond "

@@ -17,7 +17,11 @@
 //   torusplace batch     requests.jsonl --threads 8
 //       answer a JSONL request file through the query engine
 //   torusplace serve     --stdio
-//       JSONL request/response loop over stdin/stdout
+//       JSONL request/response loop over stdin/stdout; answers the admin
+//       ops (statusz/metricsz/cachez/slowz/quitz) inline and dumps the
+//       slow-query log to stderr on shutdown
+//   torusplace version
+//       build provenance (version, git describe, compiler, flags)
 
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +37,7 @@
 #include "src/obs/obs.h"
 #include "src/routing/deadlock.h"
 #include "src/service/service.h"
+#include "src/util/build_info.h"
 #include "src/util/parallel.h"
 #include "tools/cli_args.h"
 
@@ -86,7 +91,30 @@ service::EngineConfig engine_config(const Args& args) {
   config.cache_capacity =
       static_cast<std::size_t>(args.get_int("cache", 1024));
   config.default_deadline_ms = args.get_int("deadline-ms", 0);
+  config.slow_log_capacity =
+      static_cast<std::size_t>(args.get_int("slow-log", 16));
   return config;
+}
+
+/// Human-readable slow-query dump (stderr, so JSONL stdout stays clean).
+void dump_slow_queries(const service::Engine& engine, std::ostream& err) {
+  const auto slowest = engine.slowest_requests();
+  if (!slowest.empty()) {
+    err << "slowest requests:\n";
+    for (const service::RequestSpan& s : slowest)
+      err << "  " << s.request_id << " " << s.key << " "
+          << service::span_outcome_name(s.outcome) << " total=" << s.total_us
+          << "us queue=" << s.queue_us << "us compute=" << s.compute_us
+          << "us fanin=" << s.fanin << "\n";
+  }
+  const auto failures = engine.recent_failures();
+  if (!failures.empty()) {
+    err << "recent failures:\n";
+    for (const service::RequestSpan& s : failures)
+      err << "  " << s.request_id << " " << s.key << " "
+          << service::span_outcome_name(s.outcome) << " total=" << s.total_us
+          << "us\n";
+  }
 }
 
 int cmd_analyze(const Args& args) {
@@ -101,9 +129,10 @@ int cmd_analyze(const Args& args) {
     // query engine serves: one Analyze query — plan + exact loads +
     // bounds — sharing the PlanCache/obs machinery with batch and sweep.
     service::Engine engine(engine_config(args));
-    const service::Response resp = engine.run(
-        {service::make_query_key(torus.radices(), t, kind,
-                                 service::QueryOp::Analyze)});
+    service::Request req;
+    req.key = service::make_query_key(torus.radices(), t, kind,
+                                      service::QueryOp::Analyze);
+    const service::Response resp = engine.run(req);
     if (!resp.ok) throw Error(resp.error);
     const service::QueryResult& r = *resp.result;
 
@@ -619,10 +648,12 @@ int cmd_sweep(const Args& args) {
   service::Engine engine(engine_config(args));
   std::vector<service::Engine::Ticket> tickets;
   tickets.reserve(ks.size());
-  for (i32 k : ks)
-    tickets.push_back(engine.submit(
-        {service::make_query_key(Torus(d, k).radices(), t, kind,
-                                 service::QueryOp::Load)}));
+  for (i32 k : ks) {
+    service::Request req;
+    req.key = service::make_query_key(Torus(d, k).radices(), t, kind,
+                                      service::QueryOp::Load);
+    tickets.push_back(engine.submit(req));
+  }
 
   Table table({"k", "|P|", "E_max", "E_max/|P|", "best lower bound",
                "paper prediction"});
@@ -677,12 +708,25 @@ int cmd_serve(const Args& args) {
   TP_REQUIRE(args.has("stdio"),
              "serve currently supports --stdio only (JSONL over "
              "stdin/stdout)");
+  // A long-lived server always keeps the registry live so {"op":"metricsz"}
+  // has something to report (batch/one-shot commands stay opt-in via
+  // --stats-json / TP_OBS).
+  obs::registry().set_enabled(true);
   service::Engine engine(engine_config(args));
   const i64 n = service::run_serve(engine, std::cin, std::cout);
   engine.publish_stats();
   const service::EngineStats s = engine.stats();
   std::cerr << "serve: " << n << " request(s), " << s.plans_computed
             << " plan(s) computed, " << s.cache_hits << " cache hit(s)\n";
+  dump_slow_queries(engine, std::cerr);
+  return 0;
+}
+
+int cmd_version() {
+  const BuildInfo& b = build_info();
+  std::cout << "torusplace " << b.version << " (" << b.git_describe << ")\n"
+            << "build: " << b.build_type << ", " << b.compiler << "\n"
+            << "flags: " << b.flags << "\n";
   return 0;
 }
 
@@ -708,7 +752,9 @@ int usage() {
       "                                                --threads --cache --measure-threads\n"
       "                                                --deadline-ms)\n"
       "  serve     JSONL request/response loop        (--stdio --threads --cache\n"
-      "                                                --measure-threads --deadline-ms)\n"
+      "                                                --measure-threads --deadline-ms\n"
+      "                                                --slow-log <N>)\n"
+      "  version   build provenance (version, git, compiler, flags)\n"
       "  tables    compiled routing-table statistics  (--d --k --placement)\n"
       "  optimize  search same-size placements        (--d --k --size --router --iters --seed)\n"
       "  profile   per-dimension/direction loads      (--d --k --placement --router)\n"
@@ -723,6 +769,8 @@ int usage() {
       "   \"t\":1, \"router\":\"odr\", \"deadline_ms\":250}\n"
       "  (\"radices\":[4,6,8] instead of d/k for mixed-radix tori;\n"
       "   see docs/service.md for the full schema)\n"
+      "  admin ops: {\"op\":\"statusz|metricsz|cachez|slowz|quitz\"}\n"
+      "  (metricsz takes \"format\":\"json|prometheus\")\n"
       "\n"
       "global flags (all commands):\n"
       "  --stats-json <path>  dump counters/histograms as one JSON line\n"
@@ -747,6 +795,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "batch") return cmd_batch(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "version") return cmd_version();
   if (cmd == "tables") return cmd_tables(args);
   if (cmd == "optimize") return cmd_optimize(args);
   if (cmd == "profile") return cmd_profile(args);
@@ -763,7 +812,8 @@ int run(int argc, char** argv) {
       "faults", "flits", "seed", "ks",     "placement", "size",
       "iters", "out", "stats-json", "trace", "link-json",
       "rates", "repair", "retries", "backoff", "horizon", "json",
-      "threads", "in", "cache", "measure-threads", "deadline-ms"};
+      "threads", "in", "cache", "measure-threads", "deadline-ms",
+      "slow-log"};
   const std::set<std::string> flags{"link-stats", "measured", "criticality",
                                     "stdio"};
   const Args args(argc, argv, 2, known, flags);

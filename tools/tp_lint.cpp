@@ -196,6 +196,10 @@ constexpr Rule kRules[] = {
     {"bare-assert", "src/",
      "bare assert in library code; use TP_REQUIRE/TP_ASSERT from "
      "src/util/error.h so failures throw with expression and file:line"},
+    {"no-fprintf", "src/",
+     "printf/fprintf(stderr, ...) in library code; throw tp::Error, return "
+     "data, or take an std::ostream& — ad-hoc stderr chatter bypasses the "
+     "structured response/trace paths (std::snprintf formatting is fine)"},
     {"require-message", "src/, tools/, bench/",
      "TP_REQUIRE/TP_ASSERT needs a non-empty message argument (the "
      "expression and file:line alone rarely explain the contract)"},
@@ -305,6 +309,16 @@ void lint_file(std::vector<Diagnostic>& diags, const std::string& rel,
       add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(group)),
           "bare-assert");
     }
+
+    // no-fprintf: the preceding-character class deliberately excludes
+    // identifier characters, so std::snprintf (…n-printf) and vfprintf
+    // (…v-fprintf) pass while printf/fprintf/std::printf are caught.
+    static const std::regex kPrintf(R"((?:^|[^A-Za-z0-9_])(f?printf)\s*\()");
+    for (auto it =
+             std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kPrintf);
+         it != std::sregex_iterator(); ++it)
+      add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
+          "no-fprintf");
   }
 
   // iostream-in-header: library headers must not pull in iostream (it

@@ -13,12 +13,21 @@
 // line (the same format as the CLI's --stats-json).  NOTE: enabling the
 // registry perturbs the timings by the recording cost; leave TP_OBS unset
 // for clean numbers.
+//
+// Profiling: TP_PROF=1 turns the in-process phase/sampling profiler on
+// for the whole run and prints the phase cost table after the timing
+// section; TP_PROF=<path> additionally writes collapsed stacks
+// (flamegraph input) to <path>.  Same caveat as TP_OBS: the phase
+// push/pop cost is inside the timed regions, so leave it unset for
+// numbers meant for benchstat gating.
 
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "src/analysis/table.h"
@@ -34,6 +43,7 @@
     ::benchmark::RunSpecifiedBenchmarks();                        \
     ::benchmark::Shutdown();                                      \
     ::tp::bench_obs_report();                                     \
+    ::tp::bench_prof_report();                                    \
     return 0;                                                     \
   }
 
@@ -43,9 +53,13 @@ inline void bench_banner(const char* experiment, const char* claim) {
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
 }
 
-/// Enables the metrics registry when TP_OBS is set in the environment.
+/// Enables the metrics registry when TP_OBS is set in the environment,
+/// and the in-process profiler when TP_PROF is set (TP_PROF=<path> also
+/// selects a collapsed-stack output file, reported by bench_obs_report).
 inline void bench_obs_init() {
   if (std::getenv("TP_OBS") != nullptr) obs::registry().set_enabled(true);
+  if (std::getenv("TP_PROF") != nullptr)
+    obs::profiler().start(obs::ProfilerConfig{});
 }
 
 /// Prints the accumulated registry contents (and appends a JSON line to
@@ -69,6 +83,24 @@ inline void bench_obs_report() {
   table.print(std::cout);
   if (const char* path = std::getenv("TP_OBS_STATS"))
     obs::export_json(snap, path, /*append=*/true);
+}
+
+/// Prints the profiler's phase table (and writes collapsed stacks when
+/// TP_PROF names a file).  No-op when TP_PROF was unset at init.
+inline void bench_prof_report() {
+  if (!obs::profiler().enabled()) return;
+  obs::profiler().stop();
+  const obs::PhaseReport report = obs::profiler().report();
+  std::cout << "\n--- phase profile (TP_PROF) ---\n"
+            << obs::format_phase_table(report);
+  const char* path = std::getenv("TP_PROF");
+  if (path != nullptr && std::strcmp(path, "1") != 0 && *path != '\0') {
+    std::ofstream folded(path);
+    if (folded.good()) {
+      obs::write_collapsed(report, folded);
+      std::cout << "wrote collapsed stacks to " << path << "\n";
+    }
+  }
 }
 
 }  // namespace tp

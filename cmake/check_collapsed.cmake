@@ -1,0 +1,23 @@
+# Asserts that FILE is a non-empty, well-formed collapsed-stack file:
+# every line is "<frame>[;<frame>...] <weight>" with an integer weight > 0
+# (the format flamegraph.pl and speedscope ingest directly).
+#
+# Usage: cmake -DFILE=<path> -P check_collapsed.cmake
+
+if(NOT EXISTS "${FILE}")
+  message(FATAL_ERROR "collapsed output '${FILE}' was not written")
+endif()
+
+file(STRINGS "${FILE}" lines)
+list(LENGTH lines n)
+if(n EQUAL 0)
+  message(FATAL_ERROR "collapsed output '${FILE}' is empty")
+endif()
+
+foreach(line IN LISTS lines)
+  if(NOT line MATCHES "^[^ ]+ [1-9][0-9]*$")
+    message(FATAL_ERROR "malformed collapsed-stack line: '${line}'")
+  endif()
+endforeach()
+
+message(STATUS "collapsed output ok: ${n} stack(s) in ${FILE}")

@@ -1,7 +1,10 @@
 #include "src/load/complete_exchange.h"
 
+#include <memory>
+
 #include "src/obs/obs.h"
 #include "src/routing/odr.h"
+#include "src/routing/table_router.h"
 #include "src/routing/udr.h"
 #include "src/util/combinatorics.h"
 #include "src/util/parallel.h"
@@ -157,33 +160,63 @@ LoadMap udr_loads_parallel(const Torus& torus, const Placement& p,
 
 namespace {
 
+/// One weighted correction segment produced by the route pass: walk from
+/// `node` along `dim` in `dir` until coordinate `to`, adding `weight` to
+/// every link.
+struct OdrSegment {
+  NodeId node;
+  i32 dim;
+  i32 to;
+  Dir dir;
+  double weight;
+};
+
 void accumulate_odr(const Torus& torus, const Placement& p,
                     const SmallVec<i32>& order, TieBreak tie,
                     LoadMap& loads, i64 src_lo, i64 src_hi) {
+  // Two passes per source, so route enumeration and the link-load walk
+  // profile as separate phases (odr.route / odr.walk) at a grain coarse
+  // enough that the attribution does not distort what it measures.  The
+  // segment list preserves the fused loop's add order exactly (pairs in
+  // placement order, dims in correction order, directions in tie order),
+  // so the accumulated map is bit-identical to the previous single-pass
+  // form.
+  std::vector<OdrSegment> segs;
+  segs.reserve(static_cast<std::size_t>(p.size()) * order.size());
   for (i64 si = src_lo; si < src_hi; ++si) {
     const NodeId src = p.nodes()[static_cast<std::size_t>(si)];
-    for (NodeId dst : p.nodes()) {
-      if (src == dst) continue;
-      // Dimensions are corrected in order; the node state entering each
-      // dimension is deterministic (earlier dims at dst, later at src)
-      // regardless of any tie direction taken earlier, so each dimension's
-      // segment(s) can be walked independently.
-      NodeId node = src;
-      for (std::size_t idx = 0; idx < order.size(); ++idx) {
-        const i32 dim = order[idx];
-        const i32 a = torus.coord_of(node, dim);
-        const i32 b = torus.coord_of(dst, dim);
-        const auto dirs = allowed_dirs(torus, dim, a, b, tie);
-        if (dirs.empty()) continue;
-        const double w = 1.0 / static_cast<double>(dirs.size());
-        NodeId next = node;
-        for (std::size_t i = 0; i < dirs.size(); ++i) {
-          const Dir dir = dirs[i] > 0 ? Dir::Pos : Dir::Neg;
-          next = add_segment(torus, loads, node, dim, b, dir, w);
+    segs.clear();
+    {
+      TP_PROF_PHASE("odr.route");
+      for (NodeId dst : p.nodes()) {
+        if (src == dst) continue;
+        // Dimensions are corrected in order; the node state entering each
+        // dimension is deterministic (earlier dims at dst, later at src)
+        // regardless of any tie direction taken earlier, so each
+        // dimension's segment(s) can be enumerated without walking links.
+        Coord c = torus.coord(src);
+        NodeId node = src;
+        for (std::size_t idx = 0; idx < order.size(); ++idx) {
+          const i32 dim = order[idx];
+          const i32 a = c[static_cast<std::size_t>(dim)];
+          const i32 b = torus.coord_of(dst, dim);
+          const auto dirs = allowed_dirs(torus, dim, a, b, tie);
+          if (dirs.empty()) continue;
+          const double w = 1.0 / static_cast<double>(dirs.size());
+          for (std::size_t i = 0; i < dirs.size(); ++i) {
+            const Dir dir = dirs[i] > 0 ? Dir::Pos : Dir::Neg;
+            segs.push_back(OdrSegment{node, dim, b, dir, w});
+          }
+          c[static_cast<std::size_t>(dim)] = b;
+          node = torus.node_id(c);
         }
-        node = next;
+        TP_ASSERT(node == dst, "ODR load walk did not reach destination");
       }
-      TP_ASSERT(node == dst, "ODR load walk did not reach destination");
+    }
+    {
+      TP_PROF_PHASE("odr.walk");
+      for (const OdrSegment& s : segs)
+        add_segment(torus, loads, s.node, s.dim, s.to, s.dir, s.weight);
     }
   }
 }
@@ -260,6 +293,55 @@ LoadMap udr_loads(const Torus& torus, const Placement& p, TieBreak tie) {
   TP_OBS_COUNT("load.pairs_evaluated", p.size() * (p.size() - 1));
   LoadMap loads(torus);
   accumulate_udr(torus, p, tie, loads, 0, p.size());
+  return loads;
+}
+
+LoadMap odr_loads_table(const Torus& torus, const Placement& p,
+                        TieBreak tie) {
+  TP_OBS_SCOPE("load.odr_table");
+  p.check_torus(torus);
+  TP_OBS_COUNT("load.pairs_evaluated", p.size() * (p.size() - 1));
+  LoadMap loads(torus);
+  const OdrRouter router(tie);
+  std::unique_ptr<RoutingTable> table;
+  {
+    TP_PROF_PHASE("table.compile");
+    table = std::make_unique<RoutingTable>(torus, p, router);
+  }
+  TP_PROF_PHASE("table.walk");
+  // Per-pair weighted propagation over the next-hop DAG.  Every hop is
+  // Lee-minimal, so a breadth level never revisits a node: processing
+  // level by level is a topological order and reconvergent weights merge
+  // before a node is expanded.
+  std::vector<double> weight(static_cast<std::size_t>(torus.num_nodes()),
+                             0.0);
+  std::vector<NodeId> frontier, next;
+  for (NodeId src : p.nodes()) {
+    for (NodeId dst : p.nodes()) {
+      if (src == dst) continue;
+      weight[static_cast<std::size_t>(src)] = 1.0;
+      frontier.assign(1, src);
+      while (!frontier.empty()) {
+        next.clear();
+        for (const NodeId u : frontier) {
+          const double w = weight[static_cast<std::size_t>(u)];
+          weight[static_cast<std::size_t>(u)] = 0.0;
+          const std::vector<EdgeId>& hops = table->next_hops(u, dst);
+          TP_ASSERT(!hops.empty(), "routing table dead-ends mid-walk");
+          const double share = w / static_cast<double>(hops.size());
+          for (const EdgeId e : hops) {
+            loads.add(e, share);
+            const NodeId v = torus.link(e).head;
+            if (v == dst) continue;
+            if (weight[static_cast<std::size_t>(v)] == 0.0)
+              next.push_back(v);
+            weight[static_cast<std::size_t>(v)] += share;
+          }
+        }
+        frontier.swap(next);
+      }
+    }
+  }
   return loads;
 }
 

@@ -29,6 +29,8 @@
 #include "src/obs/export.h"
 #include "src/obs/json.h"
 #include "src/obs/linkprobe.h"
+#include "src/obs/phase_stack.h"
+#include "src/obs/profiler.h"
 #include "src/obs/prometheus.h"
 #include "src/obs/registry.h"
 #include "src/obs/timer.h"
@@ -37,9 +39,13 @@
 
 namespace tp::obs {
 
-/// RAII phase span: opens a trace span (if the tracer is enabled) and
+/// RAII phase span: opens a trace span (if the tracer is enabled),
 /// records the elapsed time into the histogram `<name>_us` (if the
-/// registry is enabled).  Inactive when both are disabled.
+/// registry is enabled), and pushes the name onto the profiler's phase
+/// stack (if profiling is enabled — phase_stack.h).  Inactive when all
+/// three are disabled.  Unlike the registry, the profiler is NOT gated
+/// on pool workers: kernels running under parallel_for or the service
+/// pool are exactly what phase attribution is for.
 class Scope {
  public:
   explicit Scope(const char* name, const char* cat = "phase") : name_(name) {
@@ -50,12 +56,15 @@ class Scope {
       if (trace_) tracer().begin(name_, cat);
       start_ns_ = Stopwatch::now_ns();
     }
+    if (prof::phases_on())
+      prof_ = prof::phase_push(name, prof::ct_hash(name));
   }
 
   Scope(const Scope&) = delete;
   Scope& operator=(const Scope&) = delete;
 
   ~Scope() {
+    if (prof_) prof::phase_pop();
     if (!active_) return;
     const i64 us = (Stopwatch::now_ns() - start_ns_) / 1000;
     if (trace_) tracer().end(name_);
@@ -67,6 +76,7 @@ class Scope {
   i64 start_ns_ = 0;
   bool active_ = false;
   bool trace_ = false;
+  bool prof_ = false;
 };
 
 }  // namespace tp::obs

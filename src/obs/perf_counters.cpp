@@ -1,0 +1,131 @@
+#include "src/obs/perf_counters.h"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace tp::obs {
+
+const char* perf_counter_name(i32 i) {
+  switch (i) {
+    case kPerfCycles:
+      return "cycles";
+    case kPerfInstructions:
+      return "instructions";
+    case kPerfCacheRefs:
+      return "cache_refs";
+    case kPerfCacheMisses:
+      return "cache_misses";
+    case kPerfBranchMisses:
+      return "branch_misses";
+    default:
+      return "?";
+  }
+}
+
+#ifdef __linux__
+
+namespace {
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr EventSpec kEvents[kNumPerfCounters] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int open_event(const EventSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = spec.type;
+  attr.size = sizeof(attr);
+  attr.config = spec.config;
+  if (group_fd < 0) attr.disabled = 1;  // the leader gates the group
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  // pid=0, cpu=-1: this thread, any CPU.
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1,
+                                  group_fd, 0UL));
+}
+
+}  // namespace
+
+bool PerfCounterSet::open() {
+  if (is_open()) return true;
+  error_.clear();
+  const int leader = open_event(kEvents[kPerfCycles], -1);
+  if (leader < 0) {
+    error_ = std::string("perf_event_open: ") + std::strerror(errno);
+    return false;
+  }
+  group_fd_ = leader;
+  fds_[kPerfCycles] = leader;
+  value_index_[kPerfCycles] = 0;
+  n_open_ = 1;
+  for (i32 i = 1; i < kNumPerfCounters; ++i) {
+    const int fd = open_event(kEvents[i], group_fd_);
+    if (fd < 0) continue;  // partial groups are fine (small PMUs)
+    fds_[i] = fd;
+    value_index_[i] = n_open_;
+    ++n_open_;
+  }
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return true;
+}
+
+void PerfCounterSet::close() {
+  for (i32 i = 0; i < kNumPerfCounters; ++i) {
+    if (fds_[i] >= 0) ::close(fds_[i]);
+    fds_[i] = -1;
+    value_index_[i] = -1;
+  }
+  group_fd_ = -1;
+  n_open_ = 0;
+}
+
+bool PerfCounterSet::read(i64 out[kNumPerfCounters]) {
+  for (i32 i = 0; i < kNumPerfCounters; ++i) out[i] = 0;
+  if (!is_open()) return false;
+  // PERF_FORMAT_GROUP layout: u64 nr, then nr values in creation order.
+  u64 buf[1 + kNumPerfCounters] = {};
+  const ssize_t n = ::read(group_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(sizeof(u64))) return false;
+  const i64 nr = static_cast<i64>(buf[0]);
+  for (i32 i = 0; i < kNumPerfCounters; ++i) {
+    const i32 vi = value_index_[i];
+    if (vi >= 0 && vi < nr) out[i] = static_cast<i64>(buf[1 + vi]);
+  }
+  return true;
+}
+
+#else  // !__linux__
+
+bool PerfCounterSet::open() {
+  error_ = "perf_event_open is Linux-only";
+  return false;
+}
+
+void PerfCounterSet::close() {}
+
+bool PerfCounterSet::read(i64 out[kNumPerfCounters]) {
+  for (i32 i = 0; i < kNumPerfCounters; ++i) out[i] = 0;
+  return false;
+}
+
+#endif
+
+}  // namespace tp::obs

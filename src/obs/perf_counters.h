@@ -1,0 +1,81 @@
+// Hardware performance counters via perf_event_open (Linux).
+//
+// PerfCounterSet opens one per-thread counter group — cycles (leader),
+// instructions, cache references, cache misses, branch misses — and reads
+// all of them with a single read() using PERF_FORMAT_GROUP, so a phase
+// boundary costs one syscall, not five.
+//
+// Availability is a runtime property, not a build-time one: unprivileged
+// containers (perf_event_paranoid), VMs without a virtualized PMU, and
+// non-Linux hosts all fail open().  Callers must treat an unopened set as
+// "wall-clock only" and say so in their reports (docs/profiling.md); the
+// profiler's feature detection (profiler.cpp) does exactly that.  open()
+// never throws — a missing PMU is an environment, not an error.
+//
+// Threading: a set is bound to the thread that open()ed it (the events
+// count that thread's execution only) and must be read and closed from
+// that thread.
+
+#pragma once
+
+#include <string>
+
+#include "src/util/math.h"
+
+namespace tp::obs {
+
+/// Indices into the counter value arrays used across the profiler.
+enum PerfCounter : i32 {
+  kPerfCycles = 0,
+  kPerfInstructions = 1,
+  kPerfCacheRefs = 2,
+  kPerfCacheMisses = 3,
+  kPerfBranchMisses = 4,
+  kNumPerfCounters = 5,
+};
+
+/// Short stable name for counter index i ("cycles", "instructions", ...).
+const char* perf_counter_name(i32 i);
+
+class PerfCounterSet {
+ public:
+  PerfCounterSet() = default;
+  ~PerfCounterSet() { close(); }
+
+  PerfCounterSet(const PerfCounterSet&) = delete;
+  PerfCounterSet& operator=(const PerfCounterSet&) = delete;
+
+  /// Opens the counter group for the calling thread.  Returns true if at
+  /// least the cycles leader opened; individual followers may still be
+  /// unavailable (see available()).  On failure the set stays closed and
+  /// error() describes why (errno text).
+  bool open();
+
+  void close();
+
+  bool is_open() const { return group_fd_ >= 0; }
+
+  /// True if counter index i is live in the group.
+  bool available(i32 i) const {
+    return i >= 0 && i < kNumPerfCounters && fds_[i] >= 0;
+  }
+
+  /// Reads every live counter into out[kNumPerfCounters] (one syscall);
+  /// unavailable counters read as 0.  Returns false if the set is closed
+  /// or the read failed.
+  bool read(i64 out[kNumPerfCounters]);
+
+  /// Why open() failed (empty when open or never attempted).
+  const std::string& error() const { return error_; }
+
+ private:
+  int fds_[kNumPerfCounters] = {-1, -1, -1, -1, -1};
+  int group_fd_ = -1;
+  i32 n_open_ = 0;
+  // Position of each counter's value in the group read buffer (creation
+  // order), or -1 when that counter failed to open.
+  i32 value_index_[kNumPerfCounters] = {-1, -1, -1, -1, -1};
+  std::string error_;
+};
+
+}  // namespace tp::obs

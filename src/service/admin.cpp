@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/obs/export.h"
+#include "src/obs/profiler.h"
 #include "src/obs/prometheus.h"
 #include "src/obs/registry.h"
 #include "src/util/build_info.h"
@@ -98,6 +99,11 @@ obs::JsonValue statusz(Engine& engine, const obs::JsonValue& id) {
   totals.set("timeouts", obs::JsonValue(stats.timeouts));
   totals.set("errors", obs::JsonValue(stats.errors));
   out.set("totals", std::move(totals));
+  // Present only while the in-process profiler is on, so default statusz
+  // output (and its golden member-order test) is byte-identical to a
+  // build without profiling.
+  if (obs::profiler().enabled())
+    out.set("profiler", obs::profiler_status_json());
   return out;
 }
 
@@ -122,6 +128,9 @@ obs::JsonValue metricsz(Engine& engine, const obs::JsonValue& doc,
     out.set("text", obs::JsonValue(obs::prometheus_text(snap)));
   else
     out.set("metrics", obs::snapshot_to_json(snap));
+  // Same contract as statusz: profiler state appears only while it is on.
+  if (obs::profiler().enabled())
+    out.set("profiler", obs::profiler_status_json());
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "src/obs/phase_stack.h"
 #include "src/obs/trace.h"
 #include "src/util/error.h"
 #include "src/util/parallel.h"
@@ -354,8 +355,9 @@ void Engine::execute(const std::shared_ptr<InFlight>& job) {
   Response response;
   const Clock::time_point start = Clock::now();
   try {
-    auto result = std::make_shared<const QueryResult>(
-        compute_query(job->key, config_.measure_threads));
+    TP_PROF_PHASE("service.compute");
+    auto result = std::make_shared<const QueryResult>(compute_query(
+        job->key, config_.measure_threads, config_.use_table_router));
     response.ok = true;
     response.result = std::move(result);
   } catch (const Error& e) {

@@ -81,6 +81,10 @@ struct EngineConfig {
   i64 default_deadline_ms = 0;  ///< 0 = no deadline unless the request
                                 ///< carries one
   std::size_t slow_log_capacity = 16;  ///< spans per slow/failed ring
+  bool use_table_router = false;  ///< measure ODR loads via precompiled
+                                  ///< next-hop tables (identical results,
+                                  ///< different cost profile; not part of
+                                  ///< the cache key)
 };
 
 /// One submitted request: a canonical key, an optional stable id (empty =

@@ -85,17 +85,20 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   by_inject.reserve(messages.size());
   i64 total_work = 0;
   i64 last_inject = 0;
-  for (const SimMessage& m : messages) {
-    TP_REQUIRE(m.inject_cycle >= 0, "negative injection cycle");
-    m.path.verify_connected(torus_);
-    by_inject.push_back(&m);
-    total_work += m.path.length();
-    last_inject = std::max(last_inject, m.inject_cycle);
+  {
+    TP_PROF_PHASE("sim.prepare");
+    for (const SimMessage& m : messages) {
+      TP_REQUIRE(m.inject_cycle >= 0, "negative injection cycle");
+      m.path.verify_connected(torus_);
+      by_inject.push_back(&m);
+      total_work += m.path.length();
+      last_inject = std::max(last_inject, m.inject_cycle);
+    }
+    std::stable_sort(by_inject.begin(), by_inject.end(),
+                     [](const SimMessage* a, const SimMessage* b) {
+                       return a->inject_cycle < b->inject_cycle;
+                     });
   }
-  std::stable_sort(by_inject.begin(), by_inject.end(),
-                   [](const SimMessage* a, const SimMessage* b) {
-                     return a->inject_cycle < b->inject_cycle;
-                   });
   const i64 flits = config_.flits_per_message;
   if (max_cycles == 0) {
     max_cycles = total_work * flits + last_inject + 2;
@@ -163,6 +166,7 @@ SimMetrics NetworkSim::run(const std::vector<SimMessage>& messages,
   if (trace_on) tr.begin("sim.inject", "sim");
   bool draining = false;
 
+  TP_PROF_PHASE("sim.cycles");
   while (next_inject < by_inject.size() || in_flight > 0) {
     TP_REQUIRE(cycle <= max_cycles, "simulation exceeded cycle budget");
     const i64 injected_before = metrics.injected;

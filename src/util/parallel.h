@@ -44,6 +44,12 @@ void parallel_for_blocks(i64 count, i32 threads, Fn&& fn) {
     fn(0, i64{0}, count);
     return;
   }
+  // Spawned workers adopt the caller's phase context (profiler hooks, see
+  // worker_context.h) so phases pushed inside fn report the same path as
+  // the caller-inline block; the inline block below needs no adoption —
+  // it already runs on the caller's stack.
+  const PhaseContextHooks* hooks = phase_context_hooks();
+  void* token = hooks != nullptr ? hooks->capture() : nullptr;
   std::vector<Thread> pool;
   pool.reserve(static_cast<std::size_t>(workers - 1));
   const i64 base = count / workers;
@@ -52,9 +58,11 @@ void parallel_for_blocks(i64 count, i32 threads, Fn&& fn) {
   for (i32 w = 0; w < workers - 1; ++w) {
     const i64 len = base + (w < extra ? 1 : 0);
     const i64 end = begin + len;
-    pool.emplace_back([&fn, w, begin, end] {
+    pool.emplace_back([&fn, hooks, token, w, begin, end] {
       const PoolWorkerScope worker_scope;
+      void* cookie = token != nullptr ? hooks->adopt(token) : nullptr;
       fn(w, begin, end);
+      if (cookie != nullptr) hooks->restore(cookie);
     });
     begin = end;
   }
@@ -63,6 +71,7 @@ void parallel_for_blocks(i64 count, i32 threads, Fn&& fn) {
     fn(workers - 1, begin, count);
   }
   for (auto& t : pool) t.join();
+  if (token != nullptr) hooks->release(token);
 }
 
 /// Work-size cutover: how many of `threads` workers are worth spawning

@@ -18,10 +18,46 @@
 //
 // This lives in util (not obs) so that parallel.h can install the scope
 // without inverting the util <- obs layering; obs only reads the flag.
+//
+// PhaseContextHooks is the same layering trick for the profiler
+// (obs/phase_stack.h): spawned pool workers must report phase paths as if
+// they ran inline in the caller (thread-count-invariant attribution), so
+// parallel_for_blocks captures the caller's phase context and each worker
+// adopts it for the duration of its block.  util cannot depend on obs, so
+// the profiler installs function pointers here (profiler.cpp) and
+// parallel.h calls through them; with the profiler off, capture() returns
+// nullptr and the workers skip adoption entirely.
 
 #pragma once
 
+#include <atomic>
+
 namespace tp {
+
+/// Profiler-installed callbacks for propagating phase context into
+/// spawned pool workers.  capture() runs on the caller (nullptr = nothing
+/// to propagate), adopt() on each worker before its block (returns a
+/// restore cookie), restore() on the worker after the block, release() on
+/// the caller after the join.
+struct PhaseContextHooks {
+  void* (*capture)();
+  void* (*adopt)(void* token);
+  void (*restore)(void* cookie);
+  void (*release)(void* token);
+};
+
+namespace detail {
+inline std::atomic<const PhaseContextHooks*> t_phase_hooks{nullptr};
+}  // namespace detail
+
+inline const PhaseContextHooks* phase_context_hooks() {
+  return detail::t_phase_hooks.load(std::memory_order_acquire);
+}
+
+/// Installed once by the profiler; hooks must have static lifetime.
+inline void set_phase_context_hooks(const PhaseContextHooks* hooks) {
+  detail::t_phase_hooks.store(hooks, std::memory_order_release);
+}
 
 namespace detail {
 /// One flag per thread; inline so the header stays self-contained.

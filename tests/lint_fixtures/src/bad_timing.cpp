@@ -1,0 +1,28 @@
+// Fixture: raw-timing — non-monotonic / mixed-semantics time sources.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+namespace bad {
+
+long long wall_ns() {
+  // system_clock jumps with NTP/wall-clock adjustments.
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+double cpu_seconds() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+long stale_us() {
+  timeval tv;
+  gettimeofday(&tv, nullptr);
+  return tv.tv_usec;
+}
+
+// steady_clock and CLOCK_* constants are fine (not flagged).
+long long ok_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace bad

@@ -1,0 +1,380 @@
+// Tests for the in-process profiler (src/obs/phase_stack.h + profiler.h):
+// phase attribution, thread-count invariance of paths/calls (the
+// parallel_for adoption hooks and the engine pool), the table-driven ODR
+// analyzer's equivalence to the enumerating one, the SIGPROF sampler's
+// lifecycle, and the collapsed-stack / JSON output formats.
+//
+// The profiler is process-global; every test that starts it stops and
+// resets it before returning so later tests (and the disabled-mode test)
+// see a quiescent, empty profiler.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/torusplace.h"
+#include "src/obs/obs.h"
+#include "src/service/admin.h"
+#include "src/service/service.h"
+#include "src/util/parallel.h"
+
+namespace tp {
+namespace {
+
+double g_sink = 0.0;
+
+obs::ProfilerConfig phase_only() {
+  obs::ProfilerConfig config;
+  config.sampling = false;
+  config.counters = false;
+  return config;
+}
+
+/// path -> calls for every row of a report.
+std::map<std::vector<std::string>, i64> calls_by_path(
+    const obs::PhaseReport& report) {
+  std::map<std::vector<std::string>, i64> out;
+  for (const obs::PhaseRow& row : report.rows) out[row.path] += row.calls;
+  return out;
+}
+
+void spin_ns(i64 ns) {
+  const obs::Stopwatch watch;
+  while (watch.elapsed_ns() < ns) g_sink += 1.0;
+}
+
+// --- disabled mode --------------------------------------------------------
+
+TEST(ProfilerDisabled, PhasesAreNoOps) {
+  ASSERT_FALSE(obs::profiler().enabled());
+  {
+    TP_PROF_PHASE("should.not.appear");
+    g_sink += 1.0;
+  }
+  Torus torus(2, 6);
+  g_sink += odr_loads(torus, linear_placement(torus)).max_load();
+  const obs::PhaseReport report = obs::profiler().report();
+  EXPECT_TRUE(report.rows.empty());
+  EXPECT_EQ(report.total_samples, 0);
+}
+
+// --- phase attribution ----------------------------------------------------
+
+TEST(PhaseAttribution, OdrLoadsBreaksDownIntoRouteAndWalk) {
+  Torus torus(3, 4);
+  const Placement p = linear_placement(torus);
+  obs::profiler().start(phase_only());
+  g_sink += odr_loads(torus, p).max_load();
+  obs::profiler().stop();
+  const obs::PhaseReport report = obs::profiler().report();
+  obs::profiler().reset();
+
+  const auto calls = calls_by_path(report);
+  const std::vector<std::string> root{"load.odr"};
+  const std::vector<std::string> route{"load.odr", "odr.route"};
+  const std::vector<std::string> walk{"load.odr", "odr.walk"};
+  ASSERT_TRUE(calls.count(root)) << "missing load.odr root phase";
+  ASSERT_TRUE(calls.count(route)) << "missing odr.route child phase";
+  ASSERT_TRUE(calls.count(walk)) << "missing odr.walk child phase";
+  EXPECT_EQ(calls.at(root), 1);
+  // One route pass and one walk pass per source.
+  EXPECT_EQ(calls.at(route), p.size());
+  EXPECT_EQ(calls.at(walk), p.size());
+
+  // Inclusive time of the root covers its children; self + children's
+  // totals never exceed the root's total.
+  i64 root_total = 0, child_total = 0;
+  for (const obs::PhaseRow& row : report.rows) {
+    if (row.path == root) root_total = row.total_ns;
+    if (row.path == route || row.path == walk) child_total += row.total_ns;
+  }
+  EXPECT_GE(root_total, child_total);
+  EXPECT_EQ(report.depth_overflow, 0);
+  EXPECT_EQ(report.dropped_paths, 0);
+}
+
+TEST(PhaseAttribution, NestedSelfTimeExcludesChildren) {
+  obs::profiler().start(phase_only());
+  {
+    TP_PROF_PHASE("parent");
+    spin_ns(2'000'000);
+    {
+      TP_PROF_PHASE("child");
+      spin_ns(2'000'000);
+    }
+  }
+  obs::profiler().stop();
+  const obs::PhaseReport report = obs::profiler().report();
+  obs::profiler().reset();
+
+  i64 parent_total = 0, parent_self = 0, child_total = 0;
+  for (const obs::PhaseRow& row : report.rows) {
+    if (row.path == std::vector<std::string>{"parent"}) {
+      parent_total = row.total_ns;
+      parent_self = row.self_ns;
+    }
+    if (row.path == std::vector<std::string>{"parent", "child"})
+      child_total = row.total_ns;
+  }
+  EXPECT_GT(child_total, 0);
+  EXPECT_GE(parent_total, child_total + parent_self);
+  EXPECT_LT(parent_self, parent_total);
+}
+
+// --- thread-count invariance ----------------------------------------------
+
+TEST(PhaseInvariance, ParallelForWorkersAdoptCallerPath) {
+  const auto run = [](i32 threads) {
+    obs::profiler().start(phase_only());
+    {
+      TP_PROF_PHASE("outer");
+      parallel_for_blocks(64, threads, [](i32, i64 lo, i64 hi) {
+        for (i64 i = lo; i < hi; ++i) {
+          TP_PROF_PHASE("inner");
+          g_sink += static_cast<double>(i);
+        }
+      });
+    }
+    obs::profiler().stop();
+    const obs::PhaseReport report = obs::profiler().report();
+    obs::profiler().reset();
+    return report;
+  };
+
+  const obs::PhaseReport serial = run(1);
+  const obs::PhaseReport pooled = run(4);
+  const auto a = calls_by_path(serial);
+  const auto b = calls_by_path(pooled);
+  // Identical paths with identical call counts — the nanoseconds differ,
+  // the attribution does not.
+  EXPECT_EQ(a, b);
+  const std::vector<std::string> inner{"outer", "inner"};
+  ASSERT_TRUE(b.count(inner));
+  EXPECT_EQ(b.at(inner), 64);
+  ASSERT_TRUE(b.count({"outer"}));
+  EXPECT_EQ(b.at({"outer"}), 1);
+  EXPECT_GE(pooled.threads, serial.threads);
+}
+
+TEST(PhaseInvariance, EnginePoolWidthDoesNotChangeAttribution) {
+  const auto run = [](i32 threads) {
+    obs::profiler().start(phase_only());
+    {
+      service::EngineConfig config;
+      config.threads = threads;
+      service::Engine engine(config);
+      for (i32 k = 4; k <= 6; ++k) {
+        service::Request req;
+        req.key = service::make_query_key(Radices{k, k}, 1, RouterKind::Odr,
+                                          service::QueryOp::Load);
+        const service::Response resp = engine.run(req);
+        EXPECT_TRUE(resp.ok);
+      }
+    }
+    obs::profiler().stop();
+    const obs::PhaseReport report = obs::profiler().report();
+    obs::profiler().reset();
+    return report;
+  };
+
+  const auto a = calls_by_path(run(1));
+  const auto b = calls_by_path(run(4));
+  EXPECT_EQ(a, b);
+  const std::vector<std::string> compute{"service.compute"};
+  ASSERT_TRUE(b.count(compute));
+  EXPECT_EQ(b.at(compute), 3);  // one per distinct key
+}
+
+// --- table-driven ODR analyzer --------------------------------------------
+
+TEST(TableAnalyzer, MatchesEnumeratingAnalyzerExactly) {
+  for (const Radices& radices :
+       {Radices{6, 6}, Radices{4, 4, 4}, Radices{3, 4, 5}}) {
+    Torus torus(radices);
+    const Placement p = torus.is_uniform_radix()
+                            ? multiple_linear_placement(torus, 2)
+                            : full_population(torus);
+    const LoadMap a = odr_loads(torus, p);
+    const LoadMap b = odr_loads_table(torus, p);
+    EXPECT_EQ(a.max_abs_diff(b), 0.0)
+        << "table analyzer diverged on the " << torus.num_nodes()
+        << "-node torus";
+    EXPECT_EQ(a.max_load(), b.max_load());
+  }
+}
+
+TEST(TableAnalyzer, MatchesUnderBothDirectionsTieBreak) {
+  Torus torus(2, 4);  // even radix: antipodal ties exist
+  const Placement p = full_population(torus);
+  const LoadMap a = odr_loads(torus, p, TieBreak::BothDirections);
+  const LoadMap b = odr_loads_table(torus, p, TieBreak::BothDirections);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST(TableAnalyzer, MeasureLoadsRoutesThroughTable) {
+  Torus torus(3, 6);
+  const Placement p = linear_placement(torus);
+  const LoadMap a = measure_loads(torus, p, RouterKind::Odr, 1, false);
+  const LoadMap b = measure_loads(torus, p, RouterKind::Odr, 1, true);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST(TableAnalyzer, EngineConfigFlagYieldsIdenticalResults) {
+  const service::QueryKey key = service::make_query_key(
+      Radices{6, 6, 6}, 1, RouterKind::Odr, service::QueryOp::Load);
+  const service::QueryResult plain = service::compute_query(key, 1, false);
+  const service::QueryResult table = service::compute_query(key, 1, true);
+  EXPECT_EQ(plain.measured_emax, table.measured_emax);
+  EXPECT_EQ(plain.loads->max_abs_diff(*table.loads), 0.0);
+}
+
+// --- sampler ---------------------------------------------------------------
+
+TEST(Sampler, StartSampleStopIsCleanAndAttributes) {
+  obs::ProfilerConfig config;
+  config.sampling = true;
+  config.counters = false;
+  config.sample_interval_us = 500;
+  obs::profiler().start(config);
+  ASSERT_TRUE(obs::profiler().sampling_enabled());
+
+  obs::PhaseReport report;
+  // CPU-time sampling: spin until samples arrive (bounded by 2 s of
+  // wall — far beyond what ~ms of busy CPU at a 500 µs period needs).
+  const obs::Stopwatch deadline;
+  do {
+    TP_PROF_PHASE("sampled.spin");
+    spin_ns(20'000'000);
+    report = obs::profiler().report();
+  } while (report.total_samples == 0 &&
+           deadline.elapsed_ns() < 2'000'000'000);
+  obs::profiler().stop();
+  report = obs::profiler().report();
+  obs::profiler().reset();
+
+  EXPECT_TRUE(report.sampling);
+  EXPECT_GT(report.total_samples, 0);
+  i64 attributed = 0;
+  for (const obs::PhaseRow& row : report.rows)
+    if (!row.path.empty() && row.path.back() == "sampled.spin")
+      attributed += row.samples;
+  EXPECT_GT(attributed, 0);
+}
+
+TEST(Sampler, RestartAfterStopRearms) {
+  for (int round = 0; round < 2; ++round) {
+    obs::ProfilerConfig config;
+    config.counters = false;
+    config.sample_interval_us = 500;
+    obs::profiler().start(config);
+    {
+      TP_PROF_PHASE("rearm.spin");
+      spin_ns(5'000'000);
+    }
+    obs::profiler().stop();
+    obs::profiler().reset();
+  }
+  EXPECT_FALSE(obs::profiler().enabled());
+}
+
+// --- outputs ---------------------------------------------------------------
+
+TEST(Output, CollapsedStacksAreWellFormed) {
+  Torus torus(2, 6);
+  obs::profiler().start(phase_only());
+  g_sink += odr_loads(torus, linear_placement(torus)).max_load();
+  obs::profiler().stop();
+  const obs::PhaseReport report = obs::profiler().report();
+  obs::profiler().reset();
+
+  std::ostringstream out;
+  obs::write_collapsed(report, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "no weight in: " << line;
+    ASSERT_GT(space, 0u) << "empty path in: " << line;
+    const std::string weight = line.substr(space + 1);
+    ASSERT_FALSE(weight.empty());
+    for (const char c : weight)
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)))
+          << "non-numeric weight in: " << line;
+    EXPECT_GT(std::stoll(weight), 0);
+    const std::string path = line.substr(0, space);
+    EXPECT_EQ(path.find(' '), std::string::npos)
+        << "unescaped space in path: " << line;
+  }
+  EXPECT_GT(n, 0) << "collapsed output is empty";
+}
+
+TEST(Output, PhaseTableAndJsonCarryTheBreakdown) {
+  Torus torus(2, 6);
+  obs::profiler().start(phase_only());
+  g_sink += odr_loads(torus, linear_placement(torus)).max_load();
+  obs::profiler().stop();
+  const obs::PhaseReport report = obs::profiler().report();
+  obs::profiler().reset();
+
+  const std::string table = obs::format_phase_table(report);
+  EXPECT_NE(table.find("load.odr"), std::string::npos);
+  EXPECT_NE(table.find("odr.route"), std::string::npos);
+  EXPECT_NE(table.find("coverage"), std::string::npos);
+
+  const obs::JsonValue json = obs::phase_report_json(report);
+  const obs::JsonValue* schema = json.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), "torusplace-profile/1");
+  const obs::JsonValue* rows = json.find("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_TRUE(rows->is_array());
+  EXPECT_FALSE(rows->items().empty());
+}
+
+TEST(Output, CoverageIsHighForARootWrappedWorkload) {
+  Torus torus(3, 8);
+  obs::profiler().start(phase_only());
+  // Pay the one-time thread registration (ThreadState allocation) before
+  // the measured epoch, then restart the wall clock: real workloads
+  // amortize it over milliseconds, this test runs for far less.
+  { TP_PROF_PHASE("warmup"); }
+  obs::profiler().reset();
+  {
+    TP_PROF_PHASE("root");
+    g_sink += odr_loads(torus, linear_placement(torus)).max_load();
+  }
+  obs::profiler().stop();
+  const obs::PhaseReport report = obs::profiler().report();
+  obs::profiler().reset();
+  // The acceptance gate: root phases account for >= 90% of wall time.
+  EXPECT_GE(report.coverage(), 0.90);
+}
+
+TEST(Output, StatuszExposesProfilerOnlyWhileEnabled) {
+  service::Engine engine;
+  const obs::JsonValue id(static_cast<i64>(1));
+  const obs::JsonValue doc = obs::parse_json(R"({"op":"statusz"})");
+  bool quit = false;
+
+  const obs::JsonValue off = service::handle_admin(engine, doc, id, &quit);
+  EXPECT_EQ(off.find("profiler"), nullptr);
+
+  obs::profiler().start(phase_only());
+  const obs::JsonValue on = service::handle_admin(engine, doc, id, &quit);
+  obs::profiler().stop();
+  obs::profiler().reset();
+  const obs::JsonValue* prof = on.find("profiler");
+  ASSERT_NE(prof, nullptr);
+  const obs::JsonValue* enabled = prof->find("enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_TRUE(enabled->as_bool());
+}
+
+}  // namespace
+}  // namespace tp

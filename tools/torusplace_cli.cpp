@@ -93,6 +93,7 @@ service::EngineConfig engine_config(const Args& args) {
   config.default_deadline_ms = args.get_int("deadline-ms", 0);
   config.slow_log_capacity =
       static_cast<std::size_t>(args.get_int("slow-log", 16));
+  config.use_table_router = args.has("router-table");
   return config;
 }
 
@@ -178,7 +179,8 @@ int cmd_analyze(const Args& args) {
             << " on T_" << k << "^" << d << ", |P| = " << placement.size()
             << "\n\n";
 
-  const LoadMap loads = measure_loads(torus, placement, kind);
+  const LoadMap loads =
+      measure_loads(torus, placement, kind, 1, args.has("router-table"));
   Table table({"quantity", "value"});
   table.add_row({"measured E_max", fmt(loads.max_load())});
   table.add_row({"E_max / |P|", fmt(loads.max_load() /
@@ -776,6 +778,12 @@ int usage() {
       "  --stats-json <path>  dump counters/histograms as one JSON line\n"
       "  --trace <path>       write Chrome-trace phase spans + per-window\n"
       "                       counter tracks (Perfetto)\n"
+      "  --profile[=<path>]   in-process profiler: phase cost table on\n"
+      "                       stderr, optional collapsed-stack (flamegraph)\n"
+      "                       file; `torusplace profile <command> ...` is\n"
+      "                       shorthand for the same\n"
+      "  --router-table       measure ODR loads via precompiled next-hop\n"
+      "                       tables (identical results, different cost)\n"
       "\n"
       "link telemetry (simulate):\n"
       "  --link-stats[=N]     per-link probes: top-N hotspot table (default\n"
@@ -804,9 +812,28 @@ int dispatch(const std::string& cmd, const Args& args) {
   return usage();
 }
 
+bool is_command(const std::string& cmd) {
+  static const std::set<std::string> kCommands{
+      "analyze",  "bisect",   "routes",  "simulate", "resilience", "verify",
+      "deadlock", "sweep",    "batch",   "serve",    "version",    "tables",
+      "optimize", "profile",  "render",  "save"};
+  return kCommands.count(cmd) > 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  std::string cmd = argv[1];
+  int first = 2;
+  // `torusplace profile <command> [options]` wraps any command with the
+  // in-process profiler — equivalent to `torusplace <command> --profile`.
+  // A bare `profile` (next word is not a command) keeps its legacy
+  // meaning: the per-dimension/direction load table.
+  bool profile_wrapped = false;
+  if (cmd == "profile" && argc >= 3 && is_command(argv[2])) {
+    cmd = argv[2];
+    first = 3;
+    profile_wrapped = true;
+  }
   const std::set<std::string> known{
       "d",    "k",  "t",         "router", "src",   "dst",
       "faults", "flits", "seed", "ks",     "placement", "size",
@@ -815,8 +842,8 @@ int run(int argc, char** argv) {
       "threads", "in", "cache", "measure-threads", "deadline-ms",
       "slow-log"};
   const std::set<std::string> flags{"link-stats", "measured", "criticality",
-                                    "stdio"};
-  const Args args(argc, argv, 2, known, flags);
+                                    "stdio", "profile", "router-table"};
+  const Args args(argc, argv, first, known, flags);
 
   // Global observability flags: turn the registry/tracer on before the
   // command runs, export after it finishes (even a failing command leaves
@@ -829,7 +856,33 @@ int run(int argc, char** argv) {
   // same convention as the bench binaries (see bench/bench_common.h).
   if (std::getenv("TP_OBS") != nullptr) obs::registry().set_enabled(true);
 
-  const int rc = dispatch(cmd, args);
+  // --profile[=out.folded] (or the `profile <command>` wrapper) turns the
+  // phase/sampling profiler on for the whole command and prints the phase
+  // table to stderr afterwards, so JSONL stdout stays parseable.
+  const bool profiling = profile_wrapped || args.has("profile");
+  const std::string folded_path = args.get("profile");
+  if (profiling) obs::profiler().start(obs::ProfilerConfig{});
+
+  int rc = 0;
+  {
+    // Root phase: everything the command does attributes under "cli", so
+    // the report's coverage is measured against the dispatch itself.
+    TP_PROF_PHASE("cli");
+    rc = dispatch(cmd, args);
+  }
+
+  if (profiling) {
+    if (!trace_path.empty()) obs::profiler().emit_samples(obs::tracer());
+    obs::profiler().stop();
+    const obs::PhaseReport report = obs::profiler().report();
+    std::cerr << obs::format_phase_table(report);
+    if (!folded_path.empty()) {
+      std::ofstream folded(folded_path);
+      TP_REQUIRE(folded.good(), "cannot write '" + folded_path + "'");
+      obs::write_collapsed(report, folded);
+      std::cerr << "wrote collapsed stacks to " << folded_path << "\n";
+    }
+  }
 
   if (!stats_path.empty())
     obs::export_json(obs::registry().snapshot(), stats_path);

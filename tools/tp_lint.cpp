@@ -203,6 +203,11 @@ constexpr Rule kRules[] = {
     {"require-message", "src/, tools/, bench/",
      "TP_REQUIRE/TP_ASSERT needs a non-empty message argument (the "
      "expression and file:line alone rarely explain the contract)"},
+    {"raw-timing", "src/",
+     "raw timing primitive; use obs::Stopwatch (steady, monotonic) from "
+     "src/obs/timer.h or TP_PROF_PHASE for durations — system_clock "
+     "jumps with wall-clock adjustments and clock()/gettimeofday mix "
+     "CPU/realtime semantics"},
 };
 
 const Rule& rule(std::string_view id) {
@@ -319,6 +324,25 @@ void lint_file(std::vector<Diagnostic>& diags, const std::string& rel,
          it != std::sregex_iterator(); ++it)
       add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
           "no-fprintf");
+  }
+
+  // raw-timing: durations in library code come from obs::Stopwatch (or a
+  // profiler phase); system_clock/clock()/gettimeofday are either
+  // non-monotonic or CPU-time with different semantics per platform.
+  // The preceding-character class keeps steady_clock / FaultClock /
+  // CLOCK_* out; only a bare clock( call is caught.
+  if (in_src(rel)) {
+    static const std::regex kSystemClock(
+        R"(std\s*::\s*(chrono\s*::\s*system_clock\b|clock\s*\())");
+    regex_rule(diags, rel, scrubbed, kSystemClock, "raw-timing");
+
+    static const std::regex kCTime(
+        R"((?:^|[^A-Za-z0-9_:\.])((?:gettimeofday|clock)\s*\())");
+    for (auto it =
+             std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kCTime);
+         it != std::sregex_iterator(); ++it)
+      add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
+          "raw-timing");
   }
 
   // iostream-in-header: library headers must not pull in iostream (it

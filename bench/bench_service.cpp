@@ -6,7 +6,11 @@
 // splice) and shows the dedup a coalesced 64-client burst achieves; the
 // timing section backs the same three paths with wall times.
 
+#include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -15,6 +19,10 @@
 
 namespace tp {
 namespace {
+
+std::string bench_tmp(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
 
 service::QueryKey load_key(i32 d, i32 k) {
   Radices radices;
@@ -103,6 +111,69 @@ void BM_ServiceCoalesced64(benchmark::State& state) {
       benchmark::Counter(64, benchmark::Counter::kIsIterationInvariantRate);
 }
 
+// Snapshot save: serializing a warm cache (CRC framing + fsync + atomic
+// rename) — the cost the periodic saver pays per interval.
+void BM_SnapshotSave(benchmark::State& state) {
+  service::PlanCache cache(16, 4);
+  for (i64 i = 0; i < state.range(0); ++i) {
+    const service::QueryKey key = load_key(2, 8 + 2 * static_cast<i32>(i));
+    cache.put(key, std::make_shared<service::QueryResult>(
+                       service::compute_query(key)));
+  }
+  const std::string path =
+      bench_tmp("bench_snapshot_save.snap");
+  i64 bytes = 0;
+  for (auto _ : state)
+    bytes = service::save_cache_snapshot(cache, path).bytes;
+  state.counters["bytes"] = static_cast<double>(bytes);
+  std::remove(path.c_str());
+}
+
+// Snapshot load: parse + verify (per-record and whole-file CRCs, key hash
+// cross-checks) + re-insert — the cost a warm boot adds to startup.
+void BM_SnapshotLoad(benchmark::State& state) {
+  service::PlanCache cache(16, 4);
+  for (i64 i = 0; i < state.range(0); ++i) {
+    const service::QueryKey key = load_key(2, 8 + 2 * static_cast<i32>(i));
+    cache.put(key, std::make_shared<service::QueryResult>(
+                       service::compute_query(key)));
+  }
+  const std::string path =
+      bench_tmp("bench_snapshot_load.snap");
+  service::save_cache_snapshot(cache, path);
+  for (auto _ : state) {
+    service::PlanCache warmed(16, 4);
+    benchmark::DoNotOptimize(
+        service::load_cache_snapshot(warmed, path).entries);
+  }
+  std::remove(path.c_str());
+}
+
+// Full warm boot: engine construction with --cache-load semantics — pool
+// spawn + snapshot load + teardown.
+void BM_WarmBoot(benchmark::State& state) {
+  {
+    service::EngineConfig config;
+    config.threads = 2;
+    config.snapshot_path =
+        bench_tmp("bench_warm_boot.snap");
+    service::Engine primer(config);
+    for (i64 i = 0; i < state.range(0); ++i)
+      primer.run({load_key(2, 8 + 2 * static_cast<i32>(i))});
+    primer.save_snapshot();
+  }
+  const std::string path = bench_tmp("bench_warm_boot.snap");
+  for (auto _ : state) {
+    service::EngineConfig config;
+    config.threads = 2;
+    config.snapshot_path = path;
+    config.snapshot_load = true;
+    service::Engine engine(config);
+    benchmark::DoNotOptimize(engine.snapshot_status().warm_entries);
+  }
+  std::remove(path.c_str());
+}
+
 // JSONL batch end-to-end: parse + submit + collect + render for a
 // 100-request file with 10 unique keys.
 void BM_ServiceBatch100(benchmark::State& state) {
@@ -123,6 +194,9 @@ void BM_ServiceBatch100(benchmark::State& state) {
 BENCHMARK(BM_ServiceColdMiss)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ServiceWarmHit)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ServiceCoalesced64)->Arg(16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapshotSave)->Arg(4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapshotLoad)->Arg(4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WarmBoot)->Arg(4)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ServiceBatch100)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,59 @@
+# Kill-restart-resume contract for checkpointed runs (docs/durability.md):
+#
+#   1. golden   — run CMD uncheckpointed; must exit 0.  Its stdout is the
+#                 reference output.
+#   2. crash    — run CMD --checkpoint DIR with TP_CHECKPOINT_CRASH_AFTER
+#                 set, so the CRASH_AFTER-th recorded cell raises SIGKILL
+#                 mid-run.  Must NOT exit 0 (the whole point is dying).
+#   3. resume   — run CMD --checkpoint DIR again.  Must exit 0, report the
+#                 resumed cells on stderr, and produce stdout byte-identical
+#                 to the golden run.
+#
+# Variables:
+#   CMD          semicolon-separated command line (without --checkpoint)
+#   DIR          checkpoint directory (removed first for a clean slate)
+#   CRASH_AFTER  which record() call the crash run dies on
+
+file(REMOVE_RECURSE "${DIR}")
+
+execute_process(
+  COMMAND ${CMD}
+  RESULT_VARIABLE golden_rc
+  OUTPUT_VARIABLE golden_out
+  ERROR_VARIABLE golden_err)
+if(NOT golden_rc EQUAL 0)
+  message(FATAL_ERROR
+    "golden run failed (${golden_rc})\ncommand: ${CMD}\n${golden_out}${golden_err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env TP_CHECKPOINT_CRASH_AFTER=${CRASH_AFTER}
+          ${CMD} --checkpoint "${DIR}"
+  RESULT_VARIABLE crash_rc
+  OUTPUT_VARIABLE crash_out
+  ERROR_VARIABLE crash_err)
+if(crash_rc EQUAL 0)
+  message(FATAL_ERROR
+    "crash run exited 0 — TP_CHECKPOINT_CRASH_AFTER=${CRASH_AFTER} did not "
+    "kill it\ncommand: ${CMD} --checkpoint ${DIR}\n${crash_out}${crash_err}")
+endif()
+
+execute_process(
+  COMMAND ${CMD} --checkpoint "${DIR}"
+  RESULT_VARIABLE resume_rc
+  OUTPUT_VARIABLE resume_out
+  ERROR_VARIABLE resume_err)
+if(NOT resume_rc EQUAL 0)
+  message(FATAL_ERROR
+    "resume run failed (${resume_rc})\ncommand: ${CMD} --checkpoint ${DIR}\n"
+    "${resume_out}${resume_err}")
+endif()
+if(NOT resume_err MATCHES "checkpoint: resumed [1-9][0-9]* completed cell")
+  message(FATAL_ERROR
+    "resume run did not report resumed cells\nstderr:\n${resume_err}")
+endif()
+if(NOT resume_out STREQUAL golden_out)
+  message(FATAL_ERROR
+    "resumed stdout differs from the uninterrupted run\n"
+    "--- golden ---\n${golden_out}\n--- resumed ---\n${resume_out}")
+endif()

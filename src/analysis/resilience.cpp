@@ -7,6 +7,7 @@
 #include "src/obs/linkprobe.h"
 #include "src/simulate/network_sim.h"
 #include "src/simulate/traffic.h"
+#include "src/util/checked_io.h"
 #include "src/util/error.h"
 #include "src/util/parallel.h"
 
@@ -87,6 +88,19 @@ DegradationReport degradation_report(const Torus& torus, const Placement& p,
   return r;
 }
 
+i64 resilience_horizon(const Torus& torus, const Placement& p,
+                       const Router& router, const ResilienceConfig& config) {
+  // The fault window defaults to the design's own fault-free makespan so
+  // every rate stresses the active phase of the exchange.
+  if (config.horizon > 0) return config.horizon;
+  const TrafficResult traffic =
+      complete_exchange_traffic(torus, p, router, config.traffic_seed);
+  const i64 makespan =
+      run_exchange(torus, traffic.messages, nullptr, router, config, nullptr)
+          .cycles;
+  return std::max<i64>(makespan, 1);
+}
+
 std::vector<DegradationReport> resilience_sweep(
     const Torus& torus, const Placement& p, const Router& router,
     const std::vector<double>& fault_rates, const ResilienceConfig& config) {
@@ -95,17 +109,7 @@ std::vector<DegradationReport> resilience_sweep(
     TP_REQUIRE(rate >= 0.0 && rate <= 1.0,
                "fault rate must be a probability in [0, 1]");
 
-  // The fault window defaults to the design's own fault-free makespan so
-  // every rate stresses the active phase of the exchange.
-  i64 horizon = config.horizon;
-  if (horizon <= 0) {
-    const TrafficResult traffic =
-        complete_exchange_traffic(torus, p, router, config.traffic_seed);
-    horizon = run_exchange(torus, traffic.messages, nullptr, router, config,
-                           nullptr)
-                  .cycles;
-    horizon = std::max<i64>(horizon, 1);
-  }
+  const i64 horizon = resilience_horizon(torus, p, router, config);
 
   std::vector<DegradationReport> curve;
   curve.reserve(fault_rates.size());
@@ -167,6 +171,50 @@ std::vector<WireCriticality> wire_criticality(const Torus& torus,
                      return a.wire < b.wire;
                    });
   return out;
+}
+
+std::string encode_degradation_report(const DegradationReport& r) {
+  util::ByteBuffer buf;
+  buf.put_string(r.router_name);
+  buf.put_f64(r.fault_rate);
+  buf.put_i64(r.injected);
+  buf.put_i64(r.delivered);
+  buf.put_i64(r.dropped);
+  buf.put_i64(r.retries);
+  buf.put_i64(r.rerouted);
+  buf.put_i64(r.fail_events);
+  buf.put_i64(r.repair_events);
+  buf.put_f64(r.delivered_fraction);
+  buf.put_i64(r.baseline_cycles);
+  buf.put_i64(r.cycles);
+  buf.put_f64(r.completion_inflation);
+  buf.put_f64(r.baseline_emax);
+  buf.put_f64(r.degraded_emax);
+  buf.put_f64(r.emax_inflation);
+  return buf.data();
+}
+
+DegradationReport decode_degradation_report(std::string_view payload) {
+  util::ByteView view(payload);
+  DegradationReport r;
+  r.router_name = view.get_string();
+  r.fault_rate = view.get_f64();
+  r.injected = view.get_i64();
+  r.delivered = view.get_i64();
+  r.dropped = view.get_i64();
+  r.retries = view.get_i64();
+  r.rerouted = view.get_i64();
+  r.fail_events = view.get_i64();
+  r.repair_events = view.get_i64();
+  r.delivered_fraction = view.get_f64();
+  r.baseline_cycles = view.get_i64();
+  r.cycles = view.get_i64();
+  r.completion_inflation = view.get_f64();
+  r.baseline_emax = view.get_f64();
+  r.degraded_emax = view.get_f64();
+  r.emax_inflation = view.get_f64();
+  TP_REQUIRE(view.empty(), "degradation report: trailing bytes");
+  return r;
 }
 
 std::string degradation_json_line(const DegradationReport& r) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/placement/placement.h"
@@ -70,6 +71,15 @@ DegradationReport degradation_report(const Torus& torus, const Placement& p,
                                      const FaultSchedule& schedule,
                                      const ResilienceConfig& config = {});
 
+/// The fault-event window resilience_sweep uses: config.horizon when
+/// positive, otherwise the design's own fault-free makespan (at least 1).
+/// Exposed so checkpointed sweeps (tools CLI --checkpoint) can compute
+/// individual (rate, router) cells identically to an uninterrupted
+/// resilience_sweep call.
+i64 resilience_horizon(const Torus& torus, const Placement& p,
+                       const Router& router,
+                       const ResilienceConfig& config = {});
+
 /// Degradation curve across Bernoulli fault rates: one report per rate,
 /// each over FaultSchedule::bernoulli(rate, repair_prob, horizon).  A rate
 /// of 0 produces an empty schedule and must reproduce the baseline
@@ -78,6 +88,13 @@ std::vector<DegradationReport> resilience_sweep(
     const Torus& torus, const Placement& p, const Router& router,
     const std::vector<double>& fault_rates,
     const ResilienceConfig& config = {});
+
+/// Exact binary round trip of one report (doubles travel as raw bit
+/// patterns), used by the resilience checkpoint journal so a resumed
+/// curve is byte-identical to an uninterrupted one.  decode throws
+/// tp::Error on malformed input.
+std::string encode_degradation_report(const DegradationReport& r);
+DegradationReport decode_degradation_report(std::string_view payload);
 
 /// One wire's ranking entry: the outcome of the complete exchange when
 /// that wire alone fails permanently at cycle 0.

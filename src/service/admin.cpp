@@ -56,6 +56,28 @@ obs::JsonValue span_to_json(const RequestSpan& span) {
   return out;
 }
 
+/// Durability state shared by statusz and cachez.  Always present (the
+/// goldens pin member order), "configured": false when the engine runs
+/// without a snapshot path.  age_ms is since the last successful save
+/// (-1 before the first); load/save outcomes carry the structured error
+/// text when a snapshot was refused (docs/durability.md).
+obs::JsonValue snapshot_to_json(Engine& engine) {
+  const SnapshotStatus snap = engine.snapshot_status();
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("configured", obs::JsonValue(snap.configured));
+  out.set("load_outcome", obs::JsonValue(snap.load_outcome));
+  out.set("warm_entries", obs::JsonValue(snap.warm_entries));
+  out.set("saves", obs::JsonValue(snap.saves));
+  out.set("save_failures", obs::JsonValue(snap.save_failures));
+  out.set("last_save_outcome", obs::JsonValue(snap.last_save_outcome));
+  out.set("last_save_entries", obs::JsonValue(snap.last_save_entries));
+  out.set("age_ms", obs::JsonValue(snap.last_save_ms < 0
+                                       ? i64{-1}
+                                       : engine.uptime_ms() -
+                                             snap.last_save_ms));
+  return out;
+}
+
 obs::JsonValue statusz(Engine& engine, const obs::JsonValue& id) {
   const BuildInfo& build = build_info();
   const EngineStats stats = engine.stats();
@@ -99,6 +121,7 @@ obs::JsonValue statusz(Engine& engine, const obs::JsonValue& id) {
   totals.set("timeouts", obs::JsonValue(stats.timeouts));
   totals.set("errors", obs::JsonValue(stats.errors));
   out.set("totals", std::move(totals));
+  out.set("snapshot", snapshot_to_json(engine));
   // Present only while the in-process profiler is on, so default statusz
   // output (and its golden member-order test) is byte-identical to a
   // build without profiling.
@@ -155,6 +178,7 @@ obs::JsonValue cachez(Engine& engine, const obs::JsonValue& id) {
   }
   out.set("shards", std::move(shards));
   out.set("age_us", obs::histogram_to_json(cache.age_histogram()));
+  out.set("snapshot", snapshot_to_json(engine));
   return out;
 }
 

@@ -1,0 +1,104 @@
+#include "src/service/checkpoint.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/error.h"
+
+namespace tp::service {
+namespace {
+
+constexpr std::string_view kJournalMagic = "TPJRNL01";
+constexpr std::uint32_t kJournalVersion = 1;
+
+// mkdir -p: create each prefix of `dir`, tolerating ones that exist.
+void make_dirs(const std::string& dir) {
+  TP_REQUIRE(!dir.empty(), "checkpoint directory must not be empty");
+  for (std::size_t pos = 0; pos != std::string::npos;) {
+    pos = dir.find('/', pos + 1);
+    const std::string prefix =
+        pos == std::string::npos ? dir : dir.substr(0, pos);
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      throw Error("cannot create checkpoint directory " + prefix + ": " +
+                  std::strerror(errno));
+  }
+}
+
+std::string encode_header(const std::string& run_key) {
+  util::ByteBuffer buf;
+  buf.put_u32(kJournalVersion);
+  buf.put_string(run_key);
+  return buf.data();
+}
+
+// TP_CHECKPOINT_CRASH_AFTER=N: SIGKILL this process after the Nth
+// successful (fsynced) record() across all journals — deterministic
+// crash injection for the kill-restart-resume test.
+void maybe_inject_crash() {
+  static long crash_after = [] {
+    const char* env = std::getenv("TP_CHECKPOINT_CRASH_AFTER");
+    return env != nullptr ? std::atol(env) : 0L;
+  }();
+  static long appended = 0;
+  if (crash_after <= 0) return;
+  if (++appended >= crash_after) std::raise(SIGKILL);
+}
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(const std::string& dir,
+                                     const std::string& name,
+                                     const std::string& run_key) {
+  make_dirs(dir);
+  path_ = dir + "/" + name + ".journal";
+  log_ = std::make_unique<util::AppendLog>(path_, kJournalMagic);
+
+  const auto& records = log_->records();
+  if (records.empty()) {
+    log_->append(encode_header(run_key));
+  } else {
+    util::ByteView header(records[0]);
+    const std::uint32_t version = header.get_u32();
+    TP_REQUIRE(version == kJournalVersion,
+               "checkpoint journal " + path_ + ": version " +
+                   std::to_string(version) + " != supported " +
+                   std::to_string(kJournalVersion));
+    const std::string existing_key = header.get_string();
+    TP_REQUIRE(existing_key == run_key,
+               "checkpoint journal " + path_ + " belongs to a different run:"
+               " journal key \"" + existing_key + "\" vs this run's \"" +
+                   run_key + "\" (use a fresh --checkpoint directory)");
+    for (std::size_t i = 1; i < records.size(); ++i) {
+      util::ByteView view(records[i]);
+      std::string cell_id = view.get_string();
+      std::string payload = view.get_string();
+      TP_REQUIRE(view.empty(),
+                 "checkpoint journal " + path_ + ": malformed cell record");
+      cells_[std::move(cell_id)] = std::move(payload);
+    }
+    resumed_ = static_cast<i64>(cells_.size());
+  }
+}
+
+const std::string* CheckpointJournal::find(const std::string& cell_id) const {
+  const auto it = cells_.find(cell_id);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void CheckpointJournal::record(const std::string& cell_id,
+                               std::string_view payload) {
+  util::ByteBuffer buf;
+  buf.put_string(cell_id);
+  buf.put_string(payload);
+  log_->append(buf.data());
+  cells_[cell_id] = std::string(payload);
+  maybe_inject_crash();
+}
+
+}  // namespace tp::service

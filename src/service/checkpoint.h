@@ -1,0 +1,72 @@
+// Checkpointed long runs: an append-only completed-cell journal.
+//
+// A design-space sweep is a grid of independent cells (one (k, router,
+// rate, ...) combination each), every cell expensive and deterministic.
+// A CheckpointJournal makes such a run restartable: after each cell
+// completes, the caller records its id and encoded result; a rerun with
+// the same journal directory finds the completed cells already present
+// and recomputes only the missing ones.  The journal is a
+// util::AppendLog (src/util/checked_io.h) — CRC-framed records, fsync
+// per append, torn tail truncated at open — so a SIGKILL at any byte
+// leaves at worst the in-flight cell to redo, and the resumed run's
+// output is byte-identical to an uninterrupted one (results are encoded
+// with exact bit-pattern doubles; the kill-restart-resume golden test
+// in tools/CMakeLists.txt proves it end to end).
+//
+// The header record carries a run key — the full parameterization of
+// the run plus the build key — so a journal is only ever replayed
+// against the identical computation.  A journal whose run key disagrees
+// is refused with an error naming both keys (delete the directory or
+// pick another to start fresh).
+//
+// Crash injection for tests: when TP_CHECKPOINT_CRASH_AFTER=N is set in
+// the environment, the Nth successful record() raises SIGKILL — a real
+// uncatchable kill, after the fsync, exactly the scenario the resume
+// path recovers from.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/util/checked_io.h"
+#include "src/util/math.h"
+
+namespace tp::service {
+
+class CheckpointJournal {
+ public:
+  /// Opens (creating directory and file as needed) `dir/<name>.journal`.
+  /// `run_key` must describe the run completely; an existing journal
+  /// written under a different run key throws tp::Error.
+  CheckpointJournal(const std::string& dir, const std::string& name,
+                    const std::string& run_key);
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// The recorded payload for a completed cell, or nullptr.
+  const std::string* find(const std::string& cell_id) const;
+
+  /// Appends one completed cell (fsynced before return).  Honors
+  /// TP_CHECKPOINT_CRASH_AFTER (see file comment).
+  void record(const std::string& cell_id, std::string_view payload);
+
+  /// Completed cells recovered when the journal was opened.
+  i64 resumed_cells() const { return resumed_; }
+
+  /// True when opening truncated a torn tail (crash mid-append).
+  bool recovered_torn_tail() const { return log_->recovered_torn_tail(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<util::AppendLog> log_;
+  std::unordered_map<std::string, std::string> cells_;
+  i64 resumed_ = 0;
+};
+
+}  // namespace tp::service

@@ -5,6 +5,7 @@
 
 #include "src/obs/phase_stack.h"
 #include "src/obs/trace.h"
+#include "src/service/snapshot.h"
 #include "src/util/error.h"
 #include "src/util/parallel.h"
 #include "src/util/worker_context.h"
@@ -77,13 +78,53 @@ Engine::Engine(EngineConfig config)
   TP_REQUIRE(config_.queue_capacity >= 1, "queue capacity must be >= 1");
   if (config_.measure_threads < 1) config_.measure_threads = 1;
   worker_state_.assign(static_cast<std::size_t>(pool_threads_), "idle");
+
+  // Warm boot before the pool exists: the load touches the cache with no
+  // concurrent readers, and a corrupt/mismatched snapshot degrades to a
+  // cold cache (the outcome is kept for statusz, never thrown).
+  if (!config_.snapshot_path.empty()) {
+    const MutexLock lock(snapshot_mu_);
+    snapshot_.configured = true;
+    snapshot_.load_outcome = "cold";
+  }
+  if (config_.snapshot_load && !config_.snapshot_path.empty()) {
+    const SnapshotLoadInfo info =
+        load_cache_snapshot(cache_, config_.snapshot_path);
+    const MutexLock lock(snapshot_mu_);
+    snapshot_.load_attempted = true;
+    if (info.ok) {
+      snapshot_.warm_entries = info.entries;
+      snapshot_.load_outcome = "warm";
+    } else {
+      snapshot_.load_outcome = "error: " + info.error;
+    }
+  }
+
   pool_.reserve(static_cast<std::size_t>(pool_threads_));
   for (i32 i = 0; i < pool_threads_; ++i)
     pool_.emplace_back([this, i] { worker_loop(i); });
+  if (config_.snapshot_save && !config_.snapshot_path.empty() &&
+      config_.snapshot_interval_ms > 0) {
+    has_saver_ = true;
+    saver_ = Thread([this] { saver_loop(); });
+  }
 }
 
 Engine::~Engine() {
+  if (has_saver_) {
+    {
+      const MutexLock lock(saver_mu_);
+      saver_stop_ = true;
+    }
+    saver_cv_.notify_all();
+    saver_.join();
+  }
   drain();
+  // Shutdown snapshot: after the drain every computed plan is in the
+  // cache, and only_if_dirty makes this a no-op when an explicit final
+  // save (CLI graceful-shutdown path) already captured it.
+  if (config_.snapshot_save && !config_.snapshot_path.empty())
+    save_snapshot(/*only_if_dirty=*/true);
   {
     const MutexLock lock(queue_mu_);
     stopping_ = true;
@@ -91,6 +132,63 @@ Engine::~Engine() {
   queue_not_empty_.notify_all();
   queue_not_full_.notify_all();
   for (auto& t : pool_) t.join();
+}
+
+void Engine::saver_loop() {
+  const auto interval =
+      std::chrono::milliseconds(config_.snapshot_interval_ms);
+  MutexLock lock(saver_mu_);
+  for (;;) {
+    const auto deadline = Clock::now() + interval;
+    while (!saver_stop_ && Clock::now() < deadline)
+      saver_cv_.wait_until(lock, deadline);
+    if (saver_stop_) return;
+    lock.unlock();
+    save_snapshot(/*only_if_dirty=*/true);
+    lock.lock();
+  }
+}
+
+bool Engine::save_snapshot(bool only_if_dirty) {
+  if (config_.snapshot_path.empty()) return false;
+  const MutexLock io(save_io_mu_);
+  i64 plans_now = 0;
+  {
+    const MutexLock lock(stats_mu_);
+    plans_now = counters_.plans_computed;
+  }
+  if (only_if_dirty) {
+    const MutexLock lock(snapshot_mu_);
+    if (snapshot_.saves > 0 && plans_now == saved_plans_) return true;
+  }
+
+  bool ok = true;
+  std::string error;
+  SnapshotWriteInfo info;
+  try {
+    info = save_cache_snapshot(cache_, config_.snapshot_path);
+  } catch (const std::exception& e) {
+    ok = false;
+    error = e.what();
+  }
+
+  const MutexLock lock(snapshot_mu_);
+  if (ok) {
+    ++snapshot_.saves;
+    snapshot_.last_save_outcome = "ok";
+    snapshot_.last_save_entries = info.entries;
+    snapshot_.last_save_ms = uptime_ms();
+    saved_plans_ = plans_now;
+  } else {
+    ++snapshot_.save_failures;
+    snapshot_.last_save_outcome = "error: " + error;
+  }
+  return ok;
+}
+
+SnapshotStatus Engine::snapshot_status() const {
+  const MutexLock lock(snapshot_mu_);
+  return snapshot_;
 }
 
 Response Engine::timeout_response(const QueryKey& key) {

@@ -85,6 +85,33 @@ struct EngineConfig {
                                   ///< next-hop tables (identical results,
                                   ///< different cost profile; not part of
                                   ///< the cache key)
+
+  // Durability (src/service/snapshot.h, docs/durability.md).  A non-empty
+  // snapshot_path names the PlanCache snapshot file.  snapshot_load warms
+  // the cache from it before the pool starts (corruption or a build-key
+  // mismatch degrades to a cold cache — see snapshot_status()).
+  // snapshot_save arms the shutdown save in the destructor, and
+  // snapshot_interval_ms > 0 additionally runs a background thread that
+  // re-snapshots whenever plans were computed since the last save.
+  std::string snapshot_path{};
+  bool snapshot_load = false;
+  bool snapshot_save = false;
+  i64 snapshot_interval_ms = 0;
+};
+
+/// Durability bookkeeping surfaced by the {"op":"statusz"} and
+/// {"op":"cachez"} admin responses: how the cache booted and how snapshot
+/// saves have gone since.
+struct SnapshotStatus {
+  bool configured = false;      ///< a snapshot path is set
+  bool load_attempted = false;  ///< boot-time warm-up ran
+  i64 warm_entries = 0;         ///< entries restored at boot
+  std::string load_outcome = "disabled";  ///< "disabled"/"cold"/"warm"/error
+  i64 saves = 0;                ///< successful snapshot writes
+  i64 save_failures = 0;
+  std::string last_save_outcome = "none";  ///< "none"/"ok"/error
+  i64 last_save_entries = 0;
+  i64 last_save_ms = -1;  ///< uptime at the last successful save; -1 never
 };
 
 /// One submitted request: a canonical key, an optional stable id (empty =
@@ -190,6 +217,19 @@ class Engine {
   /// the registry itself).
   void publish_stats() TP_EXCLUDES(stats_mu_);
 
+  /// Writes a PlanCache snapshot to config().snapshot_path now.  Returns
+  /// false when no path is configured or the write failed (the failure is
+  /// recorded in snapshot_status(); this never throws — a full disk must
+  /// not take the service down).  With only_if_dirty, a save is skipped
+  /// (returning true) when no plan has been computed since the last one.
+  /// Thread-safe: concurrent saves serialize, and the atomic-replace
+  /// protocol means readers never see a partial file.
+  bool save_snapshot(bool only_if_dirty = false)
+      TP_EXCLUDES(stats_mu_, snapshot_mu_, save_io_mu_);
+
+  /// Durability bookkeeping for statusz/cachez.
+  SnapshotStatus snapshot_status() const TP_EXCLUDES(snapshot_mu_);
+
  private:
   struct Pending;
   struct InFlight;
@@ -211,6 +251,7 @@ class Engine {
 
  private:
   void worker_loop(i32 worker);
+  void saver_loop();
   void execute(const std::shared_ptr<InFlight>& job);
   void fulfill(const std::shared_ptr<Pending>& pending, Response response,
                bool count_completed);
@@ -256,6 +297,22 @@ class Engine {
   EngineStats published_;  ///< last snapshot pushed into the registry;
                            ///< single-caller contract (publish_stats), so
                            ///< deliberately unguarded
+
+  // Durability: snapshot bookkeeping and the periodic saver thread.
+  // save_io_mu_ serializes the file writes themselves (held across the
+  // whole save so concurrent savers cannot interleave temp files);
+  // snapshot_mu_ guards only the status record, so statusz never blocks
+  // behind an in-progress save.
+  mutable Mutex snapshot_mu_;
+  SnapshotStatus snapshot_ TP_GUARDED_BY(snapshot_mu_);
+  i64 saved_plans_ TP_GUARDED_BY(snapshot_mu_) = 0;  ///< plans_computed at
+                                                     ///< the last save
+  Mutex save_io_mu_;
+  Mutex saver_mu_;
+  CondVar saver_cv_;
+  bool saver_stop_ TP_GUARDED_BY(saver_mu_) = false;
+  Thread saver_;
+  bool has_saver_ = false;
 };
 
 }  // namespace tp::service

@@ -107,4 +107,14 @@ std::vector<QueryKey> PlanCache::shard_keys_mru(std::size_t shard_idx) const {
   return keys;
 }
 
+std::vector<std::pair<QueryKey, std::shared_ptr<const QueryResult>>>
+PlanCache::entries_mru() const {
+  std::vector<std::pair<QueryKey, std::shared_ptr<const QueryResult>>> out;
+  for (const auto& shard : shards_) {
+    const MutexLock lock(shard->mu);
+    for (const Entry& e : shard->lru) out.emplace_back(e.key, e.result);
+  }
+  return out;
+}
+
 }  // namespace tp::service

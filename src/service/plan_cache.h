@@ -16,6 +16,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/obs/registry.h"
@@ -72,6 +73,12 @@ class PlanCache {
   /// Keys of one shard, most-recently-used first (eviction happens from
   /// the back).  For tests and introspection.
   std::vector<QueryKey> shard_keys_mru(std::size_t shard) const;
+
+  /// Every resident entry, shard by shard, each shard most-recently-used
+  /// first.  Does not promote and does not count as hits — this is the
+  /// snapshot path (src/service/snapshot.h), not a lookup.
+  std::vector<std::pair<QueryKey, std::shared_ptr<const QueryResult>>>
+  entries_mru() const;
 
  private:
   struct Entry {

@@ -7,6 +7,9 @@
 //   RequestSpan/SlowQueryLog per-request telemetry            (telemetry.h)
 //   is_admin_op/handle_admin statusz/metricsz/cachez/slowz/quitz (admin.h)
 //   run_batch / run_serve   JSONL front-ends                      (jsonl.h)
+//   save/load_cache_snapshot crash-safe PlanCache persistence (snapshot.h)
+//   CheckpointJournal       completed-cell journal for long runs
+//                                                            (checkpoint.h)
 //
 // The service turns the paper's closed-form deliverable — "given
 // (d, k, t), what is the optimal placement and its exact E_max?" — into a
@@ -17,8 +20,10 @@
 #pragma once
 
 #include "src/service/admin.h"
+#include "src/service/checkpoint.h"
 #include "src/service/engine.h"
 #include "src/service/jsonl.h"
 #include "src/service/plan_cache.h"
 #include "src/service/query.h"
+#include "src/service/snapshot.h"
 #include "src/service/telemetry.h"

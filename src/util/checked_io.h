@@ -1,0 +1,180 @@
+// Checked binary I/O: CRC-framed record files with atomic replacement.
+//
+// Two durable file shapes share one record framing, and everything that
+// persists state in this repo (PlanCache snapshots, sweep checkpoint
+// journals — src/service/snapshot.h, src/service/checkpoint.h) goes
+// through them instead of raw stdio (tp_lint's raw-io rule enforces it):
+//
+//   * CheckedFileWriter / read_checked_file — a write-once snapshot.
+//     Layout: [8-byte magic] [record...] [trailer].  Each record is
+//     [u32 payload_len][u32 payload_crc32][payload]; the trailer is
+//     [u32 0xFFFFFFFF][u32 file_crc32][u64 record_count] where file_crc32
+//     covers every byte before the trailer.  The writer streams into
+//     `path + ".tmp"` and commit() fsyncs, renames over `path`, and
+//     fsyncs the directory — readers see either the complete old file or
+//     the complete new one, never a torn mix.  read_checked_file verifies
+//     magic, per-record CRCs, the whole-file CRC, and the record count,
+//     and throws tp::Error naming the first deviation: any truncation or
+//     bit-flip anywhere in the file is detected.
+//
+//   * AppendLog — an append-only journal for checkpointing long runs.
+//     Layout: [8-byte magic] [record...] with no trailer (the file grows
+//     in place; append() fsyncs each record).  Opening replays the
+//     complete records and *truncates* a torn tail — the expected residue
+//     of a crash mid-append — rather than failing, so a SIGKILLed run
+//     resumes from its last fully-written record.
+//
+// Byte order is the host's; persisted files additionally carry a build
+// key at the layer above (snapshot.h), so a file is only ever replayed by
+// a compatible binary.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/math.h"
+
+namespace tp::util {
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, zlib-compatible).
+// ---------------------------------------------------------------------------
+
+/// Extends a running CRC32 with `n` more bytes (start from crc = 0).
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t n);
+
+/// CRC32 of one buffer: crc32_update(0, data, n).
+std::uint32_t crc32(const void* data, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Payload serialization: bounds-checked little building blocks.
+// ---------------------------------------------------------------------------
+
+/// Append-only byte serializer for record payloads.  Fixed-width integers
+/// are memcpy'd host-endian; doubles travel as their raw bit pattern so a
+/// round trip is bit-exact; strings/blobs carry a u32 length prefix.
+class ByteBuffer {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(u64 v);
+  void put_i32(i32 v);
+  void put_i64(i64 v);
+  void put_f64(double v);  ///< raw IEEE-754 bits (exact round trip)
+  void put_string(std::string_view s);
+
+  const std::string& data() const { return data_; }
+
+ private:
+  std::string data_;
+};
+
+/// Bounds-checked deserializer over a payload.  Every read past the end
+/// throws tp::Error("truncated record: ..."), so corrupt length fields
+/// can never walk out of the buffer.
+class ByteView {
+ public:
+  explicit ByteView(std::string_view data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  u64 get_u64();
+  i32 get_i32();
+  i64 get_i64();
+  double get_f64();
+  std::string get_string();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Checked snapshot files (write-once, atomically replaced).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kFileMagicSize = 8;
+
+/// Streams CRC-framed records into `path + ".tmp"`; commit() seals the
+/// trailer and atomically renames over `path` (fsync file + directory).
+/// Destruction without commit() unlinks the temp file, so a failed or
+/// abandoned save never disturbs the previous snapshot.
+class CheckedFileWriter {
+ public:
+  /// `magic` must be exactly kFileMagicSize bytes.  Throws tp::Error when
+  /// the temp file cannot be created.
+  CheckedFileWriter(std::string path, std::string_view magic);
+  ~CheckedFileWriter();
+
+  CheckedFileWriter(const CheckedFileWriter&) = delete;
+  CheckedFileWriter& operator=(const CheckedFileWriter&) = delete;
+
+  /// Appends one framed record.  Throws tp::Error on write failure.
+  void append(std::string_view payload);
+
+  /// Writes the trailer, fsyncs, renames over the target, fsyncs the
+  /// directory.  Call at most once; no appends after.
+  void commit();
+
+  i64 bytes_written() const { return bytes_; }
+
+ private:
+  void write_raw(const void* data, std::size_t n, bool count_in_crc);
+
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  std::uint32_t file_crc_ = 0;
+  u64 records_ = 0;
+  i64 bytes_ = 0;
+  bool committed_ = false;
+};
+
+/// Reads a committed CheckedFileWriter file back into its record
+/// payloads.  Throws tp::Error on any deviation: unreadable file, wrong
+/// magic, short header, per-record CRC mismatch, missing or malformed
+/// trailer (truncation), whole-file CRC mismatch (any bit-flip), or a
+/// record count that disagrees with the trailer.
+std::vector<std::string> read_checked_file(const std::string& path,
+                                           std::string_view magic);
+
+// ---------------------------------------------------------------------------
+// Append-only journals (checkpointing).
+// ---------------------------------------------------------------------------
+
+/// Opens (creating if absent) an append-only framed log and replays its
+/// complete records.  A torn or corrupt tail — the residue of a crash
+/// mid-append — is truncated away and reported via recovered_torn_tail();
+/// a wrong magic throws (the file is not ours).  append() frames and
+/// fsyncs one record, so every record that append() returned from
+/// survives a subsequent SIGKILL.
+class AppendLog {
+ public:
+  AppendLog(const std::string& path, std::string_view magic);
+  ~AppendLog();
+
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Complete records recovered at open, in append order.
+  const std::vector<std::string>& records() const { return records_; }
+
+  bool recovered_torn_tail() const { return torn_; }
+
+  void append(std::string_view payload);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::vector<std::string> records_;
+  bool torn_ = false;
+};
+
+}  // namespace tp::util

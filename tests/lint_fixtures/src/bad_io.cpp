@@ -1,0 +1,26 @@
+// Fixture: raw-io — unchecked stdio file I/O for persistent state.
+#include <cstdio>
+
+namespace bad {
+
+int save_counters(const double* values, int n) {
+  FILE* f = fopen("counters.bin", "wb");
+  if (f == nullptr) return -1;
+  fwrite(values, sizeof(double), static_cast<unsigned long>(n), f);
+  return fclose(f);
+}
+
+int load_counters(double* values, int n) {
+  FILE* f = fopen("counters.bin", "rb");
+  if (f == nullptr) return -1;
+  const auto got =
+      fread(values, sizeof(double), static_cast<unsigned long>(n), f);
+  fclose(f);
+  return static_cast<int>(got);
+}
+
+// snprintf formatting is fine (not flagged); so are identifiers that
+// merely end in the banned names.
+int profile_fwrite = 0;
+
+}  // namespace bad

@@ -4,6 +4,7 @@
 // std::mutex, std::thread, std::lock_guard — discussed, not used.
 // rand() and time() show up in prose all the time (e.g. "mutates over
 // time (a wire fails)"), as does assert( in documentation.
+// FILE* handles and fopen(/fwrite(/fread(/fclose( are fine to discuss.
 /* Block comments too: std::cout << std::random_device{}(); */
 #include <string>
 

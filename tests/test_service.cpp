@@ -654,7 +654,7 @@ TEST(Admin, StatuszGoldenSchema) {
       obs::parse_json(serve_one(engine, R"({"id":"s1","op":"statusz"})"));
   EXPECT_EQ(member_keys(doc),
             "id,ok,op,uptime_ms,version,git,compiler,build_type,engine,"
-            "rates,totals");
+            "rates,totals,snapshot");
   EXPECT_EQ(doc.find("id")->as_string(), "s1");
   EXPECT_TRUE(doc.find("ok")->as_bool());
   EXPECT_EQ(doc.find("op")->as_string(), "statusz");
@@ -671,6 +671,18 @@ TEST(Admin, StatuszGoldenSchema) {
             "requests,completed,cache_hits,coalesced,plans_computed,"
             "timeouts,errors");
   EXPECT_EQ(doc.find("totals")->find("requests")->as_int(), 1);
+
+  // Durability block: no snapshot path configured here, so the status is
+  // the all-disabled shape with stable member order.
+  EXPECT_EQ(member_keys(*doc.find("snapshot")),
+            "configured,load_outcome,warm_entries,saves,save_failures,"
+            "last_save_outcome,last_save_entries,age_ms");
+  EXPECT_FALSE(doc.find("snapshot")->find("configured")->as_bool());
+  EXPECT_EQ(doc.find("snapshot")->find("load_outcome")->as_string(),
+            "disabled");
+  EXPECT_EQ(doc.find("snapshot")->find("last_save_outcome")->as_string(),
+            "none");
+  EXPECT_EQ(doc.find("snapshot")->find("age_ms")->as_int(), -1);
 }
 
 TEST(Admin, CachezGoldenSchema) {
@@ -683,7 +695,8 @@ TEST(Admin, CachezGoldenSchema) {
 
   const obs::JsonValue doc =
       obs::parse_json(serve_one(engine, R"({"op":"cachez"})"));
-  EXPECT_EQ(member_keys(doc), "id,ok,op,capacity,entries,shards,age_us");
+  EXPECT_EQ(member_keys(doc),
+            "id,ok,op,capacity,entries,shards,age_us,snapshot");
   EXPECT_EQ(doc.find("entries")->as_int(), 1);
   EXPECT_EQ(doc.find("capacity")->as_int(), 8);
   const auto& shards = doc.find("shards")->items();

@@ -43,6 +43,7 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -192,6 +193,40 @@ std::vector<BenchResult> run_benchmarks(int reps) {
       for (auto& t : tickets) g_sink += t.wait().ok ? 1.0 : 0.0;
     }));
   }
+  {
+    // Durability: serializing a warm cache to a checked snapshot file,
+    // parsing + verifying it back, and the full engine warm boot
+    // (construct, load, tear down).  Four resident load results on
+    // mid-size tori make the file big enough to exercise the CRC paths.
+    service::PlanCache cache(16, 4);
+    for (i32 k : {8, 10, 12, 16}) {
+      const service::QueryKey key = service::make_query_key(
+          Radices{k, k}, 1, RouterKind::Odr, service::QueryOp::Load);
+      cache.put(key, std::make_shared<service::QueryResult>(
+                         service::compute_query(key)));
+    }
+    const std::string snap_path =
+        (std::filesystem::temp_directory_path() / "tp_benchstat.snap")
+            .string();
+    results.push_back(time_fn("service_snapshot_save/T16^2", reps, [&] {
+      g_sink += static_cast<double>(
+          service::save_cache_snapshot(cache, snap_path).bytes);
+    }));
+    results.push_back(time_fn("service_snapshot_load/T16^2", reps, [&] {
+      service::PlanCache warmed(16, 4);
+      g_sink += static_cast<double>(
+          service::load_cache_snapshot(warmed, snap_path).entries);
+    }));
+    results.push_back(time_fn("service_warm_boot/T16^2", reps, [&] {
+      service::EngineConfig config;
+      config.threads = 2;
+      config.snapshot_path = snap_path;
+      config.snapshot_load = true;
+      service::Engine engine(config);
+      g_sink += static_cast<double>(engine.snapshot_status().warm_entries);
+    }));
+    std::filesystem::remove(snap_path);
+  }
   return results;
 }
 
@@ -225,6 +260,8 @@ void write_json(const std::string& path,
 std::string find_baseline(const std::string& dir, const std::string& out) {
   namespace fs = std::filesystem;
   std::string best;
+  std::string best_name;  // compare filenames, not paths: "./BENCH_5.json"
+                          // vs "BENCH_6.json" would order on the "./"
   if (!fs::is_directory(dir)) return best;
   const std::string out_name = fs::path(out).filename().string();
   for (const auto& entry : fs::directory_iterator(dir)) {
@@ -235,7 +272,10 @@ std::string find_baseline(const std::string& dir, const std::string& out) {
         name.compare(name.size() - 5, 5, ".json") != 0)
       continue;
     if (name == out_name) continue;
-    if (name > best) best = entry.path().string();
+    if (name > best_name) {
+      best_name = name;
+      best = entry.path().string();
+    }
   }
   return best;
 }

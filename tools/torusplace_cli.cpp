@@ -23,6 +23,10 @@
 //   torusplace version
 //       build provenance (version, git describe, compiler, flags)
 
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -38,6 +42,7 @@
 #include "src/routing/deadlock.h"
 #include "src/service/service.h"
 #include "src/util/build_info.h"
+#include "src/util/checked_io.h"
 #include "src/util/parallel.h"
 #include "tools/cli_args.h"
 
@@ -94,7 +99,44 @@ service::EngineConfig engine_config(const Args& args) {
   config.slow_log_capacity =
       static_cast<std::size_t>(args.get_int("slow-log", 16));
   config.use_table_router = args.has("router-table");
+  // Durability (docs/durability.md): --cache-file names the snapshot,
+  // --cache-load warms the boot, --cache-save[=ms] arms the shutdown save
+  // (and, with a value, periodic background saves during serve).
+  config.snapshot_path = args.get("cache-file");
+  config.snapshot_load = args.has("cache-load");
+  config.snapshot_save = args.has("cache-save");
+  if (config.snapshot_save)
+    config.snapshot_interval_ms = args.get_int("cache-save", 0);
+  if ((config.snapshot_load || config.snapshot_save) &&
+      config.snapshot_path.empty())
+    throw UsageError("--cache-load/--cache-save need --cache-file <path>");
   return config;
+}
+
+/// Boot-time cache report (stderr, so JSONL/table stdout stays clean).
+/// Silent unless a warm-up was requested; a refused snapshot reports the
+/// structured reason and the run continues cold.
+void report_snapshot_boot(const service::Engine& engine, std::ostream& err) {
+  const service::SnapshotStatus snap = engine.snapshot_status();
+  if (!snap.load_attempted) return;
+  if (snap.load_outcome == "warm")
+    err << "cache: warm boot, " << snap.warm_entries << " entr(ies) from "
+        << engine.config().snapshot_path << "\n";
+  else
+    err << "cache: cold boot (" << snap.load_outcome << ")\n";
+}
+
+/// Explicit end-of-run snapshot for --cache-save (the Engine destructor
+/// would also save, but saving here lets the outcome be reported).
+void final_snapshot_save(service::Engine& engine, std::ostream& err) {
+  if (!engine.config().snapshot_save) return;
+  const bool ok = engine.save_snapshot();
+  const service::SnapshotStatus snap = engine.snapshot_status();
+  if (ok)
+    err << "cache: saved " << snap.last_save_entries << " entr(ies) to "
+        << engine.config().snapshot_path << "\n";
+  else
+    err << "cache: snapshot save failed (" << snap.last_save_outcome << ")\n";
 }
 
 /// Human-readable slow-query dump (stderr, so JSONL stdout stays clean).
@@ -532,6 +574,27 @@ int cmd_resilience(const Args& args) {
             << p.size() << ", repair_prob = " << fmt(config.repair_prob)
             << ", retries = " << config.max_retries << "\n\n";
 
+  // --checkpoint=dir: one journal cell per (router, rate) plus one per
+  // router's derived fault horizon, computed exactly as resilience_sweep
+  // would (resilience_horizon + the same bernoulli schedule), so a
+  // resumed curve is byte-identical to an uninterrupted one.
+  std::optional<service::CheckpointJournal> journal;
+  const std::string checkpoint_dir = args.get("checkpoint");
+  if (!checkpoint_dir.empty()) {
+    std::string run_key = "resilience/1 " + service::snapshot_build_key() +
+                          " d=" + std::to_string(d) +
+                          " k=" + std::to_string(k) +
+                          " t=" + std::to_string(t) +
+                          " seed=" + std::to_string(seed) + " rates=";
+    for (double rate : rates) run_key += fmt(rate, 6) + ",";
+    run_key += " repair=" + fmt(config.repair_prob, 6) +
+               " retries=" + std::to_string(config.max_retries) +
+               " backoff=" + std::to_string(config.backoff_base) +
+               " horizon=" + std::to_string(config.horizon);
+    journal.emplace(checkpoint_dir, "resilience", run_key);
+  }
+  i64 computed = 0;
+
   // Degradation curves: fault rate x router.
   phase.emplace("sweep");
   std::vector<DegradationReport> all;
@@ -541,7 +604,44 @@ int cmd_resilience(const Args& args) {
   for (RouterKind kind :
        {RouterKind::Odr, RouterKind::Udr, RouterKind::Adaptive}) {
     const auto router = make_router(kind);
-    const auto curve = resilience_sweep(torus, p, *router, rates, config);
+    std::vector<DegradationReport> curve;
+    if (!journal) {
+      curve = resilience_sweep(torus, p, *router, rates, config);
+    } else {
+      // Per-cell replica of resilience_sweep: the horizon derivation is
+      // itself a cell (it costs a fault-free simulation), then each rate
+      // is one cell.
+      const std::string horizon_cell = std::string(router->name()) +
+                                       " horizon";
+      i64 horizon = 0;
+      if (const std::string* payload = journal->find(horizon_cell)) {
+        util::ByteView view(*payload);
+        horizon = view.get_i64();
+      } else {
+        horizon = resilience_horizon(torus, p, *router, config);
+        util::ByteBuffer buf;
+        buf.put_i64(horizon);
+        journal->record(horizon_cell, buf.data());
+        ++computed;
+      }
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        const std::string cell = std::string(router->name()) + " rate[" +
+                                 std::to_string(i) + "]";
+        if (const std::string* payload = journal->find(cell)) {
+          curve.push_back(decode_degradation_report(*payload));
+          continue;
+        }
+        const FaultSchedule schedule =
+            FaultSchedule::bernoulli(torus, rates[i], config.repair_prob,
+                                     horizon, config.schedule_seed);
+        DegradationReport r =
+            degradation_report(torus, p, *router, schedule, config);
+        r.fault_rate = rates[i];
+        journal->record(cell, encode_degradation_report(r));
+        ++computed;
+        curve.push_back(std::move(r));
+      }
+    }
     for (const DegradationReport& r : curve) {
       table.add_row({r.router_name, fmt(r.fault_rate, 4),
                      fmt(static_cast<long long>(r.delivered)),
@@ -556,6 +656,10 @@ int cmd_resilience(const Args& args) {
   }
   phase.reset();
   table.print(std::cout);
+  if (journal)
+    std::cerr << "checkpoint: resumed " << journal->resumed_cells()
+              << " completed cell(s), computed " << computed << " ("
+              << journal->path() << ")\n";
 
   if (args.has("criticality")) {
     // Per-wire criticality under the selected router (default odr, the
@@ -648,21 +752,57 @@ int cmd_sweep(const Args& args) {
   // re-planned, and distinct cells compute concurrently on the pool.
   // --stats-json reports the dedup (service.cache_hits / coalesced).
   service::Engine engine(engine_config(args));
-  std::vector<service::Engine::Ticket> tickets;
-  tickets.reserve(ks.size());
-  for (i32 k : ks) {
-    service::Request req;
-    req.key = service::make_query_key(Torus(d, k).radices(), t, kind,
-                                      service::QueryOp::Load);
-    tickets.push_back(engine.submit(req));
+  report_snapshot_boot(engine, std::cerr);
+
+  // --checkpoint=dir: journal each completed cell so a killed run resumes
+  // from the last completed cell.  Results round-trip bit-exactly
+  // (snapshot.h), so a resumed table is byte-identical to an
+  // uninterrupted one.  The run key pins the full parameterization plus
+  // the build, refusing a journal from a different run.
+  std::optional<service::CheckpointJournal> journal;
+  const std::string checkpoint_dir = args.get("checkpoint");
+  if (!checkpoint_dir.empty()) {
+    std::string ks_text;
+    for (i32 k : ks) ks_text += std::to_string(k) + ",";
+    journal.emplace(checkpoint_dir, "sweep",
+                    "sweep/1 " + service::snapshot_build_key() + " d=" +
+                        std::to_string(d) + " ks=" + ks_text +
+                        " t=" + std::to_string(t) + " router=" +
+                        service::router_name_short(kind));
   }
 
+  std::vector<service::QueryKey> keys;
+  std::vector<std::optional<service::Engine::Ticket>> tickets(ks.size());
+  keys.reserve(ks.size());
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    keys.push_back(service::make_query_key(Torus(d, ks[i]).radices(), t,
+                                           kind, service::QueryOp::Load));
+    if (journal && journal->find(keys[i].str()) != nullptr)
+      continue;  // already completed by a previous (killed) run
+    service::Request req;
+    req.key = keys[i];
+    tickets[i] = engine.submit(req);
+  }
+
+  i64 computed = 0;
   Table table({"k", "|P|", "E_max", "E_max/|P|", "best lower bound",
                "paper prediction"});
   for (std::size_t i = 0; i < ks.size(); ++i) {
-    const service::Response resp = tickets[i].wait();
-    if (!resp.ok) throw Error(resp.error);
-    const service::QueryResult& r = *resp.result;
+    std::shared_ptr<const service::QueryResult> result;
+    if (tickets[i]) {
+      const service::Response resp = tickets[i]->wait();
+      if (!resp.ok) throw Error(resp.error);
+      result = resp.result;
+      if (journal) {
+        journal->record(keys[i].str(),
+                        service::encode_query_result(*result));
+        ++computed;
+      }
+    } else {
+      result = std::make_shared<const service::QueryResult>(
+          service::decode_query_result(*journal->find(keys[i].str())));
+    }
+    const service::QueryResult& r = *result;
     table.add_row({fmt(static_cast<long long>(ks[i])),
                    fmt(static_cast<long long>(r.placement_size)),
                    fmt(r.measured_emax),
@@ -673,7 +813,12 @@ int cmd_sweep(const Args& args) {
                        fmt(r.predicted_emax)});
   }
   table.print(std::cout);
+  if (journal)
+    std::cerr << "checkpoint: resumed " << journal->resumed_cells()
+              << " completed cell(s), computed " << computed << " ("
+              << journal->path() << ")\n";
   engine.publish_stats();
+  final_snapshot_save(engine, std::cerr);
   return 0;
 }
 
@@ -686,6 +831,7 @@ int cmd_batch(const Args& args) {
   TP_REQUIRE(in.good(), "cannot open '" + path + "'");
 
   service::Engine engine(engine_config(args));
+  report_snapshot_boot(engine, std::cerr);
   i64 n = 0;
   const std::string out_path = args.get("out");
   if (out_path.empty()) {
@@ -703,7 +849,30 @@ int cmd_batch(const Args& args) {
             << " plan(s) computed, " << s.cache_hits << " cache hit(s), "
             << s.coalesced << " coalesced, " << s.timeouts
             << " timeout(s), " << s.errors << " error(s)\n";
+  final_snapshot_save(engine, std::cerr);
   return 0;
+}
+
+// SIGTERM/SIGINT graceful drain for serve: the handler closes stdin —
+// async-signal-safe — so the JSONL loop sees end-of-input, finishes the
+// requests already accepted, and falls through to the normal shutdown
+// path (final snapshot included).  sigaction is installed without
+// SA_RESTART on purpose: a read blocked on the terminal must be
+// interrupted, not transparently restarted.
+std::atomic<int> g_shutdown_signal{0};
+
+void handle_shutdown_signal(int sig) {
+  g_shutdown_signal.store(sig);
+  ::close(0);
+}
+
+void install_shutdown_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
 }
 
 int cmd_serve(const Args& args) {
@@ -715,12 +884,17 @@ int cmd_serve(const Args& args) {
   // --stats-json / TP_OBS).
   obs::registry().set_enabled(true);
   service::Engine engine(engine_config(args));
+  report_snapshot_boot(engine, std::cerr);
+  install_shutdown_handlers();
   const i64 n = service::run_serve(engine, std::cin, std::cout);
+  if (const int sig = g_shutdown_signal.load(); sig != 0)
+    std::cerr << "serve: graceful shutdown on signal " << sig << "\n";
   engine.publish_stats();
   const service::EngineStats s = engine.stats();
   std::cerr << "serve: " << n << " request(s), " << s.plans_computed
             << " plan(s) computed, " << s.cache_hits << " cache hit(s)\n";
   dump_slow_queries(engine, std::cerr);
+  final_snapshot_save(engine, std::cerr);
   return 0;
 }
 
@@ -746,10 +920,12 @@ int usage() {
       "                                                --link-stats[=N] --link-json <path>)\n"
       "  resilience degradation under dynamic faults  (--d --k --t --rates --repair --retries\n"
       "                                                --backoff --horizon --seed --json <path>\n"
-      "                                                --criticality[=N] --router --threads)\n"
+      "                                                --criticality[=N] --router --threads\n"
+      "                                                --checkpoint <dir>)\n"
       "  verify    certify linear load over a k sweep (--d --ks --t --router)\n"
       "  deadlock  channel-dependency analysis        (--d --k --router)\n"
-      "  sweep     E_max table across k               (--d --ks --t --router --threads --cache)\n"
+      "  sweep     E_max table across k               (--d --ks --t --router --threads --cache\n"
+      "                                                --checkpoint <dir>)\n"
       "  batch     answer a JSONL request file        (<file> | --in <file>; --out <path>\n"
       "                                                --threads --cache --measure-threads\n"
       "                                                --deadline-ms)\n"
@@ -788,7 +964,17 @@ int usage() {
       "link telemetry (simulate):\n"
       "  --link-stats[=N]     per-link probes: top-N hotspot table (default\n"
       "                       10), CoV/max-to-mean, measured-vs-predicted\n"
-      "  --link-json <path>   per-link + per-window JSONL dump\n";
+      "  --link-json <path>   per-link + per-window JSONL dump\n"
+      "\n"
+      "durability (docs/durability.md; analyze/sweep/batch/serve):\n"
+      "  --cache-file <path>  PlanCache snapshot file (the build key from\n"
+      "                       `torusplace version` is the compatibility key)\n"
+      "  --cache-load         warm the cache from the snapshot at boot;\n"
+      "                       corruption degrades to a cold cache\n"
+      "  --cache-save[=ms]    snapshot on shutdown (incl. SIGTERM/quitz\n"
+      "                       drain); with =ms also every ms milliseconds\n"
+      "  --checkpoint <dir>   (sweep/resilience) journal completed cells;\n"
+      "                       a killed run resumes from the last one\n";
   return kExitUsage;
 }
 
@@ -840,9 +1026,10 @@ int run(int argc, char** argv) {
       "iters", "out", "stats-json", "trace", "link-json",
       "rates", "repair", "retries", "backoff", "horizon", "json",
       "threads", "in", "cache", "measure-threads", "deadline-ms",
-      "slow-log"};
+      "slow-log", "cache-file", "checkpoint"};
   const std::set<std::string> flags{"link-stats", "measured", "criticality",
-                                    "stdio", "profile", "router-table"};
+                                    "stdio", "profile", "router-table",
+                                    "cache-load", "cache-save"};
   const Args args(argc, argv, first, known, flags);
 
   // Global observability flags: turn the registry/tracer on before the

@@ -208,6 +208,10 @@ constexpr Rule kRules[] = {
      "src/obs/timer.h or TP_PROF_PHASE for durations — system_clock "
      "jumps with wall-clock adjustments and clock()/gettimeofday mix "
      "CPU/realtime semantics"},
+    {"raw-io", "src/ (except src/util/)",
+     "unchecked stdio file I/O; persistent binary state goes through "
+     "src/util/checked_io.h (CRC-framed records, atomic replace) so "
+     "truncation and bit-flips are detected instead of served"},
 };
 
 const Rule& rule(std::string_view id) {
@@ -343,6 +347,24 @@ void lint_file(std::vector<Diagnostic>& diags, const std::string& rel,
          it != std::sregex_iterator(); ++it)
       add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
           "raw-timing");
+  }
+
+  // raw-io: persistent state written with bare stdio has no integrity
+  // story — a torn write or flipped bit is served back as truth.  Library
+  // code outside src/util/ (where the blessed wrappers live) must route
+  // file bytes through util::CheckedFileWriter / read_checked_file /
+  // AppendLog.  The preceding-character class keeps identifiers like
+  // profile_fwrite out; only the bare calls and the FILE* type are caught.
+  if (in_src(rel) && !in_util(rel)) {
+    static const std::regex kFilePtr(R"((?:^|[^A-Za-z0-9_])(FILE)\s*\*)");
+    static const std::regex kStdio(
+        R"((?:^|[^A-Za-z0-9_:\.])(f(?:open|reopen|dopen|write|read|close)\s*\())");
+    for (const std::regex* re : {&kFilePtr, &kStdio})
+      for (auto it =
+               std::sregex_iterator(scrubbed.begin(), scrubbed.end(), *re);
+           it != std::sregex_iterator(); ++it)
+        add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
+            "raw-io");
   }
 
   // iostream-in-header: library headers must not pull in iostream (it

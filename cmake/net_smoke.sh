@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# End-to-end TCP smoke for the network front-end (docs/networking.md):
+#
+#   1. start `serve --tcp 127.0.0.1:0` in the background and wait for the
+#      resolved endpoint to land in the --port-file,
+#   2. drive it with a short closed-loop loadgen run, which must report
+#      zero errors and zero torn responses,
+#   3. SIGTERM the server and assert a graceful drain: exit code 0 and
+#      the "graceful shutdown" line on stderr.
+#
+# Usage: net_smoke.sh <torusplace-binary> <scratch-dir>
+set -u
+
+CLI="$1"
+DIR="$2"
+rm -rf "$DIR"
+mkdir -p "$DIR"
+PORT_FILE="$DIR/endpoint"
+
+fail() {
+  echo "net_smoke: $1" >&2
+  echo "--- server stderr ---" >&2
+  cat "$DIR/server.err" >&2 || true
+  echo "--- loadgen output ---" >&2
+  cat "$DIR/loadgen.out" >&2 || true
+  kill -KILL "$SERVER_PID" 2> /dev/null || true
+  exit 1
+}
+
+"$CLI" serve --tcp 127.0.0.1:0 --port-file "$PORT_FILE" \
+  2> "$DIR/server.err" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVER_PID" 2> /dev/null || fail "server died before binding"
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || fail "no endpoint in --port-file after 10s"
+ADDR="$(cat "$PORT_FILE")"
+
+"$CLI" loadgen --connect "$ADDR" --clients 4 --duration-ms 1500 \
+  --warmup-ms 300 --universe 8 > "$DIR/loadgen.out" ||
+  fail "loadgen exited non-zero"
+grep -q "errors 0 " "$DIR/loadgen.out" || fail "loadgen saw errors"
+grep -q "torn 0 " "$DIR/loadgen.out" || fail "loadgen saw torn responses"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+RC=$?
+[ "$RC" -eq 0 ] || fail "server exited $RC after SIGTERM"
+grep -q "graceful shutdown" "$DIR/server.err" ||
+  fail "no graceful-shutdown line on server stderr"
+
+echo "net_smoke: ok ($(grep 'qps' "$DIR/loadgen.out" | head -1 | tr -s ' '))"
+exit 0

@@ -1,0 +1,120 @@
+#include "src/net/line_buffer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tp::net {
+
+void LineBuffer::feed(const char* data, std::size_t n) {
+  buf_.append(data, n);
+}
+
+std::optional<LineBuffer::Line> LineBuffer::next_line() {
+  if (discarding_) {
+    // The tail of an already-reported oversized line: drop through its
+    // newline, then resume normal framing.
+    const std::size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) {
+      buf_.clear();
+      return std::nullopt;
+    }
+    buf_.erase(0, nl + 1);
+    discarding_ = false;
+  }
+
+  const std::size_t nl = buf_.find('\n');
+  if (nl != std::string::npos && nl <= max_bytes_) {
+    Line line;
+    line.text = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return line;
+  }
+
+  // No newline within the limit.  Report the over-limit line as soon as
+  // the limit is crossed — waiting for its newline would let one peer
+  // buffer unbounded bytes — and discard the remainder.
+  if (buf_.size() > max_bytes_) {
+    Line line;
+    line.text = buf_.substr(0, max_bytes_);
+    line.oversized = true;
+    if (nl != std::string::npos) {
+      buf_.erase(0, nl + 1);
+    } else {
+      buf_.clear();
+      discarding_ = true;
+    }
+    return line;
+  }
+  return std::nullopt;
+}
+
+std::optional<LineBuffer::Line> LineBuffer::take_residual() {
+  if (discarding_ || buf_.empty()) return std::nullopt;
+  Line line;
+  line.text = std::move(buf_);
+  buf_.clear();
+  return line;
+}
+
+namespace {
+
+std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])))
+    ++i;
+  return i;
+}
+
+}  // namespace
+
+obs::JsonValue salvage_id_prefix(std::string_view prefix, i64 line_no) {
+  // The prefix is NOT valid JSON (it was cut mid-line), so this is a
+  // token scan, not a parse: find `"id"`, a colon, then a complete
+  // string or number token.  Anything ambiguous falls back to the line
+  // number — same default as a request without an id.
+  const std::size_t key = prefix.find("\"id\"");
+  if (key == std::string_view::npos) return obs::JsonValue(line_no);
+  std::size_t i = skip_ws(prefix, key + 4);
+  if (i >= prefix.size() || prefix[i] != ':') return obs::JsonValue(line_no);
+  i = skip_ws(prefix, i + 1);
+  if (i >= prefix.size()) return obs::JsonValue(line_no);
+
+  if (prefix[i] == '"') {
+    std::string out;
+    for (std::size_t j = i + 1; j < prefix.size(); ++j) {
+      if (prefix[j] == '\\') {
+        // Escapes would need a real parser; a truncated escape is
+        // exactly the ambiguity this scan must not guess about.
+        return obs::JsonValue(line_no);
+      }
+      if (prefix[j] == '"') return obs::JsonValue(std::string(out));
+      out.push_back(prefix[j]);
+    }
+    return obs::JsonValue(line_no);  // closing quote was cut off
+  }
+
+  if (prefix[i] == '-' ||
+      std::isdigit(static_cast<unsigned char>(prefix[i]))) {
+    std::size_t j = i;
+    if (prefix[j] == '-') ++j;
+    bool digits = false, dot = false;
+    while (j < prefix.size() &&
+           (std::isdigit(static_cast<unsigned char>(prefix[j])) ||
+            (prefix[j] == '.' && !dot))) {
+      dot = dot || prefix[j] == '.';
+      digits = digits || prefix[j] != '.';
+      ++j;
+    }
+    // A number token running to the end of the prefix may have been
+    // truncated mid-digits; only trust one followed by more input.
+    if (digits && j < prefix.size()) {
+      const std::string text(prefix.substr(i, j - i));
+      if (dot) return obs::JsonValue(std::strtod(text.c_str(), nullptr));
+      return obs::JsonValue(
+          static_cast<i64>(std::strtoll(text.c_str(), nullptr, 10)));
+    }
+  }
+  return obs::JsonValue(line_no);
+}
+
+}  // namespace tp::net

@@ -1,0 +1,66 @@
+// Incremental line framing for the JSONL wire protocol.
+//
+// The TCP reader feeds raw recv() chunks in; next_line() hands back
+// complete newline-terminated lines one at a time, mirroring the
+// std::getline semantics the stdio front-end relies on — including the
+// final unterminated line at EOF, which take_residual() surfaces so a
+// half-closed socket behaves exactly like a pipe whose writer exited
+// without a trailing newline.
+//
+// A max-line guard bounds per-connection memory against a hostile or
+// broken peer: once a line exceeds the limit, the first max_bytes of it
+// are emitted immediately as an `oversized` Line (so the server can
+// salvage the request id and answer a structured error without waiting
+// for the newline), and everything up to the next newline is discarded.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/obs/json.h"
+#include "src/util/math.h"
+
+namespace tp::net {
+
+class LineBuffer {
+ public:
+  struct Line {
+    std::string text;
+    bool oversized = false;
+  };
+
+  explicit LineBuffer(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Appends a raw chunk from the socket.
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view s) { feed(s.data(), s.size()); }
+
+  /// The next complete line (without its newline), or nullopt when more
+  /// bytes are needed.  An over-limit line comes back once, truncated to
+  /// max_bytes with `oversized` set, as soon as the limit is crossed;
+  /// the rest of it (through its newline) is silently dropped.
+  std::optional<Line> next_line();
+
+  /// The final unterminated line at EOF (getline parity: a stream whose
+  /// last line lacks '\n' still yields that line).  Empty optional when
+  /// nothing is buffered or the tail was an oversized line being
+  /// discarded.
+  std::optional<Line> take_residual();
+
+  std::size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  std::size_t max_bytes_;
+  bool discarding_ = false;
+};
+
+/// Best-effort request-id recovery from the truncated prefix of an
+/// oversized line: scans for a top-level-looking `"id": <string|number>`
+/// and returns it, else falls back to the 1-based line number (the same
+/// default the JSONL parser assigns when `id` is absent).
+obs::JsonValue salvage_id_prefix(std::string_view prefix, i64 line_no);
+
+}  // namespace tp::net

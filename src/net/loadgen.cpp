@@ -1,0 +1,408 @@
+#include "src/net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "src/net/line_buffer.h"
+#include "src/net/socket.h"
+#include "src/util/error.h"
+#include "src/util/thread_annotations.h"
+
+namespace tp::net {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+i64 us_between(Clock::time_point from, Clock::time_point to) {
+  const i64 us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us < 0 ? 0 : us;
+}
+
+/// Per-thread tallies, merged into the report after joins (no shared
+/// mutable state between driver threads).
+struct Tally {
+  i64 sent = 0;
+  i64 answered = 0;
+  i64 ok = 0;
+  i64 errors = 0;
+  i64 timeouts = 0;
+  i64 overloads = 0;
+  i64 torn = 0;
+  i64 closed_early = 0;
+  std::vector<i64> samples;  ///< post-warmup latency, us
+  Clock::time_point last_answer{};
+};
+
+/// One request line.  Key i maps to a T_{4+i}^2 plan query — valid,
+/// cheap to compute, and distinct per i, so `universe` controls how many
+/// cache entries the run touches.
+std::string build_request(const std::string& id, i64 key, i64 deadline_ms) {
+  std::string out = "{\"id\":\"" + id + "\",\"op\":\"plan\",\"d\":2,\"k\":" +
+                    std::to_string(4 + key);
+  if (deadline_ms > 0)
+    out += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  out += "}\n";
+  return out;
+}
+
+void classify(const std::string& text, bool measured, i64 us, Tally& tally) {
+  ++tally.answered;
+  tally.last_answer = Clock::now();
+  bool ok = false, timeout = false, overload = false;
+  try {
+    const obs::JsonValue doc = obs::parse_json(text);
+    if (const obs::JsonValue* okv = doc.find("ok"))
+      ok = okv->kind() == obs::JsonValue::Kind::Bool && okv->as_bool();
+    timeout = doc.is_object() && doc.find("timeout") != nullptr;
+    overload = doc.is_object() && doc.find("overload") != nullptr;
+  } catch (const Error&) {
+    ok = false;
+  }
+  if (ok)
+    ++tally.ok;
+  else if (timeout)
+    ++tally.timeouts;
+  else if (overload)
+    ++tally.overloads;
+  else
+    ++tally.errors;
+  if (measured) tally.samples.push_back(us);
+}
+
+u64 stream_seed(u64 seed, u64 stream) {
+  SplitMix64 sm(seed);
+  u64 out = sm.next();
+  for (u64 i = 0; i <= stream; ++i) out = sm.next();
+  return out;
+}
+
+/// Closed-loop client: one connection, one outstanding request.
+void closed_client(const LoadgenConfig& config, i32 index, Socket sock,
+                   Clock::time_point warm_end, Clock::time_point end,
+                   Tally& tally) {
+  LineBuffer lines(1 << 20);
+  char buf[8192];
+  KeySampler sampler(config.universe, config.zipf, config.zipf_s,
+                     stream_seed(config.seed, static_cast<u64>(index)));
+  std::string id_prefix = "c";
+  id_prefix += std::to_string(index);
+  id_prefix += '-';
+  i64 seq = 0;
+  bool eof = false;
+  while (!eof && Clock::now() < end) {
+    const std::string req = build_request(id_prefix + std::to_string(seq),
+                                          sampler.next(), config.deadline_ms);
+    ++seq;
+    const Clock::time_point sent_at = Clock::now();
+    if (!sock.write_all(req)) {
+      ++tally.closed_early;
+      break;
+    }
+    ++tally.sent;
+    std::optional<LineBuffer::Line> line;
+    while (!(line = lines.next_line())) {
+      const i64 got = sock.read_some(buf, sizeof buf);
+      if (got <= 0) {
+        // EOF with a request outstanding: a partial line is a torn
+        // response (the graceful-drain contract forbids it); a clean
+        // cut before any response byte is just an early close.
+        if (lines.buffered_bytes() > 0)
+          ++tally.torn;
+        else
+          ++tally.closed_early;
+        eof = true;
+        break;
+      }
+      lines.feed(buf, static_cast<std::size_t>(got));
+    }
+    if (!line) break;
+    classify(line->text, sent_at >= warm_end, us_between(sent_at, Clock::now()),
+             tally);
+  }
+  if (!eof) {
+    sock.shutdown_write();
+    while (sock.read_some(buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+/// Open-loop shared connection state: the scheduler pushes a send
+/// timestamp (then writes the request), the reader pops one per response
+/// line — in-order responses make id matching unnecessary.
+struct OpenConn {
+  explicit OpenConn(Socket s) : sock(std::move(s)) {}
+  Socket sock;
+  Mutex mu;
+  std::deque<Clock::time_point> pending TP_GUARDED_BY(mu);
+  bool dead TP_GUARDED_BY(mu) = false;
+  Tally tally;  ///< reader thread only (merged after join)
+};
+
+void open_reader(OpenConn& conn, Clock::time_point warm_end) {
+  LineBuffer lines(1 << 20);
+  char buf[8192];
+  for (;;) {
+    const i64 got = conn.sock.read_some(buf, sizeof buf);
+    if (got <= 0) {
+      if (lines.buffered_bytes() > 0) ++conn.tally.torn;
+      return;
+    }
+    lines.feed(buf, static_cast<std::size_t>(got));
+    while (auto line = lines.next_line()) {
+      Clock::time_point sent_at{};
+      bool have = false;
+      {
+        const MutexLock lock(conn.mu);
+        if (!conn.pending.empty()) {
+          sent_at = conn.pending.front();
+          conn.pending.pop_front();
+          have = true;
+        }
+      }
+      // A response with no matching send would be a server bug; count it
+      // as an error rather than crashing the driver.
+      if (!have) {
+        ++conn.tally.answered;
+        ++conn.tally.errors;
+        continue;
+      }
+      classify(line->text, sent_at >= warm_end,
+               us_between(sent_at, Clock::now()), conn.tally);
+    }
+  }
+}
+
+void merge(LoadgenReport& report, const Tally& tally,
+           std::vector<i64>& samples, Clock::time_point& last_answer) {
+  report.sent += tally.sent;
+  report.answered += tally.answered;
+  report.ok += tally.ok;
+  report.errors += tally.errors;
+  report.timeouts += tally.timeouts;
+  report.overloads += tally.overloads;
+  report.torn += tally.torn;
+  report.closed_early += tally.closed_early;
+  samples.insert(samples.end(), tally.samples.begin(), tally.samples.end());
+  if (tally.last_answer > last_answer) last_answer = tally.last_answer;
+}
+
+void finish_report(LoadgenReport& report, std::vector<i64>& samples,
+                   Clock::time_point warm_end, Clock::time_point last_answer) {
+  report.samples = static_cast<i64>(samples.size());
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    const auto at = [&samples](double q) {
+      const std::size_t n = samples.size();
+      std::size_t i = static_cast<std::size_t>(q * static_cast<double>(n));
+      if (i >= n) i = n - 1;
+      return static_cast<double>(samples[i]);
+    };
+    report.p50_us = at(0.50);
+    report.p99_us = at(0.99);
+    report.p999_us = at(0.999);
+    report.max_us = static_cast<double>(samples.back());
+    double sum = 0.0;
+    for (const i64 s : samples) sum += static_cast<double>(s);
+    report.mean_us = sum / static_cast<double>(samples.size());
+  }
+  if (last_answer > warm_end) {
+    report.wall_s =
+        static_cast<double>(us_between(warm_end, last_answer)) / 1e6;
+    if (report.wall_s > 0.0)
+      report.qps = static_cast<double>(report.samples) / report.wall_s;
+  }
+}
+
+}  // namespace
+
+KeySampler::KeySampler(i64 universe, bool zipf, double s, u64 seed)
+    : rng_(seed), universe_(universe < 1 ? 1 : universe) {
+  if (zipf) {
+    cdf_.reserve(static_cast<std::size_t>(universe_));
+    double total = 0.0;
+    for (i64 i = 1; i <= universe_; ++i)
+      total += 1.0 / std::pow(static_cast<double>(i), s);
+    double acc = 0.0;
+    for (i64 i = 1; i <= universe_; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i), s) / total;
+      cdf_.push_back(acc);
+    }
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+}
+
+i64 KeySampler::next() {
+  if (cdf_.empty())
+    return static_cast<i64>(rng_.below(static_cast<u64>(universe_)));
+  const double u = rng_.uniform();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<i64>(it - cdf_.begin());
+}
+
+LoadgenReport run_loadgen(const LoadgenConfig& config) {
+  TP_REQUIRE(config.clients >= 1, "loadgen needs at least one client");
+  TP_REQUIRE(config.duration_ms >= 1, "duration must be >= 1 ms");
+  TP_REQUIRE(config.universe >= 1, "universe must be >= 1");
+  TP_REQUIRE(!config.open_loop || config.rate > 0.0,
+             "open-loop mode needs a positive --rate");
+
+  // Connect everything up front: an unreachable endpoint is a startup
+  // error (throws), not a zero-QPS report.
+  std::vector<Socket> socks;
+  socks.reserve(static_cast<std::size_t>(config.clients));
+  for (i32 i = 0; i < config.clients; ++i)
+    socks.push_back(connect_to(config.host, config.port));
+
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point warm_end =
+      t0 + std::chrono::milliseconds(config.warmup_ms);
+  const Clock::time_point end =
+      warm_end + std::chrono::milliseconds(config.duration_ms);
+
+  LoadgenReport report;
+  std::vector<i64> samples;
+  Clock::time_point last_answer{};
+
+  if (!config.open_loop) {
+    std::vector<Tally> tallies(static_cast<std::size_t>(config.clients));
+    std::vector<Thread> threads;
+    threads.reserve(static_cast<std::size_t>(config.clients));
+    for (i32 i = 0; i < config.clients; ++i)
+      threads.emplace_back(
+          [&config, i, &tallies, warm_end, end,
+           sock = std::move(socks[static_cast<std::size_t>(i)])]() mutable {
+            closed_client(config, i, std::move(sock), warm_end, end,
+                          tallies[static_cast<std::size_t>(i)]);
+          });
+    for (auto& t : threads) t.join();
+    for (const Tally& tally : tallies)
+      merge(report, tally, samples, last_answer);
+  } else {
+    std::vector<std::unique_ptr<OpenConn>> conns;
+    std::vector<Thread> readers;
+    for (auto& sock : socks) {
+      conns.push_back(std::make_unique<OpenConn>(std::move(sock)));
+      OpenConn& conn = *conns.back();
+      readers.emplace_back([&conn, warm_end] { open_reader(conn, warm_end); });
+    }
+
+    KeySampler sampler(config.universe, config.zipf, config.zipf_s,
+                       stream_seed(config.seed, 0));
+    Mutex tick_mu;
+    CondVar tick_cv;  // nothing notifies; wait_until is a precise sleep
+    const double interval_ns = 1e9 / config.rate;
+    i64 alive = static_cast<i64>(conns.size());
+    for (i64 i = 0;; ++i) {
+      const Clock::time_point sched =
+          t0 + std::chrono::nanoseconds(
+                   static_cast<i64>(static_cast<double>(i) * interval_ns));
+      if (sched >= end || alive == 0) break;
+      {
+        MutexLock lock(tick_mu);
+        while (Clock::now() < sched) tick_cv.wait_until(lock, sched);
+      }
+      OpenConn& conn = *conns[static_cast<std::size_t>(
+          i % static_cast<i64>(conns.size()))];
+      {
+        const MutexLock lock(conn.mu);
+        if (conn.dead) continue;
+        conn.pending.push_back(Clock::now());
+      }
+      std::string id = "o-";
+      id += std::to_string(i);
+      const std::string req =
+          build_request(id, sampler.next(), config.deadline_ms);
+      if (!conn.sock.write_all(req)) {
+        const MutexLock lock(conn.mu);
+        conn.pending.pop_back();
+        conn.dead = true;
+        --alive;
+        continue;
+      }
+      ++report.sent;
+    }
+
+    for (auto& conn : conns) conn->sock.shutdown_write();
+    for (auto& t : readers) t.join();
+    for (auto& conn : conns) {
+      i64 leftover = 0;
+      {
+        const MutexLock lock(conn->mu);
+        leftover = static_cast<i64>(conn->pending.size());
+      }
+      conn->tally.closed_early += leftover;
+      merge(report, conn->tally, samples, last_answer);
+    }
+  }
+
+  finish_report(report, samples, warm_end, last_answer);
+  return report;
+}
+
+void print_report(const LoadgenReport& report, const LoadgenConfig& config,
+                  std::ostream& out) {
+  char line[256];
+  out << "loadgen: mode=" << (config.open_loop ? "open" : "closed")
+      << " clients=" << config.clients;
+  if (config.open_loop) out << " rate=" << config.rate;
+  out << " universe=" << config.universe
+      << " skew=" << (config.zipf ? "zipf" : "uniform") << "\n";
+  out << "  sent " << report.sent << "  answered " << report.answered
+      << "  ok " << report.ok << "  errors " << report.errors << "  timeouts "
+      << report.timeouts << "  overloads " << report.overloads << "\n";
+  out << "  torn " << report.torn << "  closed_early " << report.closed_early
+      << "\n";
+  std::snprintf(line, sizeof line, "  qps %.1f  (window %.2fs, %lld samples)",
+                report.qps, report.wall_s,
+                static_cast<long long>(report.samples));
+  out << line << "\n";
+  std::snprintf(line, sizeof line,
+                "  latency_us p50 %.1f  p99 %.1f  p999 %.1f  mean %.1f  "
+                "max %.1f",
+                report.p50_us, report.p99_us, report.p999_us, report.mean_us,
+                report.max_us);
+  out << line << "\n";
+}
+
+obs::JsonValue report_to_json(const LoadgenReport& report,
+                              const LoadgenConfig& config) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("schema", obs::JsonValue("torusplace-loadgen/1"));
+  out.set("mode", obs::JsonValue(config.open_loop ? "open" : "closed"));
+  out.set("clients", obs::JsonValue(static_cast<i64>(config.clients)));
+  if (config.open_loop) out.set("rate", obs::JsonValue(config.rate));
+  out.set("duration_ms", obs::JsonValue(config.duration_ms));
+  out.set("warmup_ms", obs::JsonValue(config.warmup_ms));
+  out.set("skew", obs::JsonValue(config.zipf ? "zipf" : "uniform"));
+  if (config.zipf) out.set("zipf_s", obs::JsonValue(config.zipf_s));
+  out.set("universe", obs::JsonValue(config.universe));
+  out.set("seed", obs::JsonValue(static_cast<i64>(config.seed)));
+  out.set("sent", obs::JsonValue(report.sent));
+  out.set("answered", obs::JsonValue(report.answered));
+  out.set("ok", obs::JsonValue(report.ok));
+  out.set("errors", obs::JsonValue(report.errors));
+  out.set("timeouts", obs::JsonValue(report.timeouts));
+  out.set("overloads", obs::JsonValue(report.overloads));
+  out.set("torn", obs::JsonValue(report.torn));
+  out.set("closed_early", obs::JsonValue(report.closed_early));
+  out.set("wall_s", obs::JsonValue(report.wall_s));
+  out.set("qps", obs::JsonValue(report.qps));
+  out.set("p50_us", obs::JsonValue(report.p50_us));
+  out.set("p99_us", obs::JsonValue(report.p99_us));
+  out.set("p999_us", obs::JsonValue(report.p999_us));
+  out.set("mean_us", obs::JsonValue(report.mean_us));
+  out.set("max_us", obs::JsonValue(report.max_us));
+  out.set("samples", obs::JsonValue(report.samples));
+  return out;
+}
+
+}  // namespace tp::net

@@ -1,0 +1,97 @@
+// Traffic driver for the TCP front-end (`torusplace loadgen`).
+//
+// Two drive modes against a running `serve --tcp` endpoint:
+//   - closed-loop: N clients, each with one connection, each keeping
+//     exactly one request outstanding (send, wait, repeat).  Throughput
+//     is whatever the server sustains at that concurrency.
+//   - open-loop: a fixed aggregate arrival rate (requests/s) on a
+//     deterministic schedule, fanned over N connections with responses
+//     consumed asynchronously — so a slow server accumulates queueing
+//     delay instead of slowing the offered load (the coordinated-
+//     omission-free way to measure latency under load).
+//
+// Key skew: requests draw a query key from a universe of `universe`
+// distinct keys, uniformly or zipf(s)-distributed.  Against an engine
+// cache larger than the universe this makes the cache-hit ratio
+// controllable: uniform over 64 keys settles near miss-free steady
+// state slowly; zipf concentrates mass on few keys and heats the cache
+// almost immediately.
+//
+// Latency samples start after a warmup cutoff; the report carries
+// sustained post-warmup QPS, error/timeout/overload counts, and
+// p50/p99/p999, rendered human-readable (print_report) and as a JSONL
+// record (report_to_json) for benchstat-style tracking.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/util/math.h"
+#include "src/util/prng.h"
+
+namespace tp::net {
+
+struct LoadgenConfig {
+  std::string host = "127.0.0.1";
+  u16 port = 0;
+  bool open_loop = false;  ///< false = closed-loop
+  i32 clients = 8;         ///< connections (and, closed-loop, concurrency)
+  double rate = 1000.0;    ///< open-loop aggregate arrivals per second
+  i64 duration_ms = 5000;
+  i64 warmup_ms = 1000;  ///< samples before this are discarded
+  bool zipf = false;     ///< false = uniform key skew
+  double zipf_s = 1.1;
+  i64 universe = 64;  ///< distinct query keys
+  u64 seed = 1;
+  i64 deadline_ms = 0;  ///< per-request deadline field; 0 = none
+};
+
+struct LoadgenReport {
+  i64 sent = 0;      ///< requests written (lifetime, incl. warmup)
+  i64 answered = 0;  ///< response lines read (lifetime)
+  i64 ok = 0;        ///< "ok":true responses (lifetime)
+  i64 errors = 0;    ///< error responses excl. timeout/overload (lifetime)
+  i64 timeouts = 0;
+  i64 overloads = 0;
+  i64 torn = 0;  ///< EOF with a partial response line — must stay 0
+  i64 closed_early = 0;  ///< connections EOF'd with requests outstanding
+  double wall_s = 0.0;   ///< measured window (post-warmup)
+  double qps = 0.0;      ///< post-warmup answered / wall_s
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  i64 samples = 0;  ///< post-warmup latency samples
+};
+
+/// Draws keys 0..universe-1, uniform or zipf(s) (rank-1 most popular).
+/// Exposed for tests; deterministic per (seed, stream).
+class KeySampler {
+ public:
+  KeySampler(i64 universe, bool zipf, double s, u64 seed);
+  i64 next();
+
+ private:
+  Xoshiro256SS rng_;
+  i64 universe_;
+  std::vector<double> cdf_;  ///< empty = uniform
+};
+
+/// Runs the configured load against host:port.  Throws tp::Error when no
+/// connection can be established at startup; transport failures mid-run
+/// are counted in the report instead.
+LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+/// Human-readable report block.
+void print_report(const LoadgenReport& report, const LoadgenConfig& config,
+                  std::ostream& out);
+
+/// One-line JSON record ({"schema":"torusplace-loadgen/1", ...}).
+obs::JsonValue report_to_json(const LoadgenReport& report,
+                              const LoadgenConfig& config);
+
+}  // namespace tp::net

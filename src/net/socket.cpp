@@ -1,0 +1,190 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/util/error.h"
+
+namespace tp::net {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, u16 port) {
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else {
+    TP_REQUIRE(inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+               "not an IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+i64 Socket::read_some(char* buf, std::size_t n) {
+  if (fd_ < 0) return 0;
+  for (;;) {
+    const ssize_t got = recv(fd_, buf, n, 0);
+    if (got >= 0) return static_cast<i64>(got);
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool Socket::write_all(const char* data, std::size_t n) {
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as a
+    // write error on this connection, not SIGPIPE for the whole process.
+    const ssize_t sent = send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (sent > 0) {
+      off += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+HostPort parse_host_port(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  TP_REQUIRE(colon != std::string::npos,
+             "endpoint must be <addr:port>, got '" + spec + "'");
+  HostPort out;
+  out.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  TP_REQUIRE(end != port_text.c_str() && *end == '\0' && port >= 0 &&
+                 port <= 65535,
+             "port must be 0..65535, got '" + port_text + "'");
+  out.port = static_cast<u16>(port);
+  if (out.host.empty()) out.host = "0.0.0.0";
+  return out;
+}
+
+Listener::Listener(const std::string& host, u16 port, int backlog)
+    : host_(host.empty() ? "0.0.0.0" : host) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  TP_REQUIRE(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  sock_ = Socket(fd);
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host_, port);
+  TP_REQUIRE(bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0,
+             "cannot bind " + host_ + ":" + std::to_string(port) + ": " +
+                 std::strerror(errno));
+  TP_REQUIRE(listen(fd, backlog) == 0,
+             std::string("listen(): ") + std::strerror(errno));
+  // Resolve an ephemeral-port request to the real port.
+  sockaddr_in bound = {};
+  socklen_t len = sizeof bound;
+  TP_REQUIRE(getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+             std::string("getsockname(): ") + std::strerror(errno));
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket Listener::accept_connection() {
+  for (;;) {
+    const int fd = accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+}
+
+std::string Listener::address() const {
+  return host_ + ":" + std::to_string(port_);
+}
+
+Socket connect_to(const std::string& host, u16 port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  TP_REQUIRE(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  Socket sock(fd);
+  const std::string target = host.empty() ? "127.0.0.1" : host;
+  sockaddr_in addr = make_addr(target, port);
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  TP_REQUIRE(rc == 0, "cannot connect to " + target + ":" +
+                          std::to_string(port) + ": " +
+                          std::strerror(errno));
+  // One JSONL line per request/response: latency matters more than
+  // batching tiny segments.
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+WakePipe::WakePipe() {
+  TP_REQUIRE(pipe(fds_) == 0, std::string("pipe(): ") + std::strerror(errno));
+  // Non-blocking read side: drain() is called after poll() reports
+  // readability and must never wedge the acceptor.
+  fcntl(fds_[0], F_SETFL, O_NONBLOCK);
+}
+
+WakePipe::~WakePipe() {
+  if (fds_[0] >= 0) ::close(fds_[0]);
+  if (fds_[1] >= 0) ::close(fds_[1]);
+}
+
+void WakePipe::notify() const {
+  const char byte = kWake;
+  // Async-signal-safe by construction: one write(), result ignored (a
+  // full pipe already means a wakeup is pending).
+  [[maybe_unused]] const ssize_t rc = write(fds_[1], &byte, 1);
+}
+
+bool WakePipe::drain() const {
+  char sink[64];
+  bool saw_drain = false;
+  // The read side is O_NONBLOCK: drain everything pending, never wedge.
+  ssize_t got;
+  while ((got = read(fds_[0], sink, sizeof sink)) > 0)
+    for (ssize_t i = 0; i < got; ++i) saw_drain = saw_drain || sink[i] == kDrain;
+  return saw_drain;
+}
+
+}  // namespace tp::net

@@ -1,0 +1,136 @@
+// RAII TCP sockets for the network front-end.
+//
+// This header (and its .cpp) is the ONLY place in the tree that names the
+// raw socket syscalls — socket/bind/listen/accept/connect/send/recv —
+// a house rule enforced by tp_lint's raw-socket rule (everything under
+// src/net/ is exempt; everything else must go through these wrappers).
+// Keeping the syscalls in one audited file means partial writes, EINTR
+// retries, SIGPIPE suppression, and shutdown semantics are handled once,
+// not re-derived per call site.
+//
+// Scope: blocking IPv4 stream sockets.  The server is thread-per-
+// connection (src/net/tcp_server.h), so non-blocking I/O and readiness
+// multiplexing are only needed on the accept path, which polls the
+// listener alongside a self-pipe (WakePipe) for signal-safe drain
+// requests.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/util/math.h"
+
+namespace tp::net {
+
+/// A connected (or accepted) TCP socket.  Move-only; closes on
+/// destruction.  All operations retry EINTR and never raise SIGPIPE.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads up to `n` bytes.  Returns the byte count, 0 on clean EOF
+  /// (peer closed or shutdown_read() was called), -1 on error.
+  i64 read_some(char* buf, std::size_t n);
+
+  /// Writes all `n` bytes, looping over partial sends.  False when the
+  /// peer is gone (connection reset / closed); never raises SIGPIPE.
+  bool write_all(const char* data, std::size_t n);
+  bool write_all(std::string_view s) { return write_all(s.data(), s.size()); }
+
+  /// Half-close helpers.  shutdown_read() makes a blocked read_some()
+  /// return 0 — the drain path uses it to stop a connection's intake
+  /// without touching its in-flight responses; shutdown_write() sends
+  /// FIN after the last response so the peer sees a clean end-of-stream.
+  void shutdown_read();
+  void shutdown_write();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A parsed "host:port" endpoint.  Port 0 asks the kernel for an
+/// ephemeral port (resolved by Listener::port() after binding).
+struct HostPort {
+  std::string host;
+  u16 port = 0;
+};
+
+/// Parses "addr:port" (IPv4 dotted quad or empty host for 0.0.0.0).
+/// Throws tp::Error on a malformed spec or out-of-range port.
+HostPort parse_host_port(const std::string& spec);
+
+/// A bound, listening TCP socket.  Construction throws tp::Error when
+/// the address cannot be bound (port in use, bad host).
+class Listener {
+ public:
+  Listener(const std::string& host, u16 port, int backlog = 128);
+
+  /// Blocks for the next connection.  Returns an invalid Socket when the
+  /// listener has been closed (the accept loop's exit signal) or on a
+  /// transient accept failure.
+  Socket accept_connection();
+
+  /// The actual bound port (resolves an ephemeral port 0 request).
+  u16 port() const { return port_; }
+  /// "host:port" with the resolved port.
+  std::string address() const;
+  int fd() const { return sock_.fd(); }
+  void close() { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::string host_;
+  u16 port_ = 0;
+};
+
+/// Client-side connect.  Throws tp::Error when the endpoint is
+/// unreachable (the loadgen's startup failure mode).
+Socket connect_to(const std::string& host, u16 port);
+
+/// Self-pipe wakeup: notify() is a single write() — async-signal-safe —
+/// so a SIGTERM handler can request a server drain without taking locks.
+/// The acceptor polls read_fd() alongside the listener.
+///
+/// Two byte values share the pipe: notify() writes kWake ("look around" —
+/// a connection finished, come reap it) and external writers — signal
+/// handlers, via TcpServer::drain_wakeup_fd() — write kDrain to request a
+/// graceful server drain.  drain() consumes everything pending and
+/// reports whether a kDrain byte was among it.
+class WakePipe {
+ public:
+  static constexpr char kWake = 'w';
+  static constexpr char kDrain = 'q';
+
+  WakePipe();
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  int read_fd() const { return fds_[0]; }
+  int write_fd() const { return fds_[1]; }
+
+  /// Async-signal-safe wakeup (one kWake byte; a full pipe is already a
+  /// wakeup, so a dropped write is harmless).
+  void notify() const;
+  /// Consumes pending wakeup bytes (acceptor thread only).  True when any
+  /// of them was kDrain.
+  bool drain() const;
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+}  // namespace tp::net

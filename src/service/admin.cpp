@@ -1,5 +1,6 @@
 #include "src/service/admin.h"
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +18,21 @@ namespace {
 
 constexpr const char* kAdminOps[] = {"statusz", "metricsz", "cachez", "slowz",
                                      "quitz"};
+
+// Listener provider (set_listener_status_provider).  A plain guarded
+// global: statusz is answered from front-end threads while the TCP
+// server installs/clears the provider around its lifetime.
+Mutex g_listener_mu;
+std::function<ListenerStatus()> g_listener_fn TP_GUARDED_BY(g_listener_mu);
+
+ListenerStatus current_listener_status() {
+  std::function<ListenerStatus()> fn;
+  {
+    const MutexLock lock(g_listener_mu);
+    fn = g_listener_fn;
+  }
+  return fn ? fn() : ListenerStatus{};
+}
 
 bool is_admin_name(const std::string& op) {
   for (const char* name : kAdminOps)
@@ -78,6 +94,23 @@ obs::JsonValue snapshot_to_json(Engine& engine) {
   return out;
 }
 
+/// Listener state for statusz.  Always present (the golden pins member
+/// order); "configured": false with state "none" when no network
+/// front-end is running (stdio/batch).
+obs::JsonValue listener_to_json() {
+  const ListenerStatus listener = current_listener_status();
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("configured", obs::JsonValue(listener.configured));
+  out.set("address", obs::JsonValue(listener.address));
+  out.set("state", obs::JsonValue(listener.state));
+  out.set("open_connections", obs::JsonValue(listener.open_connections));
+  out.set("draining_connections",
+          obs::JsonValue(listener.draining_connections));
+  out.set("accepted", obs::JsonValue(listener.accepted));
+  out.set("rejected", obs::JsonValue(listener.rejected));
+  return out;
+}
+
 obs::JsonValue statusz(Engine& engine, const obs::JsonValue& id) {
   const BuildInfo& build = build_info();
   const EngineStats stats = engine.stats();
@@ -122,6 +155,7 @@ obs::JsonValue statusz(Engine& engine, const obs::JsonValue& id) {
   totals.set("errors", obs::JsonValue(stats.errors));
   out.set("totals", std::move(totals));
   out.set("snapshot", snapshot_to_json(engine));
+  out.set("listener", listener_to_json());
   // Present only while the in-process profiler is on, so default statusz
   // output (and its golden member-order test) is byte-identical to a
   // build without profiling.
@@ -196,6 +230,11 @@ obs::JsonValue slowz(Engine& engine, const obs::JsonValue& id) {
 }
 
 }  // namespace
+
+void set_listener_status_provider(std::function<ListenerStatus()> provider) {
+  const MutexLock lock(g_listener_mu);
+  g_listener_fn = std::move(provider);
+}
 
 bool is_admin_op(const obs::JsonValue& doc) {
   if (!doc.is_object()) return false;

@@ -7,7 +7,7 @@
 // is full.  Supported ops (schemas in docs/service.md):
 //
 //   {"op":"statusz"}   uptime, build info, queue/worker/in-flight state,
-//                      rolling 1s/10s/60s rates
+//                      rolling 1s/10s/60s rates, snapshot + listener state
 //   {"op":"metricsz"}  live registry snapshot; "format":"prometheus"
 //                      switches the payload to Prometheus text exposition
 //   {"op":"cachez"}    per-shard plan-cache occupancy/hits/evictions and
@@ -23,10 +23,32 @@
 
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "src/obs/json.h"
 #include "src/service/engine.h"
 
 namespace tp::service {
+
+/// Network listener state surfaced by statusz.  The TCP server
+/// (src/net/tcp_server.h) installs a provider; the default (no provider)
+/// renders {"configured": false, "state": "none"} so the statusz member
+/// order is transport-independent, matching the snapshot-state precedent.
+struct ListenerStatus {
+  bool configured = false;
+  std::string address;
+  std::string state = "none";  ///< "none" | "accepting" | "draining"
+  i64 open_connections = 0;
+  i64 draining_connections = 0;
+  i64 accepted = 0;
+  i64 rejected = 0;
+};
+
+/// Installs (or, with an empty function, clears) the statusz listener
+/// provider.  Thread-safe; the provider must itself be safe to call from
+/// any front-end thread and must outlive its installation.
+void set_listener_status_provider(std::function<ListenerStatus()> provider);
 
 /// True when `doc` is a request for one of the admin ops above (an object
 /// whose "op" member is one of the admin names).  Malformed documents are

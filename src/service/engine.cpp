@@ -264,6 +264,14 @@ void Engine::fulfill(const std::shared_ptr<Pending>& pending,
 }
 
 Engine::Ticket Engine::submit(const Request& req) {
+  return submit_impl(req, /*may_block=*/true);
+}
+
+Engine::Ticket Engine::try_submit(const Request& req) {
+  return submit_impl(req, /*may_block=*/false);
+}
+
+Engine::Ticket Engine::submit_impl(const Request& req, bool may_block) {
   auto pending = std::make_shared<Pending>();
   pending->engine = this;
   pending->key = req.key;
@@ -346,6 +354,12 @@ Engine::Ticket Engine::submit(const Request& req) {
     // a worker.  (Enqueued outside inflight_mu_ so a full queue cannot
     // wedge workers trying to retire their in-flight entries.)
     MutexLock lock(queue_mu_);
+    if (!may_block && queue_.size() >= config_.queue_capacity &&
+        !stopping_) {
+      lock.unlock();
+      reject_overloaded(job);
+      return Ticket(std::move(pending));
+    }
     while (queue_.size() >= config_.queue_capacity && !stopping_)
       queue_not_full_.wait(lock);
     TP_REQUIRE(!stopping_, "submit on a stopped engine");
@@ -357,6 +371,37 @@ Engine::Ticket Engine::submit(const Request& req) {
   }
   queue_not_empty_.notify_one();
   return Ticket(std::move(pending));
+}
+
+void Engine::reject_overloaded(const std::shared_ptr<InFlight>& job) {
+  // A non-blocking submit found the queue full AFTER registering this job
+  // as in flight.  Retire the registration and answer every waiter (the
+  // submitter, plus any request that coalesced onto the doomed job in the
+  // window between the two locks — overload errors are retryable, so a
+  // rare collateral rejection is the honest answer) with a structured
+  // overload error.
+  std::vector<std::shared_ptr<Pending>> waiters;
+  {
+    const MutexLock lock(inflight_mu_);
+    waiters = std::move(job->waiters);
+    inflight_.erase(job->key);
+    --inflight_jobs_;
+  }
+  drain_cv_.notify_all();
+  {
+    const MutexLock lock(stats_mu_);
+    counters_.errors += static_cast<i64>(waiters.size());
+    // The miss never became a computation: keep cache_misses meaning
+    // "computations started" (its documented contract).
+    --counters_.cache_misses;
+  }
+  Response r;
+  r.ok = false;
+  r.overload = true;
+  r.error = "overloaded: submission queue full (capacity " +
+            std::to_string(config_.queue_capacity) + "), dropped " +
+            job->key.str();
+  for (const auto& w : waiters) fulfill(w, r, /*count_completed=*/false);
 }
 
 Response Engine::run(const Request& req) { return submit(req).wait(); }

@@ -131,6 +131,7 @@ struct Response {
   std::shared_ptr<const QueryResult> result;
   bool ok = false;
   bool timeout = false;
+  bool overload = false;  ///< rejected by try_submit on a full queue
   std::string error;
   std::string request_id;
 };
@@ -180,6 +181,15 @@ class Engine {
   /// (back-pressure); cache hits and expired deadlines return an already
   /// fulfilled ticket.  Tickets must not outlive the engine.
   Ticket submit(const Request& req)
+      TP_EXCLUDES(queue_mu_, inflight_mu_, stats_mu_);
+
+  /// Non-blocking submit for network front-ends: identical to submit()
+  /// except that a full submission queue never blocks — the returned
+  /// ticket is already fulfilled with a structured overload error
+  /// (Response::overload), so the caller can answer the client and keep
+  /// its socket loop responsive.  Cache hits and coalesced waits are
+  /// unaffected (neither touches the queue).
+  Ticket try_submit(const Request& req)
       TP_EXCLUDES(queue_mu_, inflight_mu_, stats_mu_);
 
   /// submit + wait.
@@ -250,6 +260,10 @@ class Engine {
   };
 
  private:
+  Ticket submit_impl(const Request& req, bool may_block)
+      TP_EXCLUDES(queue_mu_, inflight_mu_, stats_mu_);
+  void reject_overloaded(const std::shared_ptr<InFlight>& job)
+      TP_EXCLUDES(queue_mu_, inflight_mu_, stats_mu_);
   void worker_loop(i32 worker);
   void saver_loop();
   void execute(const std::shared_ptr<InFlight>& job);

@@ -91,6 +91,7 @@ obs::JsonValue response_to_json(const obs::JsonValue& id,
   if (!response.ok) {
     out.set("error", obs::JsonValue(response.error));
     if (response.timeout) out.set("timeout", obs::JsonValue(true));
+    if (response.overload) out.set("overload", obs::JsonValue(true));
     return out;
   }
 
@@ -146,6 +147,8 @@ struct Slot {
   Response error;
 };
 
+}  // namespace
+
 Response error_response(const std::string& what) {
   Response r;
   r.ok = false;
@@ -153,10 +156,7 @@ Response error_response(const std::string& what) {
   return r;
 }
 
-/// Best-effort id for a line that failed validation: echo its "id" field
-/// when the line is at least well-formed JSON, else fall back to the line
-/// number.
-obs::JsonValue salvage_id(std::string_view line, i64 line_no) {
+obs::JsonValue salvage_request_id(std::string_view line, i64 line_no) {
   try {
     const obs::JsonValue doc = obs::parse_json(line);
     if (doc.is_object())
@@ -165,8 +165,6 @@ obs::JsonValue salvage_id(std::string_view line, i64 line_no) {
   }
   return obs::JsonValue(line_no);
 }
-
-}  // namespace
 
 i64 run_batch(Engine& engine, std::istream& in, std::ostream& out) {
   TP_OBS_SCOPE("service.batch");
@@ -200,7 +198,7 @@ i64 run_batch(Engine& engine, std::istream& in, std::ostream& out) {
           slot.ticket = engine.submit(req.request);
         }
       } catch (const Error& e) {
-        slot.id = salvage_id(line, line_no);
+        slot.id = salvage_request_id(line, line_no);
         slot.error = error_response(e.what());
       }
       slots.push_back(std::move(slot));
@@ -244,7 +242,7 @@ i64 run_serve(Engine& engine, std::istream& in, std::ostream& out) {
         reply = response_to_json(id, engine.run(req.request));
       }
     } catch (const Error& e) {
-      id = salvage_id(line, line_no);
+      id = salvage_request_id(line, line_no);
       reply = response_to_json(id, error_response(e.what()));
     }
     out << reply.dump() << "\n" << std::flush;

@@ -23,7 +23,9 @@
 //    "summary":"..."}
 //
 // Response (failure):   {"id":..., "ok":false, "error":"...",
-//                        "timeout":true}       // "timeout" only on deadline
+//                        "timeout":true,       // only on deadline
+//                        "overload":true}      // only on queue-full reject
+//                                              // (TCP front-end, net/)
 //
 // Responses are a pure function of the request: no timing, thread-count,
 // or cache-state fields — so batch output is byte-identical across worker
@@ -41,6 +43,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <string_view>
 
 #include "src/obs/json.h"
@@ -66,6 +69,15 @@ BatchRequest parse_request_doc(const obs::JsonValue& doc, i64 line_no);
 /// Renders a response line (deterministic member order, compact).
 obs::JsonValue response_to_json(const obs::JsonValue& id,
                                 const Response& response);
+
+/// A bare failure Response carrying `what` (no timeout/overload flags).
+/// Both front-ends and the TCP server use it for parse/validation errors.
+Response error_response(const std::string& what);
+
+/// Best-effort id for a line that failed validation: echoes its "id"
+/// field when the line is at least well-formed JSON, else falls back to
+/// the 1-based line number (the same default parse_request_doc assigns).
+obs::JsonValue salvage_request_id(std::string_view line, i64 line_no);
 
 /// Reads every request line from `in`, submits them all to the engine
 /// (identical keys coalesce / hit the cache), and writes one response

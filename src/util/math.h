@@ -11,6 +11,7 @@ namespace tp {
 
 using i32 = std::int32_t;
 using i64 = std::int64_t;
+using u16 = std::uint16_t;  ///< TCP port numbers (src/net/)
 using u64 = std::uint64_t;
 
 /// x mod m normalized into [0, m).  Requires m > 0; x may be negative.

@@ -1,0 +1,29 @@
+// Fixture: raw-socket — BSD socket syscalls outside src/net/.
+#include <sys/socket.h>
+
+namespace bad {
+
+int open_and_greet(const sockaddr* addr, unsigned long len) {
+  const int fd = socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  setsockopt(fd, 1, 2, &one, sizeof one);
+  if (connect(fd, addr, static_cast<unsigned>(len)) != 0) return -1;
+  char buf[16];
+  if (send(fd, buf, sizeof buf, 0) < 0) return -1;
+  return static_cast<int>(recv(fd, buf, sizeof buf, 0));
+}
+
+int serve_one(const sockaddr* addr, unsigned len) {
+  const int fd = socket(2, 1, 0);
+  if (bind(fd, addr, len) != 0) return -1;
+  if (listen(fd, 8) != 0) return -1;
+  return accept(fd, nullptr, nullptr);
+}
+
+// Qualified names, member calls, and lookalike identifiers pass: the
+// wrappers themselves are spelled tp::net::connect_to(...), callers say
+// listener.accept_connection(), and counters like accept_reject exist.
+int accept_reject = 0;
+
+}  // namespace bad

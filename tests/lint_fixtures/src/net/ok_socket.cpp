@@ -1,0 +1,17 @@
+// Fixture: the raw-socket exemption — src/net/ is where the RAII
+// wrappers live, so the same syscalls are legal here (and the other
+// library rules still apply: no std::cout, no bare assert, ...).
+#include <sys/socket.h>
+
+namespace tp::net {
+
+int wrapped_dial(const sockaddr* addr, unsigned len) {
+  const int fd = socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  if (fd < 0) return -1;
+  if (connect(fd, addr, len) != 0) return -1;
+  char byte = 0;
+  if (send(fd, &byte, 1, 0) < 0) return -1;
+  return static_cast<int>(recv(fd, &byte, 1, 0));
+}
+
+}  // namespace tp::net

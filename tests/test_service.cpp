@@ -654,7 +654,7 @@ TEST(Admin, StatuszGoldenSchema) {
       obs::parse_json(serve_one(engine, R"({"id":"s1","op":"statusz"})"));
   EXPECT_EQ(member_keys(doc),
             "id,ok,op,uptime_ms,version,git,compiler,build_type,engine,"
-            "rates,totals,snapshot");
+            "rates,totals,snapshot,listener");
   EXPECT_EQ(doc.find("id")->as_string(), "s1");
   EXPECT_TRUE(doc.find("ok")->as_bool());
   EXPECT_EQ(doc.find("op")->as_string(), "statusz");
@@ -683,6 +683,14 @@ TEST(Admin, StatuszGoldenSchema) {
   EXPECT_EQ(doc.find("snapshot")->find("last_save_outcome")->as_string(),
             "none");
   EXPECT_EQ(doc.find("snapshot")->find("age_ms")->as_int(), -1);
+
+  // Listener block: no TCP front-end installed in this process, so the
+  // all-none shape with the member order pinned (src/net/ fills it in).
+  EXPECT_EQ(member_keys(*doc.find("listener")),
+            "configured,address,state,open_connections,"
+            "draining_connections,accepted,rejected");
+  EXPECT_FALSE(doc.find("listener")->find("configured")->as_bool());
+  EXPECT_EQ(doc.find("listener")->find("state")->as_string(), "none");
 }
 
 TEST(Admin, CachezGoldenSchema) {

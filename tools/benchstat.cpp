@@ -50,6 +50,10 @@
 
 #include "src/analysis/imbalance.h"
 #include "src/core/torusplace.h"
+#include "src/net/line_buffer.h"
+#include "src/net/loadgen.h"
+#include "src/net/socket.h"
+#include "src/net/tcp_server.h"
 #include "src/obs/json.h"
 #include "src/obs/linkprobe.h"
 #include "src/obs/perf_counters.h"
@@ -226,6 +230,61 @@ std::vector<BenchResult> run_benchmarks(int reps) {
       g_sink += static_cast<double>(engine.snapshot_status().warm_entries);
     }));
     std::filesystem::remove(snap_path);
+  }
+  {
+    // The TCP front-end: one warm-hit round trip over a real socket
+    // (request line out, framed response line back — syscalls + framing
+    // + the engine's cache-hit path), and the loadgen driver's sustained
+    // closed-loop throughput at 32 clients.  The throughput entry is
+    // recorded as nanoseconds per answered request (1e9 / qps), so
+    // bigger = slower and the regression gate points the usual way.
+    Radices radices{16, 16};
+    const service::QueryKey key = service::make_query_key(
+        radices, 1, RouterKind::Odr, service::QueryOp::Load);
+    service::EngineConfig config;
+    config.threads = 4;
+    service::Engine engine(config);
+    engine.run({key});
+    net::TcpServer server(engine, net::TcpServerConfig{});
+    server.start();
+
+    net::Socket client = net::connect_to("127.0.0.1", server.port());
+    net::LineBuffer lines(1 << 20);
+    const std::string request =
+        "{\"id\":1,\"op\":\"load\",\"d\":2,\"k\":16}\n";
+    results.push_back(time_fn("serve_tcp_warm_hit/T16^2", reps, [&] {
+      client.write_all(request);
+      char buf[4096];
+      for (;;) {
+        if (const auto line = lines.next_line()) {
+          g_sink += static_cast<double>(line->text.size());
+          break;
+        }
+        const i64 got = client.read_some(buf, sizeof buf);
+        if (got <= 0) break;
+        lines.feed(buf, static_cast<std::size_t>(got));
+      }
+    }));
+    client.shutdown_write();
+    {
+      char buf[4096];
+      while (client.read_some(buf, sizeof buf) > 0) {
+      }
+    }
+
+    net::LoadgenConfig load;
+    load.port = server.port();
+    load.clients = 32;
+    load.duration_ms = 1000;
+    load.warmup_ms = 200;
+    load.universe = 8;
+    const net::LoadgenReport report = net::run_loadgen(load);
+    BenchResult qps{"loadgen_closed32_qps", 0.0, 0, 1};
+    const double ns_per_request =
+        report.qps > 0.0 ? 1e9 / report.qps : 0.0;
+    qps.mean_ns = ns_per_request;
+    qps.min_ns = static_cast<i64>(ns_per_request);
+    results.push_back(qps);
   }
   return results;
 }

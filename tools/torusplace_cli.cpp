@@ -16,10 +16,14 @@
 //       E_max table across k with the paper's formulas
 //   torusplace batch     requests.jsonl --threads 8
 //       answer a JSONL request file through the query engine
-//   torusplace serve     --stdio
-//       JSONL request/response loop over stdin/stdout; answers the admin
-//       ops (statusz/metricsz/cachez/slowz/quitz) inline and dumps the
-//       slow-query log to stderr on shutdown
+//   torusplace serve     --stdio | --tcp <addr:port>
+//       JSONL request/response server (stdin/stdout pipe or concurrent
+//       TCP front-end); answers the admin ops (statusz/metricsz/cachez/
+//       slowz/quitz) inline, drains gracefully on SIGTERM/quitz, and
+//       dumps the slow-query log to stderr on shutdown
+//   torusplace loadgen   --connect <addr:port> --mode closed --clients 32
+//       open-/closed-loop traffic driver against serve --tcp: QPS,
+//       p50/p99/p999, error/timeout counts, uniform/zipf key skew
 //   torusplace version
 //       build provenance (version, git describe, compiler, flags)
 
@@ -38,6 +42,9 @@
 #include "src/analysis/grid_render.h"
 #include "src/analysis/table.h"
 #include "src/core/torusplace.h"
+#include "src/net/loadgen.h"
+#include "src/net/socket.h"
+#include "src/net/tcp_server.h"
 #include "src/obs/obs.h"
 #include "src/routing/deadlock.h"
 #include "src/service/service.h"
@@ -853,17 +860,27 @@ int cmd_batch(const Args& args) {
   return 0;
 }
 
-// SIGTERM/SIGINT graceful drain for serve: the handler closes stdin —
-// async-signal-safe — so the JSONL loop sees end-of-input, finishes the
-// requests already accepted, and falls through to the normal shutdown
-// path (final snapshot included).  sigaction is installed without
-// SA_RESTART on purpose: a read blocked on the terminal must be
-// interrupted, not transparently restarted.
+// SIGTERM/SIGINT graceful drain for serve.  --stdio: the handler closes
+// stdin — async-signal-safe — so the JSONL loop sees end-of-input,
+// finishes the requests already accepted, and falls through to the
+// normal shutdown path (final snapshot included).  --tcp: the handler
+// writes one byte to the server's drain-wakeup pipe instead (equally
+// signal-safe), which stops the acceptor, stops reading every socket,
+// and flushes all in-flight responses before closing.  sigaction is
+// installed without SA_RESTART on purpose: a read blocked on the
+// terminal must be interrupted, not transparently restarted.
 std::atomic<int> g_shutdown_signal{0};
+std::atomic<int> g_drain_fd{-1};
 
 void handle_shutdown_signal(int sig) {
   g_shutdown_signal.store(sig);
-  ::close(0);
+  const int fd = g_drain_fd.load();
+  if (fd >= 0) {
+    const char byte = net::WakePipe::kDrain;
+    [[maybe_unused]] const auto rc = ::write(fd, &byte, 1);
+  } else {
+    ::close(0);
+  }
 }
 
 void install_shutdown_handlers() {
@@ -875,26 +892,132 @@ void install_shutdown_handlers() {
   sigaction(SIGINT, &sa, nullptr);
 }
 
+/// Shared serve epilogue: registry fold, summary, slow-query dump, final
+/// snapshot — identical for both transports.
+void serve_epilogue(service::Engine& engine, i64 served) {
+  if (const int sig = g_shutdown_signal.load(); sig != 0)
+    std::cerr << "serve: graceful shutdown on signal " << sig << "\n";
+  engine.publish_stats();
+  const service::EngineStats s = engine.stats();
+  std::cerr << "serve: " << served << " request(s), " << s.plans_computed
+            << " plan(s) computed, " << s.cache_hits << " cache hit(s)\n";
+  dump_slow_queries(engine, std::cerr);
+  final_snapshot_save(engine, std::cerr);
+}
+
 int cmd_serve(const Args& args) {
-  TP_REQUIRE(args.has("stdio"),
-             "serve currently supports --stdio only (JSONL over "
-             "stdin/stdout)");
+  const bool stdio = args.has("stdio");
+  const std::string tcp = args.get("tcp");
+  if (stdio == !tcp.empty())
+    throw UsageError(
+        "serve needs exactly one transport: --stdio (JSONL over "
+        "stdin/stdout) or --tcp <addr:port>");
   // A long-lived server always keeps the registry live so {"op":"metricsz"}
   // has something to report (batch/one-shot commands stay opt-in via
   // --stats-json / TP_OBS).
   obs::registry().set_enabled(true);
   service::Engine engine(engine_config(args));
   report_snapshot_boot(engine, std::cerr);
+
+  if (stdio) {
+    install_shutdown_handlers();
+    const i64 n = service::run_serve(engine, std::cin, std::cout);
+    serve_epilogue(engine, n);
+    return 0;
+  }
+
+  const net::HostPort endpoint = net::parse_host_port(tcp);
+  net::TcpServerConfig server_config;
+  server_config.host = endpoint.host;
+  server_config.port = endpoint.port;
+  server_config.max_conns = args.get_int("max-conns", 64);
+  server_config.max_line_bytes =
+      static_cast<std::size_t>(args.get_int("max-line-bytes", 1 << 20));
+  net::TcpServer server(engine, server_config);
+  server.start();
+  service::set_listener_status_provider(
+      [&server] { return server.listener_status(); });
+  g_drain_fd.store(server.drain_wakeup_fd());
   install_shutdown_handlers();
-  const i64 n = service::run_serve(engine, std::cin, std::cout);
-  if (const int sig = g_shutdown_signal.load(); sig != 0)
-    std::cerr << "serve: graceful shutdown on signal " << sig << "\n";
-  engine.publish_stats();
-  const service::EngineStats s = engine.stats();
-  std::cerr << "serve: " << n << " request(s), " << s.plans_computed
-            << " plan(s) computed, " << s.cache_hits << " cache hit(s)\n";
-  dump_slow_queries(engine, std::cerr);
-  final_snapshot_save(engine, std::cerr);
+  std::cerr << "serve: listening on " << server.address() << "\n";
+  // --port-file: publish the resolved endpoint (ephemeral --tcp :0 ports
+  // included) for scripts that start the server in the background.
+  const std::string port_file = args.get("port-file");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    TP_REQUIRE(out.good(), "cannot write '" + port_file + "'");
+    out << server.address() << "\n";
+  }
+
+  server.wait_until_drained();
+  g_drain_fd.store(-1);
+  server.publish_stats();
+  const net::TcpServerStats net_stats = server.stats();
+  std::cerr << "serve: " << net_stats.accepted << " connection(s), "
+            << net_stats.responses << " response(s), " << net_stats.rejected
+            << " rejected connection(s)\n";
+  serve_epilogue(engine, net_stats.requests);
+  // The provider captures the server by reference; clear it before the
+  // server leaves scope (statusz has no caller past this point, but the
+  // contract is the provider must outlive its installation).
+  service::set_listener_status_provider({});
+  return 0;
+}
+
+int cmd_loadgen(const Args& args) {
+  const std::string connect = args.get("connect");
+  TP_REQUIRE(!connect.empty(),
+             "loadgen needs --connect <addr:port> (a running "
+             "`torusplace serve --tcp`)");
+  const net::HostPort endpoint = net::parse_host_port(connect);
+  TP_REQUIRE(endpoint.port != 0, "loadgen cannot connect to port 0");
+
+  net::LoadgenConfig config;
+  config.host = endpoint.host;
+  config.port = endpoint.port;
+  const std::string mode = args.get("mode", "closed");
+  if (mode == "open")
+    config.open_loop = true;
+  else
+    TP_REQUIRE(mode == "closed", "loadgen --mode must be open|closed");
+  config.clients = static_cast<i32>(args.get_int("clients", 8));
+  if (args.has("rate")) {
+    char* end = nullptr;
+    config.rate = std::strtod(args.get("rate").c_str(), &end);
+    TP_REQUIRE(end != args.get("rate").c_str() && *end == '\0' &&
+                   config.rate > 0.0,
+               "--rate must be a positive number");
+  }
+  config.duration_ms = args.get_int("duration-ms", 5000);
+  config.warmup_ms = args.get_int("warmup-ms", 1000);
+  const std::string skew = args.get("skew", "uniform");
+  if (skew == "zipf")
+    config.zipf = true;
+  else
+    TP_REQUIRE(skew == "uniform", "loadgen --skew must be uniform|zipf");
+  if (args.has("zipf-s")) {
+    char* end = nullptr;
+    config.zipf_s = std::strtod(args.get("zipf-s").c_str(), &end);
+    TP_REQUIRE(end != args.get("zipf-s").c_str() && *end == '\0' &&
+                   config.zipf_s > 0.0,
+               "--zipf-s must be a positive number");
+  }
+  config.universe = args.get_int("universe", 64);
+  config.seed = static_cast<u64>(args.get_int("seed", 1));
+  config.deadline_ms = args.get_int("deadline-ms", 0);
+
+  const net::LoadgenReport report = net::run_loadgen(config);
+  net::print_report(report, config, std::cout);
+  // --json <path>: append one JSONL record per run (benchstat-style
+  // longitudinal tracking across runs).
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::app);
+    TP_REQUIRE(out.good(), "cannot write '" + json_path + "'");
+    out << net::report_to_json(report, config).dump() << "\n";
+  }
+  // The report carries the outcome (errors/timeouts/torn); the exit code
+  // stays 0 so scripted sweeps can collect degraded points too.
   return 0;
 }
 
@@ -929,9 +1052,17 @@ int usage() {
       "  batch     answer a JSONL request file        (<file> | --in <file>; --out <path>\n"
       "                                                --threads --cache --measure-threads\n"
       "                                                --deadline-ms)\n"
-      "  serve     JSONL request/response loop        (--stdio --threads --cache\n"
-      "                                                --measure-threads --deadline-ms\n"
-      "                                                --slow-log <N>)\n"
+      "  serve     JSONL request/response server      (--stdio | --tcp <addr:port>;\n"
+      "                                                --threads --cache --measure-threads\n"
+      "                                                --deadline-ms --slow-log <N>;\n"
+      "                                                TCP: --max-conns <N> --max-line-bytes <N>\n"
+      "                                                --port-file <path>)\n"
+      "  loadgen   drive a serve --tcp endpoint       (--connect <addr:port> --mode open|closed\n"
+      "                                                --clients <N> --rate <req/s>\n"
+      "                                                --duration-ms --warmup-ms\n"
+      "                                                --skew uniform|zipf --zipf-s <s>\n"
+      "                                                --universe <N> --seed --deadline-ms\n"
+      "                                                --json <path>)\n"
       "  version   build provenance (version, git, compiler, flags)\n"
       "  tables    compiled routing-table statistics  (--d --k --placement)\n"
       "  optimize  search same-size placements        (--d --k --size --router --iters --seed)\n"
@@ -974,7 +1105,19 @@ int usage() {
       "  --cache-save[=ms]    snapshot on shutdown (incl. SIGTERM/quitz\n"
       "                       drain); with =ms also every ms milliseconds\n"
       "  --checkpoint <dir>   (sweep/resilience) journal completed cells;\n"
-      "                       a killed run resumes from the last one\n";
+      "                       a killed run resumes from the last one\n"
+      "\n"
+      "networking (docs/networking.md; serve --tcp / loadgen):\n"
+      "  --tcp <addr:port>    serve over TCP (port 0 = ephemeral; the\n"
+      "                       bound address is printed to stderr and, with\n"
+      "                       --port-file, written to a file)\n"
+      "  --max-conns <N>      connection limit (default 64); connections\n"
+      "                       beyond it get one structured refusal line\n"
+      "  --max-line-bytes <N> request-line guard (default 1 MiB); longer\n"
+      "                       lines are answered with a structured error\n"
+      "                       and discarded, the connection survives\n"
+      "  SIGTERM/quitz drain the server gracefully: accepted requests are\n"
+      "  answered and flushed, never torn mid-line\n";
   return kExitUsage;
 }
 
@@ -989,6 +1132,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "batch") return cmd_batch(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "loadgen") return cmd_loadgen(args);
   if (cmd == "version") return cmd_version();
   if (cmd == "tables") return cmd_tables(args);
   if (cmd == "optimize") return cmd_optimize(args);
@@ -1001,8 +1145,8 @@ int dispatch(const std::string& cmd, const Args& args) {
 bool is_command(const std::string& cmd) {
   static const std::set<std::string> kCommands{
       "analyze",  "bisect",   "routes",  "simulate", "resilience", "verify",
-      "deadlock", "sweep",    "batch",   "serve",    "version",    "tables",
-      "optimize", "profile",  "render",  "save"};
+      "deadlock", "sweep",    "batch",   "serve",    "loadgen",    "version",
+      "tables",   "optimize", "profile", "render",   "save"};
   return kCommands.count(cmd) > 0;
 }
 
@@ -1026,7 +1170,10 @@ int run(int argc, char** argv) {
       "iters", "out", "stats-json", "trace", "link-json",
       "rates", "repair", "retries", "backoff", "horizon", "json",
       "threads", "in", "cache", "measure-threads", "deadline-ms",
-      "slow-log", "cache-file", "checkpoint"};
+      "slow-log", "cache-file", "checkpoint",
+      "tcp", "max-conns", "max-line-bytes", "port-file", "connect",
+      "mode", "clients", "rate", "duration-ms", "warmup-ms", "skew",
+      "zipf-s", "universe"};
   const std::set<std::string> flags{"link-stats", "measured", "criticality",
                                     "stdio", "profile", "router-table",
                                     "cache-load", "cache-save"};

@@ -166,6 +166,7 @@ bool is_header(std::string_view path) {
 
 bool in_src(std::string_view p) { return starts_with(p, "src/"); }
 bool in_util(std::string_view p) { return starts_with(p, "src/util/"); }
+bool in_net(std::string_view p) { return starts_with(p, "src/net/"); }
 bool in_lib_or_tool(std::string_view p) {
   return in_src(p) || starts_with(p, "tools/") || starts_with(p, "bench/");
 }
@@ -212,6 +213,10 @@ constexpr Rule kRules[] = {
      "unchecked stdio file I/O; persistent binary state goes through "
      "src/util/checked_io.h (CRC-framed records, atomic replace) so "
      "truncation and bit-flips are detected instead of served"},
+    {"raw-socket", "src/ (except src/net/)",
+     "raw socket syscall; network I/O goes through the RAII wrappers in "
+     "src/net/socket.h (Socket/Listener/connect_to) so fds cannot leak, "
+     "EINTR is retried, and SIGPIPE stays suppressed"},
 };
 
 const Rule& rule(std::string_view id) {
@@ -365,6 +370,22 @@ void lint_file(std::vector<Diagnostic>& diags, const std::string& rel,
            it != std::sregex_iterator(); ++it)
         add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
             "raw-io");
+  }
+
+  // raw-socket: the BSD socket surface is only spelled inside src/net/,
+  // where the RAII wrappers live (src/net/socket.h documents itself as
+  // the single file naming these syscalls).  The preceding-character
+  // class keeps member calls (sock.accept_connection), qualified names
+  // (tp::net::connect_to), and identifiers like accept_reject out;
+  // `shutdown` is deliberately absent (too common as an ordinary verb).
+  if (in_src(rel) && !in_net(rel)) {
+    static const std::regex kSocket(
+        R"((?:^|[^A-Za-z0-9_:\.])((?:socket|bind|listen|accept|accept4|connect|send|recv|sendto|recvfrom|sendmsg|recvmsg|setsockopt|getsockopt|getsockname)\s*\())");
+    for (auto it =
+             std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kSocket);
+         it != std::sregex_iterator(); ++it)
+      add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
+          "raw-socket");
   }
 
   // iostream-in-header: library headers must not pull in iostream (it

@@ -1,0 +1,27 @@
+# lint_arch ctest: the committed docs/module-graph.dot must match what
+# tp_lint extracts from the tree, so the rendered architecture diagram
+# can never silently drift from reality.
+#
+# Variables:
+#   TP_LINT  path to the built tp_lint binary
+#   ROOT     repo root (PROJECT_SOURCE_DIR)
+#   OUT      scratch path for the freshly extracted DOT
+execute_process(
+  COMMAND ${TP_LINT} --root ${ROOT} --dot ${OUT} .
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "tp_lint must exit 0 on the real tree (got ${rc}):\n${out}${err}")
+endif()
+file(READ ${ROOT}/docs/module-graph.dot want)
+file(READ ${OUT} got)
+if(NOT got STREQUAL want)
+  message(FATAL_ERROR
+    "docs/module-graph.dot drifted from the observed include graph.\n"
+    "--- extracted ---\n${got}\n--- committed ---\n${want}\n"
+    "If the dependency change is intentional: update allowed_edges() in\n"
+    "src/lint/include_graph.cpp (with rationale), then regenerate with\n"
+    "  ./build/tools/tp_lint --root . --dot docs/module-graph.dot .")
+endif()

@@ -1,0 +1,79 @@
+#include "src/lint/baseline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace tp::lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    // <file>:<rule-id>: <justification> — the file part may not contain
+    // ':' (repo paths never do), so the first ':' ends it.
+    const std::size_t c1 = line.find(':');
+    const std::size_t c2 = c1 == std::string::npos
+                               ? std::string::npos
+                               : line.find(':', c1 + 1);
+    TP_REQUIRE(c2 != std::string::npos,
+               "baseline line " + std::to_string(lineno) +
+                   ": expected '<file>:<rule-id>: <justification>', got: " +
+                   line);
+    BaselineEntry e;
+    e.file = trim(line.substr(0, c1));
+    e.rule = trim(line.substr(c1 + 1, c2 - c1 - 1));
+    e.justification = trim(line.substr(c2 + 1));
+    TP_REQUIRE(!e.file.empty(), "baseline line " + std::to_string(lineno) +
+                                    ": empty file path");
+    rule(e.rule);  // throws on an unknown rule id
+    TP_REQUIRE(!e.justification.empty(),
+               "baseline line " + std::to_string(lineno) + " (" + e.file +
+                   ":" + e.rule +
+                   "): a baseline entry needs a justification — say why "
+                   "this finding is accepted");
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void apply_baseline(const std::vector<BaselineEntry>& baseline,
+                    std::vector<Diagnostic>& diags,
+                    std::vector<BaselineEntry>& unused) {
+  std::vector<bool> matched(baseline.size(), false);
+  auto suppressed = [&](const Diagnostic& d) {
+    bool hit = false;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (baseline[i].file == d.file && baseline[i].rule == d.rule) {
+        matched[i] = true;
+        hit = true;
+      }
+    }
+    return hit;
+  };
+  diags.erase(std::remove_if(diags.begin(), diags.end(), suppressed),
+              diags.end());
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    if (!matched[i]) unused.push_back(baseline[i]);
+}
+
+}  // namespace tp::lint

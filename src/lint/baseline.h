@@ -1,0 +1,45 @@
+// Baseline files: accepted findings that the tool stops reporting.
+//
+// A baseline is the escape hatch for findings the team has looked at and
+// decided to live with (usually while a refactor is staged).  Each entry
+// must carry a justification — an unexplained suppression is exactly the
+// kind of silent decision the lint layer exists to prevent — and entries
+// that no longer match anything are themselves reported, so the file
+// shrinks as the debt is paid down.
+//
+// Format (one entry per line; '#' starts a comment; blank lines ignored):
+//
+//   <file>:<rule-id>: <justification>
+//
+// e.g.  src/service/engine.cpp:unordered-output: ordering fixed in PR 12
+//
+// Matching is by (file, rule), not line, so the baseline survives
+// unrelated edits to the file.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/lint/diagnostics.h"
+
+namespace tp::lint {
+
+struct BaselineEntry {
+  std::string file;
+  std::string rule;
+  std::string justification;
+};
+
+/// Parses baseline text.  Throws tp::Error on a malformed line, an
+/// unknown rule id, or an empty justification.
+std::vector<BaselineEntry> parse_baseline(const std::string& text);
+
+/// Removes diagnostics matched by the baseline.  Every entry that matched
+/// nothing is appended to `unused` (report these: a stale suppression is
+/// debt that has silently been paid).
+void apply_baseline(const std::vector<BaselineEntry>& baseline,
+                    std::vector<Diagnostic>& diags,
+                    std::vector<BaselineEntry>& unused);
+
+}  // namespace tp::lint

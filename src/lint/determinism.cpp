@@ -1,0 +1,253 @@
+#include "src/lint/determinism.h"
+
+#include <string_view>
+
+#include "src/lint/paths.h"
+
+namespace tp::lint {
+
+namespace {
+
+bool is_unordered_type(std::string_view s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+/// Output sinks: writing through any of these inside a hash-order loop
+/// makes the emitted bytes depend on the hash seed.  The list names the
+/// repo's real output surfaces — stream types, the checked_io encoders,
+/// and the JSON builder (JsonValue::object preserves insertion order, so
+/// inserting while iterating an unordered map bakes hash order into the
+/// serialized document).
+constexpr std::string_view kSinkNames[] = {
+    "ostream",        "wostream", "ofstream",  "ostringstream",
+    "CheckedFileWriter", "AppendLog", "ByteBuffer", "JsonValue",
+};
+
+bool is_sink_name(std::string_view s) {
+  for (const std::string_view k : kSinkNames)
+    if (s == k) return true;
+  return false;
+}
+
+/// The blessed sorted-iteration idiom (src/util/sorted_view.h).
+bool is_blessed_iteration(std::string_view s) {
+  return s == "sorted_items" || s == "sorted_keys";
+}
+
+/// Skips a balanced template argument list; `i` is at '<'.  Returns one
+/// past the matching '>', or `i` when the list never closes sanely (a
+/// comparison mistaken for a template — bail, do not flag).
+std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == "<") ++depth;
+    if (t[j].text == ">") {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+    if (t[j].text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    }
+    if (t[j].text == ";" || t[j].text == "{") return i;  // gave up
+  }
+  return i;
+}
+
+/// One function-shaped region: [sig_begin, end) token indices, where the
+/// body is [body_begin, end).
+struct FunctionRegion {
+  std::size_t sig_begin = 0;
+  std::size_t body_begin = 0;
+  std::size_t end = 0;
+};
+
+/// Finds function bodies: a '{' preceded (skipping cv/ref/noexcept/
+/// override/final and a trailing-return type) by the ')' of a parameter
+/// list.  The signature is included in the region so `std::ostream& out`
+/// parameters count as sinks.  Heuristic by design: initializer lists
+/// after `=` and class bodies do not match because their '{' is not
+/// preceded by ')'.
+std::vector<FunctionRegion> function_regions(const std::vector<Token>& t) {
+  std::vector<FunctionRegion> regions;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].punct("{")) continue;
+    // Walk back over the decoration between ')' and '{'.
+    std::size_t j = i;
+    bool saw_close = false;
+    while (j > 0) {
+      const Token& p = t[j - 1];
+      if (p.punct(")")) {
+        saw_close = true;
+        break;
+      }
+      const bool decoration =
+          p.ident("const") || p.ident("noexcept") || p.ident("override") ||
+          p.ident("final") || p.ident("mutable") || p.punct("->") ||
+          p.punct("::") || p.punct("&") || p.punct("&&") || p.punct("*") ||
+          p.punct(">") || p.punct("<") || p.punct(",") ||
+          p.kind == TokKind::kIdent;
+      if (!decoration) break;
+      --j;
+    }
+    if (!saw_close || j == 0) continue;
+    // j - 1 is the ')'; find its matching '(' for the signature span.
+    std::size_t open = j - 1;
+    int depth = 0;
+    while (open > 0) {
+      if (t[open].punct(")")) ++depth;
+      if (t[open].punct("(")) {
+        --depth;
+        if (depth == 0) break;
+      }
+      --open;
+    }
+    if (depth != 0) continue;
+    // The '(' must follow a name, not a control keyword: `if (...) {`
+    // and `for (...) {` are not functions.
+    if (open > 0) {
+      const Token& name = t[open - 1];
+      if (name.ident("if") || name.ident("for") || name.ident("while") ||
+          name.ident("switch") || name.ident("catch") || name.ident("do") ||
+          name.kind != TokKind::kIdent)
+        continue;
+    }
+    // Find the matching '}' of the body.
+    std::size_t close = i;
+    depth = 0;
+    for (; close < t.size(); ++close) {
+      if (t[close].punct("{")) ++depth;
+      if (t[close].punct("}")) {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (depth != 0) continue;
+    regions.push_back(FunctionRegion{open, i, close + 1});
+    // Continue scanning from inside the body: lambdas nested in it also
+    // form regions and get their own (stricter) span.
+  }
+  return regions;
+}
+
+}  // namespace
+
+std::set<std::string> unordered_decls(const std::vector<Token>& toks,
+                                      bool members_only) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !is_unordered_type(toks[i].text))
+      continue;
+    // `using Cells = std::unordered_map<...>;` — the alias is the name
+    // variables will be declared with; track it like the type itself.
+    if (i >= 4 && toks[i - 1].punct("::") && toks[i - 2].ident("std") &&
+        toks[i - 3].punct("=") && toks[i - 4].kind == TokKind::kIdent) {
+      const std::string& alias = toks[i - 4].text;
+      if (!members_only || (alias.size() > 1 && alias.back() == '_'))
+        names.insert(alias);
+    }
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].punct("<")) {
+      const std::size_t after = skip_template_args(toks, j);
+      if (after == j) continue;  // unparsable; skip this occurrence
+      j = after;
+    }
+    // Skip declarator decoration between the type and the name.
+    while (j < toks.size() &&
+           (toks[j].punct("&") || toks[j].punct("*") ||
+            toks[j].ident("const") || toks[j].punct("::")))
+      ++j;
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      const std::string& name = toks[j].text;
+      if (!members_only || (name.size() > 1 && name.back() == '_'))
+        names.insert(name);
+    }
+  }
+  // Names declared *via* a tracked alias (`using Cells = ...; Cells
+  // cells;`): chase ident-ident pairs until the set stops growing.  A
+  // function returning the alias type lands in the set too — iterating
+  // its return value into a sink is the same hash-order bug.
+  bool grew = !names.empty();
+  while (grew) {
+    grew = false;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || names.count(toks[i].text) == 0)
+        continue;
+      if (i > 0 && (toks[i - 1].punct(".") || toks[i - 1].punct("->") ||
+                    toks[i - 1].punct("::")))
+        continue;  // member access / qualification, not a type position
+      if (toks[i + 1].kind != TokKind::kIdent) continue;
+      const std::string& name = toks[i + 1].text;
+      if (!members_only || (name.size() > 1 && name.back() == '_'))
+        grew = names.insert(name).second || grew;
+    }
+  }
+  return names;
+}
+
+void run_determinism_pass(const std::string& rel,
+                          const std::vector<Token>& toks,
+                          const std::set<std::string>& extra_unordered,
+                          std::vector<Diagnostic>& diags) {
+  if (!in_lib_or_tool(rel)) return;
+
+  std::set<std::string> unordered = unordered_decls(toks, false);
+  unordered.insert(extra_unordered.begin(), extra_unordered.end());
+  if (unordered.empty()) return;
+
+  auto is_unordered_var = [&](const Token& t) {
+    return t.kind == TokKind::kIdent && unordered.count(t.text) != 0;
+  };
+
+  for (const FunctionRegion& fn : function_regions(toks)) {
+    // Sink detection over the whole region (signature + body).
+    bool sink = false;
+    for (std::size_t i = fn.sig_begin; i < fn.end && !sink; ++i)
+      sink = toks[i].kind == TokKind::kIdent && is_sink_name(toks[i].text);
+    if (!sink) continue;
+
+    for (std::size_t i = fn.body_begin; i < fn.end; ++i) {
+      // Range-for: `for ( decl : expr )` — the single `:` at paren depth
+      // one separates the declaration from the range (the tokenizer
+      // emits `::` as one token, so a lone `:` is unambiguous).
+      if (toks[i].ident("for") && i + 1 < fn.end && toks[i + 1].punct("(")) {
+        int depth = 0;
+        std::size_t colon = 0;
+        std::size_t close = 0;
+        for (std::size_t j = i + 1; j < fn.end; ++j) {
+          if (toks[j].punct("(")) ++depth;
+          if (toks[j].punct(")")) {
+            --depth;
+            if (depth == 0) {
+              close = j;
+              break;
+            }
+          }
+          if (depth == 1 && colon == 0 && toks[j].punct(":")) colon = j;
+        }
+        if (colon == 0 || close == 0) continue;
+        bool blessed = false;
+        bool hits_unordered = false;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (toks[j].kind != TokKind::kIdent) continue;
+          if (is_blessed_iteration(toks[j].text)) blessed = true;
+          if (is_unordered_var(toks[j])) hits_unordered = true;
+        }
+        if (hits_unordered && !blessed)
+          add(diags, rel, toks[i].line, "unordered-output");
+        continue;
+      }
+      // Iterator loop: `name.begin()` / `name->begin()` on an unordered
+      // variable (cbegin too).
+      if (is_unordered_var(toks[i]) && i + 3 < fn.end &&
+          (toks[i + 1].punct(".") || toks[i + 1].punct("->")) &&
+          (toks[i + 2].ident("begin") || toks[i + 2].ident("cbegin")) &&
+          toks[i + 3].punct("("))
+        add(diags, rel, toks[i].line, "unordered-output");
+    }
+  }
+}
+
+}  // namespace tp::lint

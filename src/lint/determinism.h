@@ -1,0 +1,50 @@
+// The determinism pass: hash-order iteration inside output paths.
+//
+// The repo's headline correctness contract is byte-identical output
+// across runs, thread counts, and transports (batch == serve --stdio ==
+// serve --tcp; checkpoint resume == uninterrupted run).  The one bug
+// class that silently breaks it is iterating a `std::unordered_map` /
+// `unordered_set` while writing an output sink: hash order is
+// unspecified, differs between libstdc++ versions and ASLR seeds, and
+// every golden test passes locally right up until it doesn't somewhere
+// else.
+//
+// The pass is a per-function token heuristic, not alias analysis:
+//   * a variable is "unordered" when the file declares it with an
+//     unordered_(map|set|multimap|multiset) type, or when any scanned
+//     file declares a member of that name with a trailing '_' (the
+//     member-naming convention lets the pass see across the .h/.cpp
+//     split without a real symbol table);
+//   * a function "writes a sink" when its signature or body names an
+//     output type (std::ostream & friends, the checked_io encoders, the
+//     JSON/JSONL builders — see kSinkNames in determinism.cpp);
+//   * iterating is a range-for over an unordered variable or a
+//     `.begin()` call on one.
+// Iterating through tp::sorted_items / tp::sorted_keys
+// (src/util/sorted_view.h) is the blessed fix and never flags.
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/diagnostics.h"
+#include "src/lint/token.h"
+
+namespace tp::lint {
+
+/// Names declared with an unordered container type in this token stream.
+/// `members_only` restricts the result to trailing-underscore names (the
+/// cross-file member convention).
+std::set<std::string> unordered_decls(const std::vector<Token>& toks,
+                                      bool members_only);
+
+/// Runs the determinism pass over one file.  `extra_unordered` is the
+/// cross-file member-name set (pass {} for single-file analysis).
+void run_determinism_pass(const std::string& rel,
+                          const std::vector<Token>& toks,
+                          const std::set<std::string>& extra_unordered,
+                          std::vector<Diagnostic>& diags);
+
+}  // namespace tp::lint

@@ -1,0 +1,92 @@
+#include "src/lint/diagnostics.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace tp::lint {
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"raw-sync", "src/ (except src/util/), tools/, bench/",
+       "raw std synchronization primitive; use tp::Mutex/tp::MutexLock/"
+       "tp::CondVar/tp::Thread from src/util/thread_annotations.h"},
+      {"raw-random", "src/ (except src/util/), tools/, bench/",
+       "unseeded randomness/time source; use the seeded PRNG in "
+       "src/util/prng.h"},
+      {"cout-in-lib", "src/",
+       "std::cout in library code; return data or take an std::ostream& "
+       "(printing belongs to tools/ and bench/)"},
+      {"iostream-in-header", "src/ headers",
+       "#include <iostream> in a library header; include <ostream>/<iosfwd> "
+       "or move the printing into a .cpp"},
+      {"bare-assert", "src/",
+       "bare assert in library code; use TP_REQUIRE/TP_ASSERT from "
+       "src/util/error.h so failures throw with expression and file:line"},
+      {"no-fprintf", "src/",
+       "printf/fprintf(stderr, ...) in library code; throw tp::Error, return "
+       "data, or take an std::ostream& — ad-hoc stderr chatter bypasses the "
+       "structured response/trace paths (std::snprintf formatting is fine)"},
+      {"require-message", "src/, tools/, bench/",
+       "TP_REQUIRE/TP_ASSERT needs a non-empty message argument (the "
+       "expression and file:line alone rarely explain the contract)"},
+      {"raw-timing", "src/",
+       "raw timing primitive; use obs::Stopwatch (steady, monotonic) from "
+       "src/obs/timer.h or TP_PROF_PHASE for durations — system_clock "
+       "jumps with wall-clock adjustments and clock()/gettimeofday mix "
+       "CPU/realtime semantics"},
+      {"raw-io", "src/ (except src/util/)",
+       "unchecked stdio file I/O; persistent binary state goes through "
+       "src/util/checked_io.h (CRC-framed records, atomic replace) so "
+       "truncation and bit-flips are detected instead of served"},
+      {"raw-socket", "src/ (except src/net/)",
+       "raw socket syscall; network I/O goes through the RAII wrappers in "
+       "src/net/socket.h (Socket/Listener/connect_to) so fds cannot leak, "
+       "EINTR is retried, and SIGPIPE stays suppressed"},
+      {"arch-layering", "repo-wide (quoted includes)",
+       "include crosses the module layering; the allowed-edges DAG is "
+       "declared in src/lint/include_graph.cpp and rendered in "
+       "docs/module-graph.dot (diagnostics name the offending edge)"},
+      {"arch-cycle", "repo-wide (quoted includes)",
+       "the observed module include graph has a cycle; break it or redraw "
+       "the layering (diagnostics name the cycle)"},
+      {"unordered-output", "src/, tools/, bench/",
+       "iteration over an unordered container in a function that writes an "
+       "output sink; hash order varies across runs/platforms and silently "
+       "breaks the byte-identical-output contract — iterate "
+       "tp::sorted_items/sorted_keys (src/util/sorted_view.h) or a sorted "
+       "copy instead"},
+  };
+  return kRules;
+}
+
+const Rule& rule(std::string_view id) {
+  for (const Rule& r : rules())
+    if (id == r.id) return r;
+  TP_REQUIRE(false, "unknown lint rule id: " + std::string(id));
+  // Unreachable; TP_REQUIRE(false, ...) always throws.
+  throw Error("unreachable");
+}
+
+void add(std::vector<Diagnostic>& diags, const std::string& file, int line,
+         std::string_view id) {
+  const Rule& r = rule(id);
+  diags.push_back(Diagnostic{file, line, r.id, r.message});
+}
+
+void add_detail(std::vector<Diagnostic>& diags, const std::string& file,
+                int line, std::string_view id, const std::string& message) {
+  const Rule& r = rule(id);
+  diags.push_back(Diagnostic{file, line, r.id, message});
+}
+
+void sort_and_dedupe(std::vector<Diagnostic>& diags) {
+  std::sort(diags.begin(), diags.end());
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.same_site(b);
+                          }),
+              diags.end());
+}
+
+}  // namespace tp::lint

@@ -1,0 +1,52 @@
+// Lint diagnostics and the rule table.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tp::lint {
+
+struct Diagnostic {
+  std::string file;  // path relative to the lint root, '/'-separated
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+  bool same_site(const Diagnostic& o) const {
+    return file == o.file && line == o.line && rule == o.rule;
+  }
+};
+
+struct Rule {
+  const char* id;
+  const char* scope;    // human-readable, for --list-rules
+  const char* message;  // the diagnostic text (or a summary for the
+                        // passes whose diagnostics carry specifics)
+};
+
+/// The full rule table, in documentation order (docs/static-analysis.md).
+const std::vector<Rule>& rules();
+
+/// Looks up a rule by id; throws tp::Error for an unknown id (a rule id
+/// used by a pass but missing from the table is a programming error).
+const Rule& rule(std::string_view id);
+
+/// Appends a diagnostic whose message is the rule's canonical text.
+void add(std::vector<Diagnostic>& diags, const std::string& file, int line,
+         std::string_view id);
+
+/// Appends a diagnostic with a pass-specific message.
+void add_detail(std::vector<Diagnostic>& diags, const std::string& file,
+                int line, std::string_view id, const std::string& message);
+
+/// Sorts by (file, line, rule) and drops same-site duplicates.
+void sort_and_dedupe(std::vector<Diagnostic>& diags);
+
+}  // namespace tp::lint

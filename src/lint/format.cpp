@@ -1,0 +1,117 @@
+#include "src/lint/format.h"
+
+#include <ostream>
+#include <set>
+
+#include "src/util/error.h"
+
+namespace tp::lint {
+
+Format parse_format(const std::string& name) {
+  if (name == "text") return Format::kText;
+  if (name == "json") return Format::kJson;
+  if (name == "sarif") return Format::kSarif;
+  TP_REQUIRE(false, "unknown --format '" + name +
+                        "' (expected text, json, or sarif)");
+  throw Error("unreachable");
+}
+
+std::string json_escape(const std::string& s) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_text(std::ostream& out, const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags)
+    out << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
+        << "\n";
+  if (!diags.empty()) out << diags.size() << " violation(s)\n";
+}
+
+void write_json(std::ostream& out, const std::vector<Diagnostic>& diags) {
+  out << "{\n"
+      << "  \"schema\": \"tp-lint/1\",\n"
+      << "  \"violations\": " << diags.size() << ",\n"
+      << "  \"findings\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"file\": \"" << json_escape(d.file)
+        << "\", \"line\": " << d.line << ", \"rule\": \""
+        << json_escape(d.rule) << "\", \"message\": \""
+        << json_escape(d.message) << "\"}";
+  }
+  out << (diags.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+void write_sarif(std::ostream& out, const std::vector<Diagnostic>& diags) {
+  // Minimal SARIF 2.1.0: one run, the driver's rule table limited to the
+  // rules that actually fired (keeps the document small and the ordering
+  // deterministic), one result per finding.
+  std::set<std::string> fired;
+  for (const Diagnostic& d : diags) fired.insert(d.rule);
+
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"tp_lint\",\n"
+      << "      \"informationUri\": "
+         "\"https://example.invalid/torusplace/docs/static-analysis.md\",\n"
+      << "      \"rules\": [";
+  bool first = true;
+  for (const Rule& r : rules()) {
+    if (fired.count(r.id) == 0) continue;
+    out << (first ? "\n" : ",\n") << "        {\"id\": \""
+        << json_escape(r.id) << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(r.message) << "\"}}";
+    first = false;
+  }
+  out << (first ? "]\n" : "\n      ]\n") << "    }},\n"
+      << "    \"results\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out << (i == 0 ? "\n" : ",\n") << "      {\"ruleId\": \""
+        << json_escape(d.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(d.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(d.file)
+        << "\"}, \"region\": {\"startLine\": " << d.line << "}}}]}";
+  }
+  out << (diags.empty() ? "]\n" : "\n    ]\n") << "  }]\n"
+      << "}\n";
+}
+
+void write_findings(std::ostream& out, Format format,
+                    const std::vector<Diagnostic>& diags) {
+  switch (format) {
+    case Format::kText: write_text(out, diags); break;
+    case Format::kJson: write_json(out, diags); break;
+    case Format::kSarif: write_sarif(out, diags); break;
+  }
+}
+
+}  // namespace tp::lint

@@ -1,0 +1,41 @@
+// Output formats for lint findings.
+//
+//   text   the classic `<file>:<line>: [<rule>] <message>` lines with a
+//          trailing `N violation(s)` count — what the golden tests pin
+//          and what humans read in CI logs;
+//   json   a stable machine-readable schema ("tp-lint/1") for scripting;
+//   sarif  SARIF 2.1.0 (minimal subset) so code hosts can annotate PRs
+//          from the uploaded findings artifact.
+//
+// All three writers are deterministic: findings are emitted in the order
+// given (the driver sorts them) and the JSON is hand-rendered with fixed
+// indentation and key order.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/lint/diagnostics.h"
+
+namespace tp::lint {
+
+enum class Format { kText, kJson, kSarif };
+
+/// Parses "text" | "json" | "sarif"; throws tp::Error otherwise.
+Format parse_format(const std::string& name);
+
+/// Escapes a string for embedding in a JSON document (quotes not
+/// included).
+std::string json_escape(const std::string& s);
+
+void write_text(std::ostream& out, const std::vector<Diagnostic>& diags);
+void write_json(std::ostream& out, const std::vector<Diagnostic>& diags);
+void write_sarif(std::ostream& out, const std::vector<Diagnostic>& diags);
+
+/// Dispatches on `format`.
+void write_findings(std::ostream& out, Format format,
+                    const std::vector<Diagnostic>& diags);
+
+}  // namespace tp::lint

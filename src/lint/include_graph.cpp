@@ -1,0 +1,192 @@
+#include "src/lint/include_graph.h"
+
+#include <ostream>
+
+#include "src/lint/paths.h"
+
+namespace tp::lint {
+
+std::vector<IncludeRef> quoted_includes(const std::vector<Token>& toks) {
+  std::vector<IncludeRef> refs;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kDirective || toks[i].text != "include")
+      continue;
+    const Token& h = toks[i + 1];
+    if (h.kind != TokKind::kHeaderName || h.text.size() < 2 ||
+        h.text.front() != '"')
+      continue;
+    const std::size_t len =
+        h.text.back() == '"' ? h.text.size() - 2 : h.text.size() - 1;
+    refs.push_back(IncludeRef{h.text.substr(1, len), toks[i].line});
+  }
+  return refs;
+}
+
+// ---------------------------------------------------------------------------
+// The declared module DAG.
+// ---------------------------------------------------------------------------
+//
+// Layering (low to high; a module may include strictly lower layers, and
+// only along the edges listed here):
+//
+//   util                          leaf utilities; depends on nothing
+//   lint, obs                     infrastructure over util
+//   torus                         the graph model
+//   placement                     processor placements on a torus
+//   routing                       routers over placements
+//   load, bisection, simulate     analyses over routers/placements
+//   bounds                        lower bounds (uses load + bisection)
+//   analysis                      cross-cutting reports (uses simulate)
+//   core                          the planner facade over everything below
+//   service                       the query engine over core
+//   net                           the TCP front-end over service
+//   tools/bench/tests/examples    the top layer, above all of src/
+//
+// Everything may use util; everything above obs may use obs.  `core` sits
+// high deliberately: it is the composition layer (plan -> route -> bound
+// -> verify), not a primitive — the one-line summary "torus/core" in
+// older docs undersold where it actually lives.
+const std::map<std::string, std::set<std::string>>& allowed_edges() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"util", {}},
+      {"lint", {"util"}},
+      {"obs", {"util"}},
+      {"torus", {"util", "obs"}},
+      {"placement", {"util", "obs", "torus"}},
+      {"routing", {"util", "obs", "torus", "placement"}},
+      {"load", {"util", "obs", "torus", "placement", "routing"}},
+      {"bisection", {"util", "obs", "torus", "placement"}},
+      {"bounds",
+       {"util", "obs", "torus", "placement", "load", "bisection"}},
+      {"simulate", {"util", "obs", "torus", "placement", "routing"}},
+      {"analysis",
+       {"util", "obs", "torus", "placement", "routing", "load", "simulate"}},
+      {"core",
+       {"util", "obs", "torus", "placement", "routing", "load", "bisection",
+        "bounds", "simulate", "analysis"}},
+      {"service",
+       {"util", "obs", "torus", "placement", "load", "bounds", "core"}},
+      {"net", {"util", "obs", "service"}},
+  };
+  return kAllowed;
+}
+
+void ModuleGraph::add_file(const std::string& rel,
+                           const std::vector<IncludeRef>& includes) {
+  const std::string from = module_of(rel);
+  if (from.empty()) return;
+  for (const IncludeRef& inc : includes) {
+    const std::string to = module_of(inc.target);
+    if (to.empty() || to == from) continue;
+    auto& witness = edges_[from];
+    const auto it = witness.find(to);
+    // Keep the lexicographically-first witness so diagnostics and DOT
+    // stay stable under any file scan order.
+    if (it == witness.end() || rel < it->second.file ||
+        (rel == it->second.file && inc.line < it->second.line))
+      witness[to] = Witness{rel, inc.line};
+  }
+}
+
+void ModuleGraph::check(std::vector<Diagnostic>& diags) const {
+  const auto& allowed = allowed_edges();
+
+  for (const auto& [from, outs] : edges_) {
+    if (is_top_module(from)) continue;  // the top layer may include all
+    const auto decl = allowed.find(from);
+    for (const auto& [to, w] : outs) {
+      if (is_top_module(to)) {
+        add_detail(diags, w.file, w.line, "arch-layering",
+                   "module '" + from + "' includes the top-layer '" + to +
+                       "' tree; src/ libraries must not reach into "
+                       "tools/bench/tests");
+        continue;
+      }
+      if (decl == allowed.end()) {
+        add_detail(diags, w.file, w.line, "arch-layering",
+                   "module '" + from +
+                       "' is not declared in the module DAG; add it to "
+                       "allowed_edges() in src/lint/include_graph.cpp and "
+                       "to docs/module-graph.dot");
+        continue;
+      }
+      if (decl->second.count(to) == 0)
+        add_detail(diags, w.file, w.line, "arch-layering",
+                   "module '" + from + "' may not include module '" + to +
+                       "'; the allowed-edges DAG is declared in "
+                       "src/lint/include_graph.cpp (and rendered in "
+                       "docs/module-graph.dot)");
+    }
+  }
+
+  // Cycle detection over the observed graph (top-layer modules excluded:
+  // nothing includes them back, so they cannot close a cycle).  DFS in
+  // sorted order; each cycle is reported once, anchored at its first
+  // witnessing include.
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+
+  // Self-referencing recursion via explicit lambda parameter.
+  auto dfs = [&](auto&& self, const std::string& node) -> void {
+    state[node] = 1;
+    stack.push_back(node);
+    const auto it = edges_.find(node);
+    if (it != edges_.end()) {
+      for (const auto& [to, w] : it->second) {
+        if (is_top_module(to)) continue;
+        const int s = state[to];
+        if (s == 0) {
+          self(self, to);
+        } else if (s == 1) {
+          // Found a cycle: stack from `to` onward, closing back to `to`.
+          std::size_t start = 0;
+          while (start < stack.size() && stack[start] != to) ++start;
+          std::string path;
+          for (std::size_t k = start; k < stack.size(); ++k)
+            path += stack[k] + " -> ";
+          path += to;
+          if (reported.insert(path).second)
+            add_detail(diags, w.file, w.line, "arch-cycle",
+                       "module include cycle: " + path +
+                           "; break the cycle or redraw the layering "
+                           "(src/lint/include_graph.cpp)");
+        }
+      }
+    }
+    stack.pop_back();
+    state[node] = 2;
+  };
+  for (const auto& [from, outs] : edges_) {
+    if (is_top_module(from)) continue;
+    if (state[from] == 0) dfs(dfs, from);
+  }
+}
+
+void ModuleGraph::write_dot(std::ostream& out) const {
+  out << "// Observed src/ module include graph, extracted by tp_lint "
+         "--dot.\n"
+      << "// Regenerate: ./build/tools/tp_lint --root . --dot "
+         "docs/module-graph.dot .\n"
+      << "// The lint_arch ctest fails when this file drifts from the "
+         "tree.\n"
+      << "digraph torusplace_modules {\n"
+      << "  rankdir=BT;\n"
+      << "  node [shape=box];\n";
+  for (const std::string& e : edges()) out << "  " << e << ";\n";
+  out << "}\n";
+}
+
+std::vector<std::string> ModuleGraph::edges() const {
+  std::vector<std::string> flat;
+  for (const auto& [from, outs] : edges_) {
+    if (is_top_module(from)) continue;
+    for (const auto& [to, w] : outs) {
+      if (is_top_module(to)) continue;
+      flat.push_back(from + " -> " + to);
+    }
+  }
+  return flat;  // already sorted: ordered maps, nested iteration
+}
+
+}  // namespace tp::lint

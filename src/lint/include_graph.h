@@ -1,0 +1,72 @@
+// The architecture pass: repo-relative `#include "..."` edges, aggregated
+// into a module graph and checked against an explicitly declared
+// allowed-edges DAG.
+//
+// Modules are src/ subsystems (src/util -> "util", ...); tools/, bench/,
+// tests/ and examples/ form the top layer and may include anything.  The
+// declared DAG lives in include_graph.cpp next to a prose rationale —
+// adding a dependency between subsystems means editing that table (and
+// the committed docs/module-graph.dot render; the lint_arch ctest keeps
+// the two in sync), which is the conscious decision the pass exists to
+// force.
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/diagnostics.h"
+#include "src/lint/token.h"
+
+namespace tp::lint {
+
+/// One quoted include directive.
+struct IncludeRef {
+  std::string target;  // the path between the quotes, e.g. "src/util/math.h"
+  int line = 0;
+};
+
+/// Extracts the `#include "..."` directives from a token stream (angle
+/// includes name system headers and never carry module structure).
+std::vector<IncludeRef> quoted_includes(const std::vector<Token>& toks);
+
+/// The declared allowed-edges DAG: module -> set of modules it may
+/// include.  Every src/ module must appear as a key (an unknown module is
+/// itself a violation); top-layer pseudo-modules are not listed.
+const std::map<std::string, std::set<std::string>>& allowed_edges();
+
+/// The observed module graph, built file by file.
+class ModuleGraph {
+ public:
+  /// Records the edges contributed by one file.  `rel` is root-relative;
+  /// files and includes that do not map to a module are ignored.
+  void add_file(const std::string& rel,
+                const std::vector<IncludeRef>& includes);
+
+  /// Checks every observed edge against the declared DAG (arch-layering)
+  /// and the observed graph for cycles (arch-cycle).  Diagnostics are
+  /// anchored at the first witnessing include of the offending edge.
+  void check(std::vector<Diagnostic>& diags) const;
+
+  /// Writes the observed src-module graph as deterministic DOT (edges
+  /// sorted; top-layer modules omitted — they may include everything, so
+  /// drawing them would only add noise).
+  void write_dot(std::ostream& out) const;
+
+  /// Observed src-module edges as "from -> to" strings, sorted.
+  std::vector<std::string> edges() const;
+
+ private:
+  struct Witness {
+    std::string file;
+    int line = 0;
+  };
+  // module -> included module -> first witness (ordered maps keep every
+  // downstream artifact — diagnostics, DOT — deterministic).
+  std::map<std::string, std::map<std::string, Witness>> edges_;
+};
+
+}  // namespace tp::lint

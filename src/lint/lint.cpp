@@ -1,0 +1,152 @@
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/lint/determinism.h"
+#include "src/lint/paths.h"
+#include "src/lint/rules.h"
+#include "src/util/error.h"
+#include "src/util/parallel.h"
+
+namespace fs = std::filesystem;
+
+namespace tp::lint {
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+// Directories never descended into when walking a tree: build outputs,
+// VCS metadata, and the deliberately-violating lint fixtures (lint them
+// by passing the fixture directory as the --root instead).
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name == "lint_fixtures" ||
+         starts_with(name, "build");
+}
+
+std::string relative_slash(const fs::path& p, const fs::path& root) {
+  std::string rel = fs::relative(p, root).generic_string();
+  if (starts_with(rel, "./")) rel = rel.substr(2);
+  return rel;
+}
+
+void collect(const fs::path& start, std::vector<fs::path>& files) {
+  if (fs::is_regular_file(start)) {
+    if (lintable(start)) files.push_back(start);
+    return;
+  }
+  TP_REQUIRE(fs::is_directory(start),
+             "no such file or directory: " + start.string());
+  for (fs::recursive_directory_iterator it(start), end; it != end; ++it) {
+    if (it->is_directory() && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable(it->path()))
+      files.push_back(it->path());
+  }
+}
+
+}  // namespace
+
+FileScan scan_file(const std::string& rel, const std::string& text) {
+  FileScan scan;
+  scan.rel = rel;
+  scan.tokens = tokenize(text);
+  run_token_rules(rel, scan.tokens, scan.diags);
+  scan.includes = quoted_includes(scan.tokens);
+  scan.unordered_members = unordered_decls(scan.tokens, /*members_only=*/true);
+  return scan;
+}
+
+TreeResult analyze(const std::vector<FileScan>& scans) {
+  TreeResult result;
+
+  // The cross-file member-name set: a header's `unordered_map<...> m_;`
+  // makes `m_` unordered in every file (the .h/.cpp split hides the
+  // declaration from single-file analysis).
+  std::set<std::string> members;
+  for (const FileScan& s : scans)
+    members.insert(s.unordered_members.begin(), s.unordered_members.end());
+
+  for (const FileScan& s : scans) {
+    result.diags.insert(result.diags.end(), s.diags.begin(), s.diags.end());
+    result.graph.add_file(s.rel, s.includes);
+    run_determinism_pass(s.rel, s.tokens, members, result.diags);
+  }
+  result.graph.check(result.diags);
+  sort_and_dedupe(result.diags);
+  return result;
+}
+
+std::vector<SourceFile> collect_files(
+    const std::string& root, const std::vector<std::string>& inputs) {
+  const fs::path root_path(root);
+  std::vector<fs::path> paths;
+  for (const std::string& in : inputs) {
+    fs::path p(in);
+    if (p.is_relative()) p = root_path / p;
+    collect(p, paths);
+  }
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths)
+    files.push_back(SourceFile{p.string(), relative_slash(p, root_path)});
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  files.erase(std::unique(files.begin(), files.end(),
+                          [](const SourceFile& a, const SourceFile& b) {
+                            return a.rel == b.rel;
+                          }),
+              files.end());
+  return files;
+}
+
+std::string read_file(const std::string& abs) {
+  std::ifstream stream(abs, std::ios::binary);
+  TP_REQUIRE(static_cast<bool>(stream), "cannot read " + abs);
+  std::ostringstream buf;
+  buf << stream.rdbuf();
+  return buf.str();
+}
+
+TreeResult scan_tree(const std::string& root,
+                     const std::vector<std::string>& inputs, int jobs) {
+  TP_REQUIRE(jobs >= 1, "need at least one scan job");
+  const std::vector<SourceFile> files = collect_files(root, inputs);
+
+  // Phase 1 in parallel: each file's scan lands in its own slot, so the
+  // result is independent of the worker partition.
+  std::vector<FileScan> scans(files.size());
+  // Phase-1 errors (unreadable file mid-walk) surface after the join —
+  // exceptions cannot cross parallel_for_blocks' thread boundary.
+  std::vector<std::string> errors(files.size());
+  parallel_for_blocks(
+      static_cast<i64>(files.size()), jobs,
+      [&](i32 /*worker*/, i64 begin, i64 end) {
+        for (i64 i = begin; i < end; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          try {
+            scans[idx] =
+                scan_file(files[idx].rel, read_file(files[idx].abs));
+          } catch (const Error& e) {
+            errors[idx] = e.what();
+          }
+        }
+      });
+  for (const std::string& err : errors)
+    TP_REQUIRE(err.empty(), err);
+
+  return analyze(scans);
+}
+
+}  // namespace tp::lint

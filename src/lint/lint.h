@@ -1,0 +1,72 @@
+// The lint layer's top-level API: scan files, aggregate the tree-wide
+// passes, produce diagnostics.
+//
+// Scanning is two-phase because two of the passes are tree-wide:
+//
+//   phase 1  (per file, embarrassingly parallel)  tokenize, run the
+//            token rules, extract quoted includes and unordered-member
+//            declarations;
+//   phase 2  (serial, cheap)  build the module graph from all includes
+//            and check it against the declared DAG; run the determinism
+//            pass with the cross-file member-name set; sort and dedupe.
+//
+// The driver (tools/tp_lint.cpp) owns argv, stdout, and exit codes; this
+// library throws tp::Error for anything unusable (missing input,
+// unreadable file, bad baseline) and never prints.
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/diagnostics.h"
+#include "src/lint/include_graph.h"
+#include "src/lint/token.h"
+
+namespace tp::lint {
+
+/// Phase-1 result for one file.
+struct FileScan {
+  std::string rel;  // root-relative, '/'-separated
+  std::vector<Token> tokens;
+  std::vector<Diagnostic> diags;  // token-rule findings
+  std::vector<IncludeRef> includes;
+  std::set<std::string> unordered_members;  // trailing-underscore decls
+};
+
+/// Phase 1 for one file's contents.
+FileScan scan_file(const std::string& rel, const std::string& text);
+
+/// Phase-2 result for a tree.
+struct TreeResult {
+  std::vector<Diagnostic> diags;  // sorted by (file, line, rule), deduped
+  ModuleGraph graph;              // for --dot
+};
+
+/// Phase 2: aggregates per-file scans into tree-wide diagnostics.
+TreeResult analyze(const std::vector<FileScan>& scans);
+
+/// One file selected for linting.
+struct SourceFile {
+  std::string abs;  // absolute path, for reading
+  std::string rel;  // root-relative with '/' separators, for reporting
+};
+
+/// Expands `inputs` (files or directories, absolute or root-relative)
+/// into the lintable files beneath them (.h/.hpp/.cpp/.cc), skipping
+/// .git/, build*/ and lint_fixtures/ subtrees, sorted by `rel` and
+/// deduplicated.  Throws tp::Error when an input does not exist.
+std::vector<SourceFile> collect_files(const std::string& root,
+                                      const std::vector<std::string>& inputs);
+
+/// Reads a file's bytes; throws tp::Error when unreadable.
+std::string read_file(const std::string& abs);
+
+/// collect_files + parallel phase 1 + phase 2.  `jobs` <= 1 scans
+/// serially; the result is identical either way (scans land in a slot
+/// per file, and analyze() sorts).
+TreeResult scan_tree(const std::string& root,
+                     const std::vector<std::string>& inputs, int jobs);
+
+}  // namespace tp::lint

@@ -1,0 +1,36 @@
+#include "src/lint/paths.h"
+
+namespace tp::lint {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_header(std::string_view path) {
+  return (path.size() >= 2 && path.substr(path.size() - 2) == ".h") ||
+         (path.size() >= 4 && path.substr(path.size() - 4) == ".hpp");
+}
+
+bool in_src(std::string_view p) { return starts_with(p, "src/"); }
+bool in_util(std::string_view p) { return starts_with(p, "src/util/"); }
+bool in_net(std::string_view p) { return starts_with(p, "src/net/"); }
+bool in_lib_or_tool(std::string_view p) {
+  return in_src(p) || starts_with(p, "tools/") || starts_with(p, "bench/");
+}
+
+std::string module_of(std::string_view rel) {
+  for (std::string_view top : {"tools", "bench", "tests", "examples"})
+    if (starts_with(rel, std::string(top) + "/")) return std::string(top);
+  if (!in_src(rel)) return std::string();
+  const std::string_view tail = rel.substr(4);
+  const std::size_t slash = tail.find('/');
+  if (slash == std::string_view::npos) return std::string();  // src/foo.h
+  return std::string(tail.substr(0, slash));
+}
+
+bool is_top_module(std::string_view module) {
+  return module == "tools" || module == "bench" || module == "tests" ||
+         module == "examples";
+}
+
+}  // namespace tp::lint

@@ -1,0 +1,37 @@
+// Path classification for lint rule scoping.
+//
+// All paths are '/'-separated and relative to the lint root, so the same
+// logic classifies both the real tree and the golden fixture tree under
+// tests/lint_fixtures/ (which mirrors the repo layout).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tp::lint {
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+bool is_header(std::string_view path);
+
+bool in_src(std::string_view p);
+bool in_util(std::string_view p);
+bool in_net(std::string_view p);
+bool in_lib_or_tool(std::string_view p);
+
+/// The module a file belongs to for the architecture pass:
+///   src/<m>/...  -> "<m>"  (any src/ subdirectory is a module; a new
+///                           subsystem must be added to the declared DAG
+///                           in include_graph.cpp before it lints clean)
+///   tools/...    -> "tools",  bench/ -> "bench",  tests/ -> "tests",
+///   examples/    -> "examples"  (the top layer, above all of src/)
+///   anything else (files directly under src/, cmake/, docs/) -> ""
+///                           (unclassified; the architecture pass skips it)
+std::string module_of(std::string_view rel);
+
+/// True for the top-layer pseudo-modules (tools/bench/tests/examples),
+/// which may include any src/ module.
+bool is_top_module(std::string_view module);
+
+}  // namespace tp::lint

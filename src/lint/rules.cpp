@@ -1,0 +1,252 @@
+#include "src/lint/rules.h"
+
+#include <set>
+#include <string_view>
+
+#include "src/lint/paths.h"
+
+namespace tp::lint {
+
+namespace {
+
+bool in_set(std::string_view s, const std::set<std::string_view>& names) {
+  return names.count(s) != 0;
+}
+
+/// tokens[i-1], or null at the start of the stream.
+const Token* prev(const std::vector<Token>& t, std::size_t i) {
+  return i > 0 ? &t[i - 1] : nullptr;
+}
+
+/// True when tokens[i] names a free function being called: the next token
+/// is '(' and the name is not reached through a member access (`.` /
+/// `->`) or a qualifier other than `std::` (so `sock.accept(...)`,
+/// `tp::net::connect(...)`, and `obj->send(...)` never match, while
+/// `accept(...)` and `std::fopen(...)` do).
+bool free_or_std_call(const std::vector<Token>& t, std::size_t i) {
+  if (i + 1 >= t.size() || !t[i + 1].punct("(")) return false;
+  const Token* p = prev(t, i);
+  if (p == nullptr) return true;
+  if (p->punct(".") || p->punct("->")) return false;
+  if (p->punct("::"))
+    return i >= 2 && t[i - 2].ident("std");
+  return true;
+}
+
+/// Like free_or_std_call, but any qualifier (including `std::`)
+/// disqualifies — for names like `bind`/`connect` that collide with real
+/// std:: facilities.
+bool bare_free_call(const std::vector<Token>& t, std::size_t i) {
+  if (i + 1 >= t.size() || !t[i + 1].punct("(")) return false;
+  const Token* p = prev(t, i);
+  if (p == nullptr) return true;
+  return !(p->punct(".") || p->punct("->") || p->punct("::"));
+}
+
+/// True when tokens[i..] spell `std :: <name>` for some name in `names`;
+/// the match is anchored at the `std` token.
+bool std_qualified(const std::vector<Token>& t, std::size_t i,
+                   const std::set<std::string_view>& names) {
+  return t[i].ident("std") && i + 2 < t.size() && t[i + 1].punct("::") &&
+         t[i + 2].kind == TokKind::kIdent && in_set(t[i + 2].text, names);
+}
+
+const std::set<std::string_view> kSyncNames = {
+    "mutex",         "recursive_mutex",        "timed_mutex",
+    "shared_mutex",  "thread",                 "jthread",
+    "lock_guard",    "unique_lock",            "scoped_lock",
+    "condition_variable", "condition_variable_any",
+};
+
+const std::set<std::string_view> kRandomCalls = {"rand", "srand", "time"};
+
+const std::set<std::string_view> kStdioCalls = {
+    "fopen", "freopen", "fdopen", "fwrite", "fread", "fclose"};
+
+// `shutdown` is deliberately absent: too common as an ordinary verb.
+const std::set<std::string_view> kSocketCalls = {
+    "socket",  "bind",     "listen",   "accept",     "accept4",
+    "connect", "send",     "recv",     "sendto",     "recvfrom",
+    "sendmsg", "recvmsg",  "setsockopt", "getsockopt", "getsockname"};
+
+/// raw-sync with alias tracking: both the qualified spelling
+/// (`std::mutex`) and any later *bare* use of a name pulled in with
+/// `using std::mutex;` or `using X = std::thread;` are violations — the
+/// using-declaration launders the spelling, not the primitive.
+void check_raw_sync(const std::string& rel, const std::vector<Token>& t,
+                    std::vector<Diagnostic>& diags) {
+  std::set<std::string> aliases;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (std_qualified(t, i, kSyncNames)) {
+      add(diags, rel, t[i].line, "raw-sync");
+      // `using std::mutex;` makes the bare name usable from here on.
+      const Token* p = prev(t, i);
+      if (p != nullptr && p->ident("using")) aliases.insert(t[i + 2].text);
+      // `using Mtx = std::mutex;` aliases an arbitrary identifier.
+      if (i >= 3 && t[i - 1].punct("=") &&
+          t[i - 2].kind == TokKind::kIdent && t[i - 3].ident("using"))
+        aliases.insert(t[i - 2].text);
+      i += 2;
+      continue;
+    }
+    // A bare use of a tracked alias (not itself qualified or member-
+    // accessed) is the false negative the tokenizer exists to catch.
+    if (t[i].kind == TokKind::kIdent && aliases.count(t[i].text) != 0) {
+      const Token* p = prev(t, i);
+      if (p == nullptr ||
+          !(p->punct("::") || p->punct(".") || p->punct("->")))
+        add(diags, rel, t[i].line, "raw-sync");
+    }
+  }
+}
+
+void check_raw_random(const std::string& rel, const std::vector<Token>& t,
+                      std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (std_qualified(t, i, {"random_device"})) {
+      add(diags, rel, t[i].line, "raw-random");
+      i += 2;
+      continue;
+    }
+    if (t[i].kind == TokKind::kIdent && in_set(t[i].text, kRandomCalls) &&
+        free_or_std_call(t, i))
+      add(diags, rel, t[i].line, "raw-random");
+  }
+}
+
+void check_cout(const std::string& rel, const std::vector<Token>& t,
+                std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i + 2 < t.size(); ++i)
+    if (std_qualified(t, i, {"cout"}))
+      add(diags, rel, t[i].line, "cout-in-lib");
+}
+
+void check_bare_assert(const std::string& rel, const std::vector<Token>& t,
+                       std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == TokKind::kDirective && t[i].text == "include" &&
+        i + 1 < t.size() && t[i + 1].is(TokKind::kHeaderName, "<cassert>"))
+      add(diags, rel, t[i].line, "bare-assert");
+    if (t[i].ident("assert") && free_or_std_call(t, i))
+      add(diags, rel, t[i].line, "bare-assert");
+  }
+}
+
+void check_fprintf(const std::string& rel, const std::vector<Token>& t,
+                   std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if ((t[i].ident("printf") || t[i].ident("fprintf")) &&
+        free_or_std_call(t, i))
+      add(diags, rel, t[i].line, "no-fprintf");
+}
+
+void check_raw_timing(const std::string& rel, const std::vector<Token>& t,
+                      std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // std::chrono::system_clock (anchored at `std`), or a bare
+    // system_clock pulled in by a using-directive.
+    if (t[i].ident("system_clock")) {
+      const Token* p = prev(t, i);
+      const bool qualified = p != nullptr && p->punct("::");
+      if (!qualified || (i >= 2 && t[i - 2].ident("chrono")))
+        add(diags, rel, qualified && i >= 4 ? t[i - 4].line : t[i].line,
+            "raw-timing");
+      continue;
+    }
+    if ((t[i].ident("clock") || t[i].ident("gettimeofday")) &&
+        free_or_std_call(t, i))
+      add(diags, rel, t[i].line, "raw-timing");
+  }
+}
+
+void check_raw_io(const std::string& rel, const std::vector<Token>& t,
+                  std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].ident("FILE") && i + 1 < t.size() && t[i + 1].punct("*")) {
+      const Token* p = prev(t, i);
+      if (p == nullptr || !(p->punct(".") || p->punct("->")))
+        add(diags, rel, t[i].line, "raw-io");
+    }
+    if (t[i].kind == TokKind::kIdent && in_set(t[i].text, kStdioCalls) &&
+        free_or_std_call(t, i))
+      add(diags, rel, t[i].line, "raw-io");
+  }
+}
+
+void check_raw_socket(const std::string& rel, const std::vector<Token>& t,
+                      std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if (t[i].kind == TokKind::kIdent && in_set(t[i].text, kSocketCalls) &&
+        bare_free_call(t, i))
+      add(diags, rel, t[i].line, "raw-socket");
+}
+
+void check_iostream_header(const std::string& rel,
+                           const std::vector<Token>& t,
+                           std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i)
+    if (t[i].kind == TokKind::kDirective && t[i].text == "include" &&
+        t[i + 1].is(TokKind::kHeaderName, "<iostream>"))
+      add(diags, rel, t[i].line, "iostream-in-header");
+}
+
+/// require-message: every TP_REQUIRE( / TP_ASSERT( invocation must carry
+/// at least two top-level arguments and the last must not be the empty
+/// string literal.  Walks the bracket nesting over tokens, so multi-line
+/// calls and commas inside nested calls are handled; the macros' own
+/// #define lines are skipped via the tokens' pp flag.
+void check_require_message(const std::string& rel,
+                           const std::vector<Token>& t,
+                           std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!(t[i].ident("TP_REQUIRE") || t[i].ident("TP_ASSERT"))) continue;
+    if (t[i].pp) continue;  // the macro's own definition
+    if (i + 1 >= t.size() || !t[i + 1].punct("(")) continue;
+    std::size_t j = i + 2;
+    int depth = 1;
+    int top_level_commas = 0;
+    std::size_t last_arg_begin = j;
+    while (j < t.size() && depth > 0) {
+      const std::string& s = t[j].text;
+      if (t[j].kind == TokKind::kPunct) {
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        if (s == ")" || s == "]" || s == "}") --depth;
+        if (s == "," && depth == 1) {
+          ++top_level_commas;
+          last_arg_begin = j + 1;
+        }
+      }
+      ++j;
+    }
+    // j is one past the closing ')'; the last argument is
+    // [last_arg_begin, j - 1).
+    const bool empty_arg = last_arg_begin >= j - 1;
+    const bool empty_string =
+        !empty_arg && j - 1 - last_arg_begin == 1 &&
+        t[last_arg_begin].is(TokKind::kString, "\"\"");
+    if (top_level_commas == 0 || empty_arg || empty_string)
+      add(diags, rel, t[i].line, "require-message");
+  }
+}
+
+}  // namespace
+
+void run_token_rules(const std::string& rel, const std::vector<Token>& toks,
+                     std::vector<Diagnostic>& diags) {
+  if (in_lib_or_tool(rel) && !in_util(rel)) {
+    check_raw_sync(rel, toks, diags);
+    check_raw_random(rel, toks, diags);
+  }
+  if (in_src(rel)) {
+    check_cout(rel, toks, diags);
+    check_bare_assert(rel, toks, diags);
+    check_fprintf(rel, toks, diags);
+    check_raw_timing(rel, toks, diags);
+  }
+  if (in_src(rel) && !in_util(rel)) check_raw_io(rel, toks, diags);
+  if (in_src(rel) && !in_net(rel)) check_raw_socket(rel, toks, diags);
+  if (in_src(rel) && is_header(rel)) check_iostream_header(rel, toks, diags);
+  if (in_lib_or_tool(rel)) check_require_message(rel, toks, diags);
+}
+
+}  // namespace tp::lint

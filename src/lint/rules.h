@@ -1,0 +1,25 @@
+// The house token rules (raw-sync, raw-random, cout-in-lib, ...), ported
+// from the original regex-over-scrubbed-text checkers to token-sequence
+// matchers.  Matching tokens instead of text removes a class of false
+// negatives the regexes could not express — e.g. `using std::mutex;`
+// followed by a bare `mutex m;` now trips raw-sync — while comments,
+// string literals, and line splices can no longer confuse a rule at all
+// (the tokenizer already removed them).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/lint/diagnostics.h"
+#include "src/lint/token.h"
+
+namespace tp::lint {
+
+/// Runs every path-applicable token rule over one file's token stream and
+/// appends the diagnostics.  `rel` is the root-relative path that decides
+/// rule applicability (see paths.h).
+void run_token_rules(const std::string& rel, const std::vector<Token>& toks,
+                     std::vector<Diagnostic>& diags);
+
+}  // namespace tp::lint

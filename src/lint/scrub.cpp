@@ -1,0 +1,151 @@
+#include "src/lint/scrub.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tp::lint {
+namespace detail {
+
+namespace {
+
+/// True when text[i] is a backslash that splices this physical line to
+/// the next one (optionally through a '\r' before the '\n').
+bool is_line_splice(const std::string& text, std::size_t i) {
+  if (text[i] != '\\') return false;
+  std::size_t j = i + 1;
+  if (j < text.size() && text[j] == '\r') ++j;
+  return j < text.size() && text[j] == '\n';
+}
+
+}  // namespace
+
+std::size_t skip_line_comment(const std::string& text, std::size_t i) {
+  const std::size_t n = text.size();
+  while (i < n && text[i] != '\n') {
+    // A backslash-newline continues the comment onto the next physical
+    // line: the continuation is still comment text, not code.
+    if (is_line_splice(text, i)) {
+      i += text[i + 1] == '\r' ? std::size_t{3} : std::size_t{2};
+      continue;
+    }
+    ++i;
+  }
+  return i;  // the '\n' itself (or EOF) is not part of the comment
+}
+
+std::size_t skip_block_comment(const std::string& text, std::size_t i) {
+  const std::size_t n = text.size();
+  i += 2;  // past "/*"
+  while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) ++i;
+  // Unterminated at EOF: the comment swallows the rest of the text.
+  return i + 1 < n ? i + 2 : n;
+}
+
+std::size_t scan_string_literal(const std::string& text, std::size_t i) {
+  const std::size_t n = text.size();
+  ++i;  // past the opening quote
+  while (i < n && text[i] != '"' && text[i] != '\n') {
+    if (text[i] == '\\' && i + 1 < n) ++i;
+    ++i;
+  }
+  return i < n && text[i] == '"' ? i + 1 : i;
+}
+
+std::size_t scan_char_literal(const std::string& text, std::size_t i) {
+  const std::size_t n = text.size();
+  ++i;  // past the opening quote
+  while (i < n && text[i] != '\'' && text[i] != '\n') {
+    if (text[i] == '\\' && i + 1 < n) ++i;
+    ++i;
+  }
+  return i < n && text[i] == '\'' ? i + 1 : i;
+}
+
+std::size_t scan_raw_string(const std::string& text, std::size_t i) {
+  const std::size_t n = text.size();
+  std::size_t d = i + 2;  // past R"
+  while (d < n && text[d] != '(' && text[d] != '"' && text[d] != '\n') ++d;
+  if (d >= n || text[d] != '(') return i;  // not a raw string after all
+  std::string close;
+  close.reserve(d - (i + 2) + 2);
+  close.push_back(')');
+  close.append(text, i + 2, d - (i + 2));
+  close.push_back('"');
+  const std::size_t end = text.find(close, d + 1);
+  return end == std::string::npos ? n : end + close.size();
+}
+
+}  // namespace detail
+
+std::string scrub(const std::string& text) {
+  std::string out(text.size(), ' ');
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n') out[i] = '\n';
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      i = detail::skip_line_comment(text, i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i = detail::skip_block_comment(text, i);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+        (i == 0 || (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
+                    text[i - 1] != '_'))) {
+      const std::size_t stop = detail::scan_raw_string(text, i);
+      if (stop != i) {
+        // Empty raw string: the closing ")delim"" follows the '(' at
+        // once, i.e. stop == open + delim_len + 3.
+        const std::size_t open = text.find('(', i + 2);
+        const bool empty = open != std::string::npos &&
+                           stop == open + (open - i - 2) + 3;
+        out[i] = '"';
+        if (!empty && i + 1 < stop) out[i + 1] = 'S';
+        if (stop > i) out[stop - 1] = '"';
+        i = stop;
+        continue;
+      }
+    }
+    // Ordinary string literal.
+    if (c == '"') {
+      const std::size_t start = i;
+      const std::size_t stop = detail::scan_string_literal(text, i);
+      const bool empty = stop == start + 2;
+      out[start] = '"';
+      if (!empty && start + 1 < stop) out[start + 1] = 'S';
+      if (stop > start + 1) out[stop - 1] = '"';
+      i = stop;
+      continue;
+    }
+    // Char literal (only when it cannot be a digit separator like 1'000).
+    if (c == '\'' &&
+        (i == 0 || (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
+                    text[i - 1] != '_'))) {
+      const std::size_t start = i;
+      const std::size_t stop = detail::scan_char_literal(text, i);
+      out[start] = '\'';
+      if (stop > start + 1) out[stop - 1] = '\'';
+      i = stop;
+      continue;
+    }
+    out[i] = text[i];
+    ++i;
+  }
+  return out;
+}
+
+int line_of(const std::string& text, std::size_t pos) {
+  pos = std::min(pos, text.size());
+  return 1 + static_cast<int>(std::count(
+                 text.begin(),
+                 text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+}  // namespace tp::lint

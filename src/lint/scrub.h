@@ -1,0 +1,63 @@
+// Comment/string scrubbing for the lint analysis layer.
+//
+// scrub() is the historical text-level view (comments blanked, string
+// literals collapsed) that the original regex rules ran over; it is kept
+// as a public utility because it preserves length and line structure,
+// which makes it the right input for any position-based text scan.  The
+// lexeme scanners underneath it are shared with the tokenizer
+// (src/lint/token.h), so comment/continuation/raw-string handling is
+// implemented exactly once.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tp::lint {
+
+/// Returns a copy of `text` with the same length and line structure where
+///   * // and /* */ comments are replaced by spaces (newlines kept) —
+///     including backslash-continued line comments, whose continuation
+///     lines are comment text, not code;
+///   * "literal" becomes "S" padded with spaces (or "" if it was empty);
+///   * 'c' char literals become ' ' padded;
+///   * R"delim(...)delim" raw strings collapse like ordinary literals.
+/// An unterminated block comment or raw string at EOF blanks to the end
+/// of the text instead of reading past it.
+std::string scrub(const std::string& text);
+
+/// 1-based line number of byte offset `pos` in `text`.  `pos` is clamped
+/// to the text size, so positions derived from a same-length scrubbed
+/// view (or npos from a failed search) never walk off the end.
+int line_of(const std::string& text, std::size_t pos);
+
+namespace detail {
+
+// Each scanner takes the offset of the construct's first character and
+// returns the offset one past its end (clamped to text.size() for
+// unterminated constructs).  Shared by scrub() and tokenize().
+
+/// `i` points at the first '/' of "//".  Consumes through the end of the
+/// logical line, including backslash-continued physical lines (a `\`
+/// immediately before the newline, optionally with a '\r').
+std::size_t skip_line_comment(const std::string& text, std::size_t i);
+
+/// `i` points at the first '/' of "/*".  Consumes through "*/", or to
+/// EOF when the comment is unterminated.
+std::size_t skip_block_comment(const std::string& text, std::size_t i);
+
+/// `i` points at the opening '"'.  Consumes through the closing quote,
+/// honoring backslash escapes; an unterminated literal stops at the end
+/// of the line (mirroring how compilers recover).
+std::size_t scan_string_literal(const std::string& text, std::size_t i);
+
+/// `i` points at the opening '\''.  Same recovery as string literals.
+std::size_t scan_char_literal(const std::string& text, std::size_t i);
+
+/// `i` points at the 'R' of R"delim(.  Returns the end offset, or `i`
+/// itself when the text is not actually a raw-string introducer.
+std::size_t scan_raw_string(const std::string& text, std::size_t i);
+
+}  // namespace detail
+
+}  // namespace tp::lint

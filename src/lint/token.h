@@ -1,0 +1,48 @@
+// A small C++ tokenizer for the lint analysis layer.
+//
+// Not a compiler front end: no keywords, no semantic analysis, no macro
+// expansion.  It produces exactly the token stream the lint passes need
+// to match *sequences* instead of regexes — identifiers, punctuators
+// (multi-character ones like `::` and `->` are single tokens), string /
+// char / raw-string literals, numbers, and preprocessor structure
+// (directive tokens plus the header name after `#include`).  Comments
+// and backslash-newline splices are whitespace; an `std  ::  mutex`
+// split across lines or interleaved with comments is the same three
+// tokens as `std::mutex`.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tp::lint {
+
+enum class TokKind {
+  kIdent,       ///< identifiers and keywords ([A-Za-z_][A-Za-z0-9_]*)
+  kNumber,      ///< pp-number (handles 0x1F, 1'000, 1.5e-3)
+  kString,      ///< string literal, text includes the quotes; raw strings too
+  kChar,        ///< character literal, text includes the quotes
+  kPunct,       ///< operator / punctuator; multi-char ones are one token
+  kDirective,   ///< preprocessor directive name (text "include", "define", ...)
+  kHeaderName,  ///< the <...> or "..." after #include, delimiters included
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;       ///< the token spelling
+  std::size_t pos = 0;    ///< byte offset in the original text
+  int line = 0;           ///< 1-based source line
+  bool pp = false;        ///< true when part of a preprocessor directive line
+
+  bool is(TokKind k, const char* t) const { return kind == k && text == t; }
+  bool ident(const char* t) const { return is(TokKind::kIdent, t); }
+  bool punct(const char* t) const { return is(TokKind::kPunct, t); }
+};
+
+/// Tokenizes `text` (raw file contents — comments are handled here, no
+/// pre-scrubbing needed).  Unterminated constructs never read past the
+/// end; the partial token is emitted with what was there.
+std::vector<Token> tokenize(const std::string& text);
+
+}  // namespace tp::lint

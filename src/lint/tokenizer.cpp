@@ -1,0 +1,190 @@
+#include "src/lint/token.h"
+
+#include <cctype>
+
+#include "src/lint/scrub.h"
+
+namespace tp::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first within a leading character.
+// Only sequences C++ actually has; everything else falls back to a
+// single-character token.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",  ".*", "##",
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;   // only whitespace seen since the last '\n'
+  bool in_pp = false;          // inside a preprocessor directive line
+  bool expect_header = false;  // the next token is an #include header name
+
+  auto push = [&](TokKind kind, std::size_t begin, std::size_t end) {
+    out.push_back(Token{kind, text.substr(begin, end - begin), begin, line,
+                        in_pp});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      in_pp = false;
+      expect_header = false;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Backslash-newline splices the line: whitespace, but the logical
+    // line (and any preprocessor directive on it) continues.
+    if (c == '\\' && i + 1 < n &&
+        (text[i + 1] == '\n' ||
+         (text[i + 1] == '\r' && i + 2 < n && text[i + 2] == '\n'))) {
+      i += text[i + 1] == '\r' ? std::size_t{3} : std::size_t{2};
+      ++line;
+      continue;
+    }
+    // Comments are whitespace.  A line comment may itself be
+    // backslash-continued; skip_line_comment consumes the continuation
+    // lines, so count the newlines it swallowed.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t end = detail::skip_line_comment(text, i);
+      for (std::size_t j = i; j < end; ++j)
+        if (text[j] == '\n') ++line;
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const std::size_t end = detail::skip_block_comment(text, i);
+      for (std::size_t j = i; j < end; ++j)
+        if (text[j] == '\n') ++line;
+      i = end;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its line.
+    if (c == '#' && at_line_start) {
+      at_line_start = false;
+      in_pp = true;
+      std::size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      std::size_t name_end = j;
+      while (name_end < n && ident_char(text[name_end])) ++name_end;
+      // The directive token is anchored at the '#' so diagnostics point
+      // at the start of the line.
+      out.push_back(Token{TokKind::kDirective,
+                          text.substr(j, name_end - j), i, line, true});
+      expect_header = text.compare(j, name_end - j, "include") == 0;
+      i = name_end;
+      continue;
+    }
+    at_line_start = false;
+
+    // Header name after #include: <...> or "...".
+    if (expect_header && (c == '<' || c == '"')) {
+      expect_header = false;
+      const char close = c == '<' ? '>' : '"';
+      std::size_t j = i + 1;
+      while (j < n && text[j] != close && text[j] != '\n') ++j;
+      const std::size_t end = j < n && text[j] == close ? j + 1 : j;
+      push(TokKind::kHeaderName, i, end);
+      i = end;
+      continue;
+    }
+    expect_header = false;
+
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      const std::size_t end = detail::scan_raw_string(text, i);
+      if (end != i) {
+        push(TokKind::kString, i, end);
+        for (std::size_t j = i; j < end; ++j)
+          if (text[j] == '\n') ++line;
+        i = end;
+        continue;
+      }
+    }
+    if (c == '"') {
+      const std::size_t end = detail::scan_string_literal(text, i);
+      push(TokKind::kString, i, end);
+      i = end;
+      continue;
+    }
+    // Char literal — a '\'' after an identifier/number character is a
+    // digit separator (1'000), handled by the number scanner instead.
+    if (c == '\'') {
+      const std::size_t end = detail::scan_char_literal(text, i);
+      push(TokKind::kChar, i, end);
+      i = end;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(text[j])) ++j;
+      push(TokKind::kIdent, i, j);
+      i = j;
+      continue;
+    }
+
+    // pp-number: digits, identifier chars, digit separators, '.', and
+    // sign characters directly after an exponent letter.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = text[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') &&
+            (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+             text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      push(TokKind::kNumber, i, j);
+      i = j;
+      continue;
+    }
+
+    // Punctuator: longest match wins.
+    std::size_t len = 1;
+    for (const char* p : kPuncts) {
+      const std::size_t pl = p[2] == '\0' ? 2 : 3;
+      if (text.compare(i, pl, p) == 0) {
+        len = pl;
+        break;
+      }
+    }
+    push(TokKind::kPunct, i, i + len);
+    i += len;
+  }
+  return out;
+}
+
+}  // namespace tp::lint

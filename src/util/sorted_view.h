@@ -1,0 +1,54 @@
+// Deterministic iteration over unordered containers.
+//
+// Iterating a std::unordered_map/unordered_set while writing any output
+// sink bakes the hash order — which varies across libstdc++ versions,
+// hash seeds, and platforms — into the emitted bytes, silently breaking
+// the repo's byte-identical-output contract.  The lint layer's
+// unordered-output pass flags exactly that pattern; these helpers are the
+// blessed fix it recognizes:
+//
+//   for (const auto& [k, v] : tp::sorted_items(cache_)) ...
+//   for (const auto& k : tp::sorted_keys(seen_)) ...
+//
+// Both take an O(n log n) sorted snapshot.  That cost is fine on output
+// paths (serialization dominates); on hot paths, prefer an ordered
+// container or a maintained index instead of sorting per call.
+
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace tp {
+
+/// Key-sorted snapshot of a map-like container's (key, mapped) pairs.
+/// Values are copied; keys must be totally ordered by '<'.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(m.size());
+  for (const auto& kv : m) items.emplace_back(kv.first, kv.second);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+/// Sorted snapshot of a container's keys (for sets, the elements).
+template <typename Container>
+auto sorted_keys(const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  for (const auto& item : c) {
+    if constexpr (requires { item.first; })
+      keys.push_back(item.first);
+    else
+      keys.push_back(item);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace tp

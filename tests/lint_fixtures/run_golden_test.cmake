@@ -5,23 +5,40 @@
 #   FIXTURES  path to tests/lint_fixtures
 #
 # Asserts that (1) linting the violating fixture tree reproduces
-# expected.txt byte-for-byte with exit code 1, and (2) the clean fixture
+# expected.txt byte-for-byte with exit code 1, (2) the same scan under
+# --format=json / --format=sarif reproduces expected.json /
+# expected.sarif (the machine-readable schemas are part of the CLI
+# contract — CI uploads them as artifacts), and (3) the clean fixture
 # alone lints silently with exit code 0.
-execute_process(
-  COMMAND ${TP_LINT} --root ${FIXTURES} src
-  RESULT_VARIABLE rc
-  OUTPUT_VARIABLE out
-  ERROR_VARIABLE err)
-if(NOT rc EQUAL 1)
-  message(FATAL_ERROR "expected exit 1 on the violating tree, got ${rc}\n${out}${err}")
-endif()
-file(READ ${FIXTURES}/expected.txt want)
-if(NOT out STREQUAL want)
-  message(FATAL_ERROR
-    "diagnostics drifted from expected.txt.\n--- got ---\n${out}\n--- want ---\n${want}\n"
-    "If the change is intentional, regenerate with\n"
-    "  tp_lint --root tests/lint_fixtures src > tests/lint_fixtures/expected.txt")
-endif()
+
+function(tp_lint_golden format golden)
+  if(format STREQUAL "text")
+    set(format_args "")
+  else()
+    set(format_args "--format=${format}")
+  endif()
+  execute_process(
+    COMMAND ${TP_LINT} --root ${FIXTURES} ${format_args} src
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "expected exit 1 on the violating tree (${format}), got ${rc}\n${out}${err}")
+  endif()
+  file(READ ${FIXTURES}/${golden} want)
+  if(NOT out STREQUAL want)
+    message(FATAL_ERROR
+      "${format} diagnostics drifted from ${golden}.\n"
+      "--- got ---\n${out}\n--- want ---\n${want}\n"
+      "If the change is intentional, regenerate with\n"
+      "  tp_lint --root tests/lint_fixtures ${format_args} src > tests/lint_fixtures/${golden}")
+  endif()
+endfunction()
+
+tp_lint_golden(text expected.txt)
+tp_lint_golden(json expected.json)
+tp_lint_golden(sarif expected.sarif)
 
 execute_process(
   COMMAND ${TP_LINT} --root ${FIXTURES} src/clean.cpp
@@ -30,4 +47,24 @@ execute_process(
   ERROR_VARIABLE err)
 if(NOT rc EQUAL 0 OR NOT out STREQUAL "")
   message(FATAL_ERROR "clean fixture must lint silently: exit ${rc}\n${out}${err}")
+endif()
+
+# A baseline accepting one finding per (file, rule) drops those findings
+# and flips nowhere else; a stale entry turns the exit code back to 1
+# with a stderr notice.
+# (CMAKE_CURRENT_BINARY_DIR is the working directory in -P script mode,
+# i.e. somewhere under build/ — never the source tree.)
+set(baseline_tmp ${CMAKE_CURRENT_BINARY_DIR}/lint_golden_baseline_tmp.txt)
+file(WRITE ${baseline_tmp}
+  "# temporary baseline written by run_golden_test.cmake\n"
+  "src/bad_cout.cpp:cout-in-lib: exercised by the golden test\n")
+execute_process(
+  COMMAND ${TP_LINT} --root ${FIXTURES} --baseline ${baseline_tmp} src/bad_cout.cpp
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+file(REMOVE ${baseline_tmp})
+if(NOT rc EQUAL 0 OR NOT out STREQUAL "")
+  message(FATAL_ERROR
+    "baselined fixture must lint silently: exit ${rc}\n${out}${err}")
 endif()

@@ -15,3 +15,14 @@ void spawn() {
 std::condition_variable* leaked();
 
 }  // namespace bad
+
+// The tokenizer-backed rule sees through using-declarations: the bare
+// names below are still std synchronization primitives (the regex-era
+// tool missed all four of these lines).
+using std::mutex;
+
+mutex g_aliased;
+
+using Mtx = std::mutex;
+
+Mtx* g_typedefed;

@@ -1,0 +1,37 @@
+// Fixture: unordered-output — hash-order iteration while writing a sink.
+#include <map>
+#include <ostream>
+#include <unordered_map>
+
+#include "src/util/sorted_view.h"
+
+namespace bad {
+
+std::unordered_map<int, int> g_table;
+
+// Range-for over an unordered container in a function that writes an
+// std::ostream: the emitted bytes depend on the hash order.
+void dump(std::ostream& out) {
+  for (const auto& [k, v] : g_table) out << k << " " << v << "\n";
+}
+
+// Iterator form of the same bug.
+void dump_iter(std::ostream& out) {
+  for (auto it = g_table.begin(); it != g_table.end(); ++it)
+    out << it->first << "\n";
+}
+
+// The blessed fix: tp::sorted_items snapshots and key-sorts first.
+void dump_sorted(std::ostream& out) {
+  for (const auto& [k, v] : tp::sorted_items(g_table))
+    out << k << " " << v << "\n";
+}
+
+// No sink in scope: counting is order-independent, so this is fine.
+int total() {
+  int sum = 0;
+  for (const auto& [k, v] : g_table) sum += v;
+  return sum;
+}
+
+}  // namespace bad

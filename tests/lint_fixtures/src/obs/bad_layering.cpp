@@ -1,0 +1,8 @@
+// Fixture: arch-layering — obs (infrastructure over util) reaching up
+// into the service layer.  The allowed-edges DAG in
+// src/lint/include_graph.cpp gives obs only {util}.
+#include "src/service/engine.h"
+
+namespace bad {
+int use_engine();
+}  // namespace bad

@@ -1,0 +1,8 @@
+// Fixture: arch-cycle — service -> obs is a declared (legal) edge on its
+// own, but together with src/obs/bad_layering.cpp's obs -> service
+// include the *observed* graph closes the cycle obs -> service -> obs.
+#include "src/obs/registry.h"
+
+namespace bad {
+int use_registry();
+}  // namespace bad

@@ -50,6 +50,7 @@
 
 #include "src/analysis/imbalance.h"
 #include "src/core/torusplace.h"
+#include "src/lint/lint.h"
 #include "src/net/line_buffer.h"
 #include "src/net/loadgen.h"
 #include "src/net/socket.h"
@@ -285,6 +286,19 @@ std::vector<BenchResult> run_benchmarks(int reps) {
     qps.mean_ns = ns_per_request;
     qps.min_ns = static_cast<i64>(ns_per_request);
     results.push_back(qps);
+  }
+
+  // Whole-repo static-analysis scan (tokenize + token rules + the
+  // architecture and determinism passes over every source file), timed
+  // through the same scan_tree() the tp_lint driver uses, at 4 workers
+  // for comparability across machines.  Only meaningful when run from
+  // the repo root; elsewhere (bare build dir) the entry is skipped.
+  if (std::filesystem::is_directory("src") &&
+      std::filesystem::is_directory("tools")) {
+    results.push_back(time_fn("tp_lint_full_tree", reps, [&] {
+      const lint::TreeResult scan = lint::scan_tree(".", {"."}, 4);
+      g_sink += static_cast<double>(scan.diags.size());
+    }));
   }
   return results;
 }

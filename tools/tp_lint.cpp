@@ -1,507 +1,183 @@
 // tp_lint — torusplace's repo-specific lint pass.
 //
-// A fast line/token-level checker for house rules that generic tools
-// cannot know about.  It is deliberately not a parser: every rule works
-// on a "scrubbed" view of the file where comments are blanked and string
-// literals are collapsed (non-empty literals become "S", empty ones stay
-// ""), so `// mutates over time (a wire...)` or a help string mentioning
-// std::mutex never trips a rule, while real code always does.
+// A fast token-level checker for house rules that generic tools cannot
+// know about.  v2 is backed by a real tokenizer (src/lint/token.h): rules
+// match token sequences instead of regexes over scrubbed text, so
+// `using std::mutex;` followed by a bare `mutex m;` is caught, comments
+// and string literals can never trip a rule, and line splices are
+// transparent.  On top of the per-file rules sit two tree-wide passes:
+//
+//   architecture  every `#include "..."` is aggregated into a module
+//                 graph and checked against the allowed-edges DAG
+//                 declared in src/lint/include_graph.cpp (layering
+//                 inversions and cycles are violations; --dot exports
+//                 the observed graph);
+//   determinism   iterating an unordered container inside a function
+//                 that writes an output sink is flagged — hash order
+//                 must never reach the byte-identical outputs
+//                 (src/lint/determinism.h; tp::sorted_items/sorted_keys
+//                 from src/util/sorted_view.h is the blessed fix).
 //
 // Usage:
-//   tp_lint [--root <dir>] <path>...      lint files / directory trees
+//   tp_lint [options] <path>...           lint files / directory trees
 //   tp_lint --list-rules                  print the rule table
 //
-// Paths are resolved relative to --root (default: current directory) and
-// rule applicability is decided from the path relative to the root, so
-// the same binary lints both the real tree and the golden fixture tree
-// under tests/lint_fixtures/ (which mirrors the repo layout).  Output is
+// Options:
+//   --root <dir>        resolve paths and rule scopes relative to <dir>
+//                       (default: current directory)
+//   --format <f>        text (default) | json | sarif
+//   --baseline <file>   suppress accepted findings listed in <file>
+//                       (format: `<file>:<rule-id>: <justification>`)
+//   --dot <file|->      also write the observed module graph as DOT
+//   --jobs <n>          parallel scan workers (default: all cores)
+//
+// Paths are resolved relative to --root and rule applicability is
+// decided from the path relative to the root, so the same binary lints
+// both the real tree and the golden fixture tree under
+// tests/lint_fixtures/ (which mirrors the repo layout).  Text output is
 // one diagnostic per line, sorted, in the stable format
 //
 //   <file>:<line>: [<rule-id>] <message>
 //
-// and the exit status is 0 (clean) or 1 (violations found).  The rule
-// table and the how-to-add-a-rule recipe live in docs/static-analysis.md.
+// and the exit status is 0 (clean) or 1 (violations found; stale
+// baseline entries also count).  The rule table, the module DAG, and the
+// how-to-add-a-rule recipe live in docs/static-analysis.md.
 
-#include <algorithm>
-#include <cctype>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <regex>
-#include <sstream>
 #include <string>
-#include <string_view>
 #include <vector>
 
-namespace fs = std::filesystem;
+#include "src/lint/baseline.h"
+#include "src/lint/paths.h"
+#include "src/lint/format.h"
+#include "src/lint/lint.h"
+#include "src/util/error.h"
+#include "src/util/parallel.h"
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Diagnostics
-// ---------------------------------------------------------------------------
-
-struct Diagnostic {
-  std::string file;  // path relative to --root, '/'-separated
-  int line = 0;
-  std::string rule;
-  std::string message;
-
-  bool operator<(const Diagnostic& o) const {
-    if (file != o.file) return file < o.file;
-    if (line != o.line) return line < o.line;
-    return rule < o.rule;
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Scrubbing: blank comments, collapse string/char literals.
-// ---------------------------------------------------------------------------
-
-// Returns a copy of `text` with the same length and line structure where
-//   * // and /* */ comments are replaced by spaces (newlines kept),
-//   * "literal" becomes "S" padded with spaces (or "" if it was empty),
-//   * 'c' char literals become ' ' padded,
-//   * R"delim(...)delim" raw strings collapse like ordinary literals.
-// Rules therefore only ever see real code tokens plus a marker for
-// "some non-empty string literal was here".
-std::string scrub(const std::string& text) {
-  std::string out(text.size(), ' ');
-  for (std::size_t i = 0; i < text.size(); ++i)
-    if (text[i] == '\n') out[i] = '\n';
-
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  auto copy = [&](std::size_t at) { out[at] = text[at]; };
-
-  while (i < n) {
-    const char c = text[i];
-    // Line comment.
-    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      while (i < n && text[i] != '\n') ++i;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      i += 2;
-      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) ++i;
-      i = (i + 1 < n) ? i + 2 : n;
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
-        (i == 0 || (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
-                    text[i - 1] != '_'))) {
-      std::size_t d = i + 2;
-      while (d < n && text[d] != '(' && text[d] != '"' && text[d] != '\n') ++d;
-      if (d < n && text[d] == '(') {
-        const std::string close = ")" + text.substr(i + 2, d - (i + 2)) + "\"";
-        const std::size_t end = text.find(close, d + 1);
-        const std::size_t stop = (end == std::string::npos)
-                                     ? n
-                                     : end + close.size();
-        const bool empty = (end == d + 1);
-        out[i] = '"';
-        if (!empty && i + 1 < stop) out[i + 1] = 'S';
-        if (stop > i) out[stop - 1] = '"';
-        i = stop;
-        continue;
-      }
-    }
-    // Ordinary string literal.
-    if (c == '"') {
-      const std::size_t start = i++;
-      while (i < n && text[i] != '"' && text[i] != '\n') {
-        if (text[i] == '\\' && i + 1 < n) ++i;
-        ++i;
-      }
-      const std::size_t stop = (i < n && text[i] == '"') ? i + 1 : i;
-      const bool empty = (stop == start + 2);
-      out[start] = '"';
-      if (!empty && start + 1 < stop) out[start + 1] = 'S';
-      if (stop > start + 1) out[stop - 1] = '"';
-      i = stop;
-      continue;
-    }
-    // Char literal (only when it cannot be a digit separator like 1'000).
-    if (c == '\'' &&
-        (i == 0 || (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
-                    text[i - 1] != '_'))) {
-      const std::size_t start = i++;
-      while (i < n && text[i] != '\'' && text[i] != '\n') {
-        if (text[i] == '\\' && i + 1 < n) ++i;
-        ++i;
-      }
-      const std::size_t stop = (i < n && text[i] == '\'') ? i + 1 : i;
-      out[start] = '\'';
-      if (stop > start + 1) out[stop - 1] = '\'';
-      i = stop;
-      continue;
-    }
-    copy(i);
-    ++i;
-  }
-  return out;
-}
-
-int line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
-                                             static_cast<std::ptrdiff_t>(pos),
-                                         '\n'));
-}
-
-// ---------------------------------------------------------------------------
-// Path classification (relative, '/'-separated paths).
-// ---------------------------------------------------------------------------
-
-bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
-}
-
-bool is_header(std::string_view path) {
-  return path.size() >= 2 && (path.substr(path.size() - 2) == ".h" ||
-                              (path.size() >= 4 &&
-                               path.substr(path.size() - 4) == ".hpp"));
-}
-
-bool in_src(std::string_view p) { return starts_with(p, "src/"); }
-bool in_util(std::string_view p) { return starts_with(p, "src/util/"); }
-bool in_net(std::string_view p) { return starts_with(p, "src/net/"); }
-bool in_lib_or_tool(std::string_view p) {
-  return in_src(p) || starts_with(p, "tools/") || starts_with(p, "bench/");
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-struct Rule {
-  const char* id;
-  const char* scope;    // human-readable, for --list-rules
-  const char* message;  // the diagnostic text
-};
-
-constexpr Rule kRules[] = {
-    {"raw-sync", "src/ (except src/util/), tools/, bench/",
-     "raw std synchronization primitive; use tp::Mutex/tp::MutexLock/"
-     "tp::CondVar/tp::Thread from src/util/thread_annotations.h"},
-    {"raw-random", "src/ (except src/util/), tools/, bench/",
-     "unseeded randomness/time source; use the seeded PRNG in "
-     "src/util/prng.h"},
-    {"cout-in-lib", "src/",
-     "std::cout in library code; return data or take an std::ostream& "
-     "(printing belongs to tools/ and bench/)"},
-    {"iostream-in-header", "src/ headers",
-     "#include <iostream> in a library header; include <ostream>/<iosfwd> "
-     "or move the printing into a .cpp"},
-    {"bare-assert", "src/",
-     "bare assert in library code; use TP_REQUIRE/TP_ASSERT from "
-     "src/util/error.h so failures throw with expression and file:line"},
-    {"no-fprintf", "src/",
-     "printf/fprintf(stderr, ...) in library code; throw tp::Error, return "
-     "data, or take an std::ostream& — ad-hoc stderr chatter bypasses the "
-     "structured response/trace paths (std::snprintf formatting is fine)"},
-    {"require-message", "src/, tools/, bench/",
-     "TP_REQUIRE/TP_ASSERT needs a non-empty message argument (the "
-     "expression and file:line alone rarely explain the contract)"},
-    {"raw-timing", "src/",
-     "raw timing primitive; use obs::Stopwatch (steady, monotonic) from "
-     "src/obs/timer.h or TP_PROF_PHASE for durations — system_clock "
-     "jumps with wall-clock adjustments and clock()/gettimeofday mix "
-     "CPU/realtime semantics"},
-    {"raw-io", "src/ (except src/util/)",
-     "unchecked stdio file I/O; persistent binary state goes through "
-     "src/util/checked_io.h (CRC-framed records, atomic replace) so "
-     "truncation and bit-flips are detected instead of served"},
-    {"raw-socket", "src/ (except src/net/)",
-     "raw socket syscall; network I/O goes through the RAII wrappers in "
-     "src/net/socket.h (Socket/Listener/connect_to) so fds cannot leak, "
-     "EINTR is retried, and SIGPIPE stays suppressed"},
-};
-
-const Rule& rule(std::string_view id) {
-  for (const Rule& r : kRules)
-    if (id == r.id) return r;
-  std::cerr << "tp_lint: internal error: unknown rule " << id << "\n";
-  std::exit(2);
-}
-
-void add(std::vector<Diagnostic>& diags, const std::string& file,
-         const std::string& text, std::size_t pos, std::string_view id) {
-  const Rule& r = rule(id);
-  diags.push_back(Diagnostic{file, line_of(text, pos), r.id, r.message});
-}
-
-// Scans `scrubbed` for matches of `re` and reports one diagnostic per
-// match position under rule `id`.
-void regex_rule(std::vector<Diagnostic>& diags, const std::string& file,
-                const std::string& scrubbed, const std::regex& re,
-                std::string_view id) {
-  for (auto it = std::sregex_iterator(scrubbed.begin(), scrubbed.end(), re);
-       it != std::sregex_iterator(); ++it)
-    add(diags, file, scrubbed, static_cast<std::size_t>(it->position(0)), id);
-}
-
-// require-message: every TP_REQUIRE( / TP_ASSERT( invocation must carry at
-// least two top-level arguments and the last must not be the empty string
-// literal.  Works on the scrubbed text, walking the parenthesis nesting,
-// so multi-line calls and commas inside nested calls are handled.
-void check_require_message(std::vector<Diagnostic>& diags,
-                           const std::string& file,
-                           const std::string& scrubbed) {
-  static const std::regex kCall(R"((TP_REQUIRE|TP_ASSERT)\s*\()");
-  for (auto it = std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kCall);
-       it != std::sregex_iterator(); ++it) {
-    const std::size_t name_pos = static_cast<std::size_t>(it->position(0));
-    // Skip the macro's own definition ("#define TP_REQUIRE(cond, msg)").
-    const std::size_t bol = scrubbed.rfind('\n', name_pos) + 1;
-    const std::size_t def = scrubbed.find("#define", bol);
-    if (def != std::string::npos && def < name_pos) continue;
-    std::size_t i =
-        name_pos + static_cast<std::size_t>(it->length(0));  // just past '('
-    int depth = 1;
-    std::size_t last_arg_begin = i;
-    int top_level_commas = 0;
-    while (i < scrubbed.size() && depth > 0) {
-      const char c = scrubbed[i];
-      if (c == '(' || c == '[' || c == '{') ++depth;
-      if (c == ')' || c == ']' || c == '}') --depth;
-      if (c == ',' && depth == 1) {
-        ++top_level_commas;
-        last_arg_begin = i + 1;
-      }
-      ++i;
-    }
-    std::string last_arg =
-        scrubbed.substr(last_arg_begin, i > last_arg_begin
-                                            ? i - 1 - last_arg_begin
-                                            : 0);
-    // Trim whitespace (scrubbing already removed comments).
-    const auto first = last_arg.find_first_not_of(" \t\n\\");
-    const auto last = last_arg.find_last_not_of(" \t\n\\");
-    last_arg = (first == std::string::npos)
-                   ? std::string()
-                   : last_arg.substr(first, last - first + 1);
-    if (top_level_commas == 0 || last_arg.empty() || last_arg == "\"\"")
-      add(diags, file, scrubbed, name_pos, "require-message");
-  }
-}
-
-void lint_file(std::vector<Diagnostic>& diags, const std::string& rel,
-               const std::string& text) {
-  const std::string scrubbed = scrub(text);
-
-  // raw-sync / raw-random: concurrent and random primitives are only
-  // spelled inside src/util/, where the blessed wrappers live.
-  if (in_lib_or_tool(rel) && !in_util(rel)) {
-    static const std::regex kSync(
-        R"(std\s*::\s*(mutex|recursive_mutex|timed_mutex|shared_mutex|thread|jthread|lock_guard|unique_lock|scoped_lock|condition_variable|condition_variable_any)\b)");
-    regex_rule(diags, rel, scrubbed, kSync, "raw-sync");
-
-    static const std::regex kRandom(
-        R"(std\s*::\s*random_device\b|(?:^|[^A-Za-z0-9_])((?:s?rand|time)\s*\())");
-    for (auto it =
-             std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kRandom);
-         it != std::sregex_iterator(); ++it) {
-      const std::size_t group = (*it)[1].matched ? 1 : 0;
-      add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(group)),
-          "raw-random");
-    }
-  }
-
-  // cout-in-lib: libraries return data; only tools/ and bench/ print.
-  if (in_src(rel)) {
-    static const std::regex kCout(R"(std\s*::\s*cout\b)");
-    regex_rule(diags, rel, scrubbed, kCout, "cout-in-lib");
-
-    static const std::regex kAssert(
-        R"((?:^|[^A-Za-z0-9_\.])(assert\s*\()|#\s*include\s*<cassert>)");
-    for (auto it =
-             std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kAssert);
-         it != std::sregex_iterator(); ++it) {
-      const std::size_t group = (*it)[1].matched ? 1 : 0;
-      add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(group)),
-          "bare-assert");
-    }
-
-    // no-fprintf: the preceding-character class deliberately excludes
-    // identifier characters, so std::snprintf (…n-printf) and vfprintf
-    // (…v-fprintf) pass while printf/fprintf/std::printf are caught.
-    static const std::regex kPrintf(R"((?:^|[^A-Za-z0-9_])(f?printf)\s*\()");
-    for (auto it =
-             std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kPrintf);
-         it != std::sregex_iterator(); ++it)
-      add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
-          "no-fprintf");
-  }
-
-  // raw-timing: durations in library code come from obs::Stopwatch (or a
-  // profiler phase); system_clock/clock()/gettimeofday are either
-  // non-monotonic or CPU-time with different semantics per platform.
-  // The preceding-character class keeps steady_clock / FaultClock /
-  // CLOCK_* out; only a bare clock( call is caught.
-  if (in_src(rel)) {
-    static const std::regex kSystemClock(
-        R"(std\s*::\s*(chrono\s*::\s*system_clock\b|clock\s*\())");
-    regex_rule(diags, rel, scrubbed, kSystemClock, "raw-timing");
-
-    static const std::regex kCTime(
-        R"((?:^|[^A-Za-z0-9_:\.])((?:gettimeofday|clock)\s*\())");
-    for (auto it =
-             std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kCTime);
-         it != std::sregex_iterator(); ++it)
-      add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
-          "raw-timing");
-  }
-
-  // raw-io: persistent state written with bare stdio has no integrity
-  // story — a torn write or flipped bit is served back as truth.  Library
-  // code outside src/util/ (where the blessed wrappers live) must route
-  // file bytes through util::CheckedFileWriter / read_checked_file /
-  // AppendLog.  The preceding-character class keeps identifiers like
-  // profile_fwrite out; only the bare calls and the FILE* type are caught.
-  if (in_src(rel) && !in_util(rel)) {
-    static const std::regex kFilePtr(R"((?:^|[^A-Za-z0-9_])(FILE)\s*\*)");
-    static const std::regex kStdio(
-        R"((?:^|[^A-Za-z0-9_:\.])(f(?:open|reopen|dopen|write|read|close)\s*\())");
-    for (const std::regex* re : {&kFilePtr, &kStdio})
-      for (auto it =
-               std::sregex_iterator(scrubbed.begin(), scrubbed.end(), *re);
-           it != std::sregex_iterator(); ++it)
-        add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
-            "raw-io");
-  }
-
-  // raw-socket: the BSD socket surface is only spelled inside src/net/,
-  // where the RAII wrappers live (src/net/socket.h documents itself as
-  // the single file naming these syscalls).  The preceding-character
-  // class keeps member calls (sock.accept_connection), qualified names
-  // (tp::net::connect_to), and identifiers like accept_reject out;
-  // `shutdown` is deliberately absent (too common as an ordinary verb).
-  if (in_src(rel) && !in_net(rel)) {
-    static const std::regex kSocket(
-        R"((?:^|[^A-Za-z0-9_:\.])((?:socket|bind|listen|accept|accept4|connect|send|recv|sendto|recvfrom|sendmsg|recvmsg|setsockopt|getsockopt|getsockname)\s*\())");
-    for (auto it =
-             std::sregex_iterator(scrubbed.begin(), scrubbed.end(), kSocket);
-         it != std::sregex_iterator(); ++it)
-      add(diags, rel, scrubbed, static_cast<std::size_t>(it->position(1)),
-          "raw-socket");
-  }
-
-  // iostream-in-header: library headers must not pull in iostream (it
-  // injects static initializers into every TU and slows builds).
-  if (in_src(rel) && is_header(rel)) {
-    static const std::regex kIostream(R"(#\s*include\s*<iostream>)");
-    regex_rule(diags, rel, scrubbed, kIostream, "iostream-in-header");
-  }
-
-  if (in_lib_or_tool(rel)) check_require_message(diags, rel, scrubbed);
-}
-
-// ---------------------------------------------------------------------------
-// File collection
-// ---------------------------------------------------------------------------
-
-bool lintable(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
-}
-
-// Directories never descended into when walking a tree: build outputs,
-// VCS metadata, and the deliberately-violating lint fixtures (lint them
-// by passing the fixture directory as the --root instead).
-bool skip_dir(const fs::path& p) {
-  const std::string name = p.filename().string();
-  return name == ".git" || name == "lint_fixtures" ||
-         starts_with(name, "build");
-}
-
-void collect(const fs::path& start, std::vector<fs::path>& files) {
-  if (fs::is_regular_file(start)) {
-    if (lintable(start)) files.push_back(start);
-    return;
-  }
-  if (!fs::is_directory(start)) {
-    std::cerr << "tp_lint: no such file or directory: " << start.string()
-              << "\n";
-    std::exit(2);
-  }
-  for (fs::recursive_directory_iterator it(start), end; it != end; ++it) {
-    if (it->is_directory() && skip_dir(it->path())) {
-      it.disable_recursion_pending();
-      continue;
-    }
-    if (it->is_regular_file() && lintable(it->path()))
-      files.push_back(it->path());
-  }
-}
-
-std::string relative_slash(const fs::path& p, const fs::path& root) {
-  std::string rel = fs::relative(p, root).generic_string();
-  if (starts_with(rel, "./")) rel = rel.substr(2);
-  return rel;
+int usage() {
+  std::cerr << "usage: tp_lint [--root <dir>] [--format text|json|sarif]\n"
+               "               [--baseline <file>] [--dot <file|->]\n"
+               "               [--jobs <n>] <path>... | --list-rules\n";
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = fs::current_path();
+  std::string root = std::filesystem::current_path().string();
+  std::string format_name = "text";
+  std::string baseline_path;
+  std::string dot_path;
+  int jobs = tp::default_threads();
   std::vector<std::string> inputs;
+
+  auto value_of = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "tp_lint: " << argv[i] << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
-      for (const Rule& r : kRules)
+      for (const tp::lint::Rule& r : tp::lint::rules())
         std::cout << r.id << "\t[" << r.scope << "]\t" << r.message << "\n";
       return 0;
     }
     if (arg == "--root") {
-      if (i + 1 >= argc) {
-        std::cerr << "tp_lint: --root needs a value\n";
+      const char* v = value_of(i);
+      if (v == nullptr) return 2;
+      root = v;
+      continue;
+    }
+    if (arg == "--format" || tp::lint::starts_with(arg, "--format=")) {
+      std::string v;
+      if (arg == "--format") {
+        const char* raw = value_of(i);
+        if (raw == nullptr) return 2;
+        v = raw;
+      } else {
+        v = arg.substr(std::string("--format=").size());
+      }
+      format_name = v;
+      continue;
+    }
+    if (arg == "--baseline") {
+      const char* v = value_of(i);
+      if (v == nullptr) return 2;
+      baseline_path = v;
+      continue;
+    }
+    if (arg == "--dot") {
+      const char* v = value_of(i);
+      if (v == nullptr) return 2;
+      dot_path = v;
+      continue;
+    }
+    if (arg == "--jobs") {
+      const char* v = value_of(i);
+      if (v == nullptr) return 2;
+      jobs = std::atoi(v);
+      if (jobs < 1) {
+        std::cerr << "tp_lint: --jobs needs a positive integer\n";
         return 2;
       }
-      root = argv[++i];
       continue;
     }
     if (arg == "--") continue;
+    if (tp::lint::starts_with(arg, "--")) {
+      std::cerr << "tp_lint: unknown option " << arg << "\n";
+      return usage();
+    }
     inputs.push_back(arg);
   }
-  if (inputs.empty()) {
-    std::cerr << "usage: tp_lint [--root <dir>] <path>... | --list-rules\n";
+  if (inputs.empty()) return usage();
+
+  try {
+    const tp::lint::Format format = tp::lint::parse_format(format_name);
+
+    std::vector<tp::lint::BaselineEntry> baseline;
+    if (!baseline_path.empty())
+      baseline =
+          tp::lint::parse_baseline(tp::lint::read_file(baseline_path));
+
+    tp::lint::TreeResult result = tp::lint::scan_tree(root, inputs, jobs);
+
+    std::vector<tp::lint::BaselineEntry> unused;
+    if (!baseline.empty())
+      tp::lint::apply_baseline(baseline, result.diags, unused);
+
+    if (!dot_path.empty()) {
+      if (dot_path == "-") {
+        result.graph.write_dot(std::cout);
+      } else {
+        std::ofstream out(dot_path, std::ios::binary);
+        if (!out) {
+          std::cerr << "tp_lint: cannot write " << dot_path << "\n";
+          return 2;
+        }
+        result.graph.write_dot(out);
+      }
+    }
+
+    tp::lint::write_findings(std::cout, format, result.diags);
+
+    // Stale baseline entries are themselves violations: the finding they
+    // accepted no longer exists, so the suppression must be deleted.
+    for (const tp::lint::BaselineEntry& e : unused)
+      std::cerr << "tp_lint: stale baseline entry (no matching finding): "
+                << e.file << ":" << e.rule << "\n";
+
+    return result.diags.empty() && unused.empty() ? 0 : 1;
+  } catch (const tp::Error& e) {
+    std::cerr << "tp_lint: " << e.what() << "\n";
     return 2;
   }
-
-  std::vector<fs::path> files;
-  for (const std::string& in : inputs) {
-    fs::path p(in);
-    if (p.is_relative()) p = root / p;
-    collect(p, files);
-  }
-
-  std::vector<Diagnostic> diags;
-  for (const fs::path& f : files) {
-    std::ifstream stream(f, std::ios::binary);
-    if (!stream) {
-      std::cerr << "tp_lint: cannot read " << f.string() << "\n";
-      return 2;
-    }
-    std::ostringstream buf;
-    buf << stream.rdbuf();
-    lint_file(diags, relative_slash(f, root), buf.str());
-  }
-
-  std::sort(diags.begin(), diags.end());
-  diags.erase(std::unique(diags.begin(), diags.end(),
-                          [](const Diagnostic& a, const Diagnostic& b) {
-                            return a.file == b.file && a.line == b.line &&
-                                   a.rule == b.rule;
-                          }),
-              diags.end());
-  for (const Diagnostic& d : diags)
-    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
-              << d.message << "\n";
-  if (!diags.empty()) {
-    std::cout << diags.size() << " violation(s)\n";
-    return 1;
-  }
-  return 0;
 }
